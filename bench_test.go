@@ -1,0 +1,309 @@
+package fibersim_test
+
+// One benchmark per table and figure of the paper (see DESIGN.md's
+// experiment index), plus the ablation benches for the performance
+// model's design choices. Benchmarks run the test-size data sets so
+// `go test -bench=.` finishes quickly; EXPERIMENTS.md records the
+// small-size numbers produced by cmd/fiberbench.
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/core"
+	"fibersim/internal/harness"
+	_ "fibersim/internal/miniapps/all"
+	"fibersim/internal/miniapps/common"
+)
+
+func benchOpts() harness.Options {
+	return harness.Options{Size: common.SizeTest}
+}
+
+// runExperiment drives one harness experiment b.N times.
+func runExperiment(b *testing.B, id string, opts harness.Options) *harness.Table {
+	b.Helper()
+	e, err := harness.LookupExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *harness.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err = e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := tab.Render(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+func BenchmarkTable1Machines(b *testing.B) {
+	tab := runExperiment(b, "T1", benchOpts())
+	if len(tab.Rows) != 4 {
+		b.Fatalf("want 4 machines, got %d", len(tab.Rows))
+	}
+}
+
+func BenchmarkTable2Miniapps(b *testing.B) {
+	tab := runExperiment(b, "T2", benchOpts())
+	if len(tab.Rows) < 8 {
+		b.Fatal("suite incomplete")
+	}
+}
+
+func BenchmarkFig1Decomposition(b *testing.B) {
+	tab := runExperiment(b, "F1", benchOpts())
+	if len(tab.Rows) != 8 {
+		b.Fatalf("want 8 apps, got %d", len(tab.Rows))
+	}
+}
+
+func BenchmarkFig2ThreadStride(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"ccsqcd", "ffvc", "nicam", "mvmc"}
+	tab := runExperiment(b, "F2", opts)
+	// Shape metric: worst/best stride ratio for the stencil app.
+	cell, err := tab.Cell("ffvc", "worst/best")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	b.ReportMetric(v, "stride-spread")
+}
+
+func BenchmarkFig3ProcAlloc(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"ffvc", "ntchem"}
+	tab := runExperiment(b, "F3", opts)
+	cell, err := tab.Cell("ntchem", "spread")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	b.ReportMetric(v, "alloc-spread-%")
+}
+
+func BenchmarkFig4CompilerTuning(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"mvmc", "ngsa"}
+	tab := runExperiment(b, "F4", opts)
+	cell, err := tab.Cell("mvmc", "speedup")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	b.ReportMetric(v, "mvmc-speedup")
+}
+
+func BenchmarkFig5ProcessorComparison(b *testing.B) {
+	tab := runExperiment(b, "F5", benchOpts())
+	if len(tab.Rows) != 8 {
+		b.Fatalf("want 8 apps, got %d", len(tab.Rows))
+	}
+}
+
+func BenchmarkFig6Stream(b *testing.B) {
+	tab := runExperiment(b, "F6", benchOpts())
+	a64, err := tab.Cell("a64fx", "GB/s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, _ := strconv.ParseFloat(a64, 64)
+	b.ReportMetric(v, "a64fx-GB/s")
+}
+
+func BenchmarkTable3BestConfig(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"ccsqcd", "ffvc", "mvmc"}
+	tab := runExperiment(b, "T3", opts)
+	if len(tab.Rows) != 3 {
+		b.Fatal("incomplete best-config table")
+	}
+}
+
+// --- Ablations: why the performance model is built the way it is ---
+
+// benchKernel is a mid-intensity kernel that exercises both roofline
+// sides.
+func benchKernel() core.Kernel {
+	return core.Kernel{
+		Name: "ablation", FlopsPerIter: 16, FMAFrac: 0.8,
+		LoadBytesPerIter: 24, StoreBytesPerIter: 8,
+		VectorizableFrac: 0.9, AutoVecFrac: 0.3, DepChainPenalty: 1.2,
+		Pattern: core.PatternStream, WorkingSetBytes: 1 << 28,
+	}
+}
+
+func fullNodeExec() core.Exec {
+	cores := make([]int, 48)
+	for i := range cores {
+		cores[i] = i
+	}
+	return core.Exec{ThreadCores: cores, HomeDomain: -1, Compiler: core.AsIs()}
+}
+
+// BenchmarkAblationNoOverlap disables compute/memory overlap: the
+// pure-sum combiner overestimates time; the metric reports by how much.
+func BenchmarkAblationNoOverlap(b *testing.B) {
+	m := arch.MustLookup("a64fx")
+	k := benchKernel()
+	ex := fullNodeExec()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		withOverlap := core.NewModel(m)
+		noOverlap := core.NewModel(m)
+		noOverlap.Overlap = 0
+		a, err := withOverlap.KernelTime(k, 1e8, ex)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := noOverlap.KernelTime(k, 1e8, ex)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = c.Total / a.Total
+	}
+	if ratio <= 1 {
+		b.Fatalf("no-overlap model should be slower, got ratio %g", ratio)
+	}
+	b.ReportMetric(ratio, "overestimate-x")
+}
+
+// BenchmarkAblationFlatMemory removes the NUMA structure (no shared
+// remote traffic, no remote latency): the thread-stride effect
+// vanishes, which is why the model carries the CMG topology.
+func BenchmarkAblationFlatMemory(b *testing.B) {
+	m := arch.MustLookup("a64fx")
+	// Bandwidth-dominated kernel: the stride effect acts on memory time.
+	k := core.Kernel{
+		Name: "ablation-stream", FlopsPerIter: 2, FMAFrac: 1,
+		LoadBytesPerIter: 16, StoreBytesPerIter: 8,
+		VectorizableFrac: 1, AutoVecFrac: 1,
+		Pattern: core.PatternStream, WorkingSetBytes: 1 << 28,
+	}
+	compact := core.Exec{ThreadCores: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+		HomeDomain: -1, Compiler: core.AsIs(), DomainLoad: []int{12, 12, 12, 12}}
+	spread := core.Exec{ThreadCores: []int{0, 12, 24, 36, 1, 13, 25, 37, 2, 14, 26, 38},
+		HomeDomain: -1, Compiler: core.AsIs(), DomainLoad: []int{12, 12, 12, 12}}
+	var withNUMA, flat float64
+	for i := 0; i < b.N; i++ {
+		numaModel := core.NewModel(m)
+		flatModel := core.NewModel(m)
+		flatModel.SharedRemoteFrac = 0
+		tc, err := numaModel.KernelTime(k, 1e8, compact)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts, err := numaModel.KernelTime(k, 1e8, spread)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withNUMA = ts.Total / tc.Total
+		fc, err := flatModel.KernelTime(k, 1e8, compact)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs, err := flatModel.KernelTime(k, 1e8, spread)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flat = fs.Total / fc.Total
+	}
+	if withNUMA <= flat {
+		b.Fatalf("NUMA model must show a stride effect (%g) the flat model hides (%g)", withNUMA, flat)
+	}
+	b.ReportMetric(withNUMA, "stride-effect-numa")
+	b.ReportMetric(flat, "stride-effect-flat")
+}
+
+// BenchmarkAblationInfiniteOoO gives every core an unbounded effective
+// out-of-order window: the instruction-scheduling compiler option
+// becomes a no-op, demonstrating the mechanism behind Fig. 4.
+func BenchmarkAblationInfiniteOoO(b *testing.B) {
+	m := arch.MustLookup("a64fx")
+	// Compute-dominated, dependency-chained kernel: scheduling is the
+	// only lever.
+	k := core.Kernel{
+		Name: "ablation-chain", FlopsPerIter: 24, FMAFrac: 0.5,
+		LoadBytesPerIter: 8, VectorizableFrac: 0.9, AutoVecFrac: 0.2,
+		DepChainPenalty: 2, Pattern: core.PatternStrided,
+		WorkingSetBytes: 1 << 20,
+	}
+	ex := fullNodeExec()
+	sched := ex
+	sched.Compiler.SoftwarePipelining = true
+	sched.Compiler.LoopFission = true
+	var realGain, infGain float64
+	for i := 0; i < b.N; i++ {
+		realModel := core.NewModel(m)
+		infModel := core.NewModel(m)
+		infModel.RefWindow = 1 // every window "hides everything"
+		ra, err := realModel.KernelTime(k, 1e8, ex)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := realModel.KernelTime(k, 1e8, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		realGain = ra.Total / rs.Total
+		ia, err := infModel.KernelTime(k, 1e8, ex)
+		if err != nil {
+			b.Fatal(err)
+		}
+		is, err := infModel.KernelTime(k, 1e8, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		infGain = ia.Total / is.Total
+	}
+	if realGain <= infGain {
+		b.Fatalf("scheduling gain must require a finite window: real %g vs infinite %g", realGain, infGain)
+	}
+	b.ReportMetric(realGain, "sched-gain-real")
+	b.ReportMetric(infGain, "sched-gain-infinite-ooo")
+}
+
+// BenchmarkAblationFirstTouch contrasts the two first-touch policies
+// the model supports: parallel first-touch (pages local to each
+// thread) versus serial first-touch (all pages in the master thread's
+// CMG) for a full-node bandwidth-bound kernel. The serial policy's
+// collapse is why HPC codes initialize data in parallel — and why the
+// model must distinguish the two.
+func BenchmarkAblationFirstTouch(b *testing.B) {
+	m := arch.MustLookup("a64fx")
+	k := core.Kernel{
+		Name: "ablation-ft", FlopsPerIter: 2, FMAFrac: 1,
+		LoadBytesPerIter: 16, StoreBytesPerIter: 8,
+		VectorizableFrac: 1, AutoVecFrac: 1,
+		Pattern: core.PatternStream, WorkingSetBytes: 1 << 28,
+	}
+	parallelFT := fullNodeExec() // HomeDomain: -1
+	serialFT := fullNodeExec()
+	serialFT.HomeDomain = 0
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		mdl := core.NewModel(m)
+		pp, err := mdl.KernelTime(k, 1e8, parallelFT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := mdl.KernelTime(k, 1e8, serialFT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = ss.Total / pp.Total
+	}
+	if slowdown < 2 {
+		b.Fatalf("serial first-touch should collapse bandwidth, got %.2fx", slowdown)
+	}
+	b.ReportMetric(slowdown, "serial-ft-slowdown")
+}

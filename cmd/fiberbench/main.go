@@ -1,0 +1,84 @@
+// Command fiberbench runs one experiment of the paper and prints the
+// regenerated table or figure.
+//
+// Usage:
+//
+//	fiberbench -exp F1                 # decomposition sweep, small size
+//	fiberbench -exp F4 -size test      # compiler tuning, test size
+//	fiberbench -exp F5 -apps ccsqcd,mvmc
+//	fiberbench -exp T3 -csv            # machine-readable output
+//
+// Experiment ids map to the paper artefacts; run `fiberinfo
+// -experiments` for the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fibersim/internal/harness"
+	"fibersim/internal/miniapps/common"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (T1..T3, F1..F6); empty runs everything")
+	size := flag.String("size", "small", "data set: test, small, medium")
+	apps := flag.String("apps", "", "comma-separated miniapp subset (default: full suite)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of an aligned table")
+	chart := flag.String("chart", "", "additionally draw an ASCII bar chart of this column")
+	flag.Parse()
+
+	sz, err := common.ParseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+	opt := harness.Options{Size: sz}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+
+	var list []harness.Experiment
+	if *exp == "" {
+		list = harness.Experiments()
+	} else {
+		e, err := harness.LookupExperiment(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		list = []harness.Experiment{e}
+	}
+
+	for _, e := range list {
+		t, err := e.Run(opt)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		switch {
+		case *csv:
+			if err := t.CSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		case *jsonOut:
+			if err := t.JSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		default:
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *chart != "" {
+			if err := t.RenderBars(os.Stdout, *chart); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fiberbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command fiberinfo lists the machine catalogue, the miniapp suite and
+// the available experiments.
+//
+// Usage:
+//
+//	fiberinfo -machines        # Table 1
+//	fiberinfo -apps            # Table 2 (kernel descriptors)
+//	fiberinfo -experiments     # the table/figure index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fibersim/internal/harness"
+	"fibersim/internal/miniapps/common"
+	"fibersim/internal/power"
+)
+
+func main() {
+	machines := flag.Bool("machines", false, "print the processor catalogue (Table 1)")
+	apps := flag.Bool("apps", false, "print the miniapp suite and kernels (Table 2)")
+	exps := flag.Bool("experiments", false, "list the reproducible tables and figures")
+	pw := flag.Bool("power", false, "print the power profiles and A64FX operating modes")
+	size := flag.String("size", "small", "data set for kernel descriptors: test, small, medium")
+	flag.Parse()
+
+	if !*machines && !*apps && !*exps && !*pw {
+		*machines, *apps, *exps, *pw = true, true, true, true
+	}
+	sz, err := common.ParseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := harness.Options{Size: sz}
+
+	if *machines {
+		t, err := harness.TableMachines(opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *apps {
+		t, err := harness.TableMiniapps(opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *pw {
+		fmt.Println("== power profiles ==")
+		for _, name := range power.Names() {
+			p := power.MustLookup(name)
+			fmt.Printf("  %-12s idle %3.0f W  +compute %3.0f W  +memory %3.0f W  (max %3.0f W)\n",
+				name, p.IdleWatts, p.ComputeWatts, p.MemoryWatts, p.MaxWatts())
+		}
+	}
+	if *exps {
+		fmt.Println("== experiments ==")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-3s  %-55s %s\n", e.ID, e.Title, e.Description)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fiberinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command fibersweep runs a free-form configuration sweep of one
+// miniapp: every decomposition, stride, allocation and compiler
+// configuration requested, one result row per run. It is the tool for
+// exploring beyond the paper's fixed figures.
+//
+// Usage:
+//
+//	fibersweep -app ccsqcd -size small
+//	fibersweep -app mvmc -machines a64fx,skylake -compilers as-is,tuned
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/core"
+	"fibersim/internal/harness"
+	_ "fibersim/internal/miniapps/all"
+	"fibersim/internal/miniapps/common"
+	"fibersim/internal/trace"
+	"fibersim/internal/vtime"
+)
+
+func main() {
+	appName := flag.String("app", "stream", "miniapp to sweep")
+	size := flag.String("size", "small", "data set: test, small, medium")
+	machines := flag.String("machines", "a64fx", "comma-separated machine list")
+	compilers := flag.String("compilers", "as-is", "comma-separated compiler configs: as-is, nosimd, simd, sched, tuned")
+	stride := flag.Int("stride", 0, "node-level thread stride (0 = compact block placement)")
+	traceFile := flag.String("trace", "", "write a chrome://tracing timeline of the FIRST configuration to this file")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	app, err := common.Lookup(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	sz, err := common.ParseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &harness.Table{
+		ID:    "sweep",
+		Title: fmt.Sprintf("%s (%s): configuration sweep", app.Name(), sz),
+		Columns: []string{"machine", "decomp", "compiler", "time", "Gflop/s",
+			"figure", "unit", "verified", "comm%"},
+	}
+
+	traced := false
+	for _, mn := range strings.Split(*machines, ",") {
+		m, err := arch.Lookup(strings.TrimSpace(mn))
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range decompsFor(m) {
+			for _, cn := range strings.Split(*compilers, ",") {
+				cc, err := parseCompiler(strings.TrimSpace(cn))
+				if err != nil {
+					fatal(err)
+				}
+				rc := common.RunConfig{
+					Machine: m, Procs: d[0], Threads: d[1],
+					Compiler: cc, Size: sz, NodeStride: *stride,
+				}
+				if *traceFile != "" && !traced {
+					traced = true
+					if err := writeTrace(app, rc, *traceFile); err != nil {
+						fatal(err)
+					}
+				}
+				res, err := app.Run(rc)
+				if err != nil {
+					t.AddRow(m.Name, fmt.Sprintf("%dx%d", d[0], d[1]), cc.String(),
+						"error: "+err.Error(), "", "", "", "", "")
+					continue
+				}
+				t.AddRow(m.Name,
+					fmt.Sprintf("%dx%d", d[0], d[1]),
+					cc.String(),
+					vtime.Format(res.Time),
+					fmt.Sprintf("%.1f", res.GFlops()),
+					fmt.Sprintf("%.3g", res.Figure),
+					res.FigureUnit,
+					fmt.Sprint(res.Verified),
+					fmt.Sprintf("%.0f%%", res.Breakdown.Get(vtime.Comm)/res.Time*100),
+				)
+			}
+		}
+	}
+
+	if *csv {
+		if err := t.CSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// decompsFor returns the decomposition grid for a machine: powers of
+// two (plus the full spread) that divide its core count.
+func decompsFor(m *arch.Machine) [][2]int {
+	total := m.TotalCores()
+	var out [][2]int
+	for p := 1; p <= total; p *= 2 {
+		if total%p == 0 {
+			out = append(out, [2]int{p, total / p})
+		}
+	}
+	if total != 1 && (len(out) == 0 || out[len(out)-1][0] != total) {
+		out = append(out, [2]int{total, 1})
+	}
+	return out
+}
+
+// parseCompiler maps a sweep name to a configuration.
+func parseCompiler(name string) (core.CompilerConfig, error) {
+	switch name {
+	case "as-is", "asis":
+		return core.AsIs(), nil
+	case "nosimd":
+		return core.CompilerConfig{SIMD: core.SIMDOff}, nil
+	case "simd":
+		return core.CompilerConfig{SIMD: core.SIMDEnhanced}, nil
+	case "sched":
+		return core.CompilerConfig{SIMD: core.SIMDAuto, SoftwarePipelining: true, LoopFission: true}, nil
+	case "tuned":
+		return core.Tuned(), nil
+	}
+	return core.CompilerConfig{}, fmt.Errorf("fibersweep: unknown compiler config %q", name)
+}
+
+// writeTrace reruns one configuration with tracing enabled and dumps
+// the chrome://tracing timeline. The app's Run does not expose the MPI
+// result, so the trace run goes through the harness-free path: rerun
+// the app with TraceCapacity set and pull the logs from the library.
+func writeTrace(app common.App, rc common.RunConfig, path string) error {
+	rc.TraceCapacity = 1 << 16
+	res, err := app.Run(rc)
+	if err != nil {
+		return err
+	}
+	if res.Traces == nil {
+		return fmt.Errorf("fibersweep: app produced no trace (miniapp predates tracing?)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, res.Traces...); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fibersweep: wrote timeline of %s (%s) to %s\n", app.Name(), rc.String(), path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fibersweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/core"
+)
+
+func TestDecompsFor(t *testing.T) {
+	m := arch.MustLookup("a64fx")
+	ds := decompsFor(m)
+	if len(ds) == 0 {
+		t.Fatal("no decompositions")
+	}
+	seen48 := false
+	for _, d := range ds {
+		if d[0]*d[1] != 48 {
+			t.Errorf("decomposition %v does not cover 48 cores", d)
+		}
+		if d[0] == 48 {
+			seen48 = true
+		}
+	}
+	if !seen48 {
+		t.Error("48x1 missing")
+	}
+	// K computer: 8 cores.
+	for _, d := range decompsFor(arch.MustLookup("k")) {
+		if d[0]*d[1] != 8 {
+			t.Errorf("K decomposition %v", d)
+		}
+	}
+}
+
+func TestParseCompiler(t *testing.T) {
+	cases := map[string]core.CompilerConfig{
+		"as-is":  core.AsIs(),
+		"nosimd": {SIMD: core.SIMDOff},
+		"simd":   {SIMD: core.SIMDEnhanced},
+		"sched":  {SIMD: core.SIMDAuto, SoftwarePipelining: true, LoopFission: true},
+		"tuned":  core.Tuned(),
+	}
+	for name, want := range cases {
+		got, err := parseCompiler(name)
+		if err != nil || got != want {
+			t.Errorf("parseCompiler(%q) = %+v, %v", name, got, err)
+		}
+	}
+	if _, err := parseCompiler("O3"); err == nil {
+		t.Error("unknown config must fail")
+	}
+}

@@ -1,0 +1,16 @@
+// Package fibersim reproduces "Performance Evaluation and Analysis of
+// A64FX many-core Processor for the Fiber Miniapp Suite" (Sato &
+// Tsuji, IEEE CLUSTER 2021) as a simulation study: machine models of
+// the A64FX and its comparison processors, functional MPI/OpenMP
+// runtimes with virtual-time accounting, an analytic performance model,
+// and Go re-implementations of the eight Fiber miniapps.
+//
+// The root package only anchors the module; the library lives under
+// internal/ (see DESIGN.md for the map) and is exercised through
+// cmd/fiberbench, cmd/fiberinfo, cmd/fibersweep, the examples, and the
+// benchmarks in bench_test.go, which regenerate every table and figure
+// of the paper.
+package fibersim
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,47 @@
+// Compare pits the four catalogue processors against each other on the
+// full miniapp suite (the paper's Fig. 5) plus the STREAM backdrop
+// (Fig. 6).
+//
+//	go run ./examples/compare            # small data sets
+//	go run ./examples/compare test       # quick pass
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fibersim/internal/harness"
+	_ "fibersim/internal/miniapps/all"
+	"fibersim/internal/miniapps/common"
+)
+
+func main() {
+	sizeName := "small"
+	if len(os.Args) > 1 {
+		sizeName = os.Args[1]
+	}
+	size, err := common.ParseSize(sizeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := harness.Options{Size: size}
+
+	fmt.Printf("cross-processor comparison at size %q (this sweeps the whole suite; a minute or two at small size)\n\n", sizeName)
+
+	stream, err := harness.FigStream(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := stream.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	cmp, err := harness.FigProcessorComparison(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmp.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Customloop shows how a downstream user brings their OWN loop to the
+// framework: describe the loop's structure to internal/loopir, let the
+// compiler-decision rules derive a kernel descriptor, and ask the
+// performance model what the loop would do on each machine and what
+// the Fujitsu-style compiler levers would buy.
+//
+//	go run ./examples/customloop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/core"
+	"fibersim/internal/loopir"
+	"fibersim/internal/vtime"
+)
+
+func main() {
+	// Example: a sparse SpMV-like loop —
+	//   for nz := range rows { y[row[nz]] += a[nz] * x[col[nz]] }
+	// one FMA against an indexed gather and an indexed scatter-add.
+	loop := loopir.Loop{
+		Name: "spmv-csr",
+		Ops: []loopir.Op{
+			{Kind: loopir.OpFMA, Count: 1},
+			{Kind: loopir.OpInt, Count: 2}, // index loads / address math
+		},
+		Accesses: []loopir.Access{
+			{Bytes: 8, Stride: loopir.StrideUnit},                 // a[nz]
+			{Bytes: 4, Stride: loopir.StrideUnit},                 // col[nz]
+			{Bytes: 8, Stride: loopir.StrideIndexed},              // x[col[nz]]
+			{Bytes: 8, Stride: loopir.StrideIndexed, Store: true}, // y[row[nz]] +=
+		},
+		WorkingSetBytes: 256 << 20, // matrix streams from memory
+	}
+
+	kernel, err := loop.Kernel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived kernel %q:\n", kernel.Name)
+	fmt.Printf("  flops/iter %.0f  bytes/iter %.0f  AI %.3f  pattern %s\n",
+		kernel.FlopsPerIter, kernel.BytesPerIter(), kernel.ArithmeticIntensity(), kernel.Pattern)
+	fmt.Printf("  compiler auto-vectorizes %.0f%%; tuned code reaches %.0f%%; dependency penalty %.1f\n\n",
+		kernel.AutoVecFrac*100, kernel.VectorizableFrac*100, kernel.DepChainPenalty)
+
+	const iters = 50e6
+	for _, name := range []string{"a64fx", "skylake", "thunderx2", "k"} {
+		m := arch.MustLookup(name)
+		mdl := core.NewModel(m)
+		cores := make([]int, m.TotalCores())
+		for i := range cores {
+			cores[i] = i
+		}
+		ex := core.Exec{ThreadCores: cores, HomeDomain: -1, Compiler: core.AsIs()}
+
+		asIs, err := mdl.KernelTime(kernel, iters, ex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex.Compiler = core.Tuned()
+		tuned, err := mdl.KernelTime(kernel, iters, ex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ana, err := mdl.Analyze(kernel, iters, core.Exec{
+			ThreadCores: cores, HomeDomain: -1, Compiler: core.AsIs(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s as-is %-8s (%6.1f Gflop/s, %s-bound)  tuned %-8s  speedup %.2fx\n",
+			name, vtime.Format(asIs.Total), asIs.GFlops(), ana.Bottleneck,
+			vtime.Format(tuned.Total), asIs.Total/tuned.Total)
+	}
+	fmt.Println("\n(the gather-bound SpMV barely vectorizes as-is everywhere; the")
+	fmt.Println("A64FX covers the gap with HBM2 bandwidth once tuned)")
+}

@@ -1,0 +1,51 @@
+// Hybridsweep reproduces the core of the paper's evaluation for one
+// app: the MPI x OpenMP decomposition grid and the thread-stride sweep
+// on the A64FX (Figs. 1 and 2), printed side by side.
+//
+//	go run ./examples/hybridsweep               # ffvc, small
+//	go run ./examples/hybridsweep mvmc test     # another app / size
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fibersim/internal/harness"
+	_ "fibersim/internal/miniapps/all"
+	"fibersim/internal/miniapps/common"
+)
+
+func main() {
+	appName := "ffvc"
+	sizeName := "small"
+	if len(os.Args) > 1 {
+		appName = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		sizeName = os.Args[2]
+	}
+	size, err := common.ParseSize(sizeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := harness.Options{Size: size, Apps: []string{appName}}
+
+	fmt.Printf("decomposition and stride study for %q at size %q on the A64FX\n\n", appName, sizeName)
+
+	decomp, err := harness.FigDecomposition(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := decomp.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	stride, err := harness.FigThreadStride(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := stride.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

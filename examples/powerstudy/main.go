@@ -1,0 +1,60 @@
+// Powerstudy walks the A64FX's power modes — normal, boost (2.2 GHz)
+// and eco (one FP pipeline) — across a memory-bound and a compute-bound
+// miniapp, reproducing the shape of the authors' companion power study:
+// eco mode is nearly free for memory-bound codes, boost only pays off
+// for compute-bound ones.
+//
+//	go run ./examples/powerstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/harness"
+	_ "fibersim/internal/miniapps/all"
+	"fibersim/internal/miniapps/common"
+	"fibersim/internal/power"
+	"fibersim/internal/vtime"
+)
+
+func main() {
+	// The full E2 table for two contrasting apps.
+	tab, err := harness.FigPowerModes(harness.Options{
+		Size: common.SizeSmall,
+		Apps: []string{"ffvc", "ntchem"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Then the derived decision metric: energy-delay product per mode.
+	fmt.Println("energy-delay product (lower is better):")
+	for _, appName := range []string{"ffvc", "ntchem"} {
+		app, err := common.Lookup(appName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s:\n", appName)
+		for _, mode := range harness.PowerModes() {
+			res, err := app.Run(common.RunConfig{
+				Machine: arch.MustLookup(mode),
+				Procs:   4, Threads: 12, Size: common.SizeSmall,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			est, err := power.MustLookup(mode).ForRun(res.Time, res.Breakdown)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    %-12s time %-8s power %5.0f W  energy %8.3g J  EDP %8.3g J*s\n",
+				mode, vtime.Format(res.Time), est.Watts, est.Joules, est.EDP)
+		}
+	}
+}

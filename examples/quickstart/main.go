@@ -1,0 +1,43 @@
+// Quickstart: run one Fiber miniapp on the simulated A64FX node and
+// print what the paper would report for it — runtime, achieved
+// Gflop/s, the app's own figure of merit, and where the time went.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	_ "fibersim/internal/miniapps/all"
+	"fibersim/internal/miniapps/common"
+	"fibersim/internal/vtime"
+)
+
+func main() {
+	app, err := common.Lookup("ccsqcd")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The canonical A64FX configuration: one MPI rank per CMG, twelve
+	// OpenMP threads each, compact binding, unmodified build.
+	cfg := common.RunConfig{
+		Procs:   4,
+		Threads: 12,
+		Size:    common.SizeSmall,
+	}
+
+	fmt.Printf("running %s (%s) as %s ...\n", app.Name(), app.Description(), cfg.Normalized())
+	res, err := app.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n  virtual runtime : %s\n", vtime.Format(res.Time))
+	fmt.Printf("  performance     : %.1f Gflop/s\n", res.GFlops())
+	fmt.Printf("  figure of merit : %.3g %s\n", res.Figure, res.FigureUnit)
+	fmt.Printf("  verified        : %v (check = %.3g)\n", res.Verified, res.Check)
+	fmt.Printf("  time breakdown  : %s\n", res.Breakdown)
+	fmt.Printf("  rank imbalance  : %.1f%%\n", res.RankTimes.Imbalance()*100)
+}

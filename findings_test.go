@@ -1,0 +1,131 @@
+package fibersim_test
+
+// The acceptance test of the reproduction: the four findings stated in
+// the paper's abstract must hold on the small data sets. This is the
+// slow end-to-end check (about a minute); -short skips it.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"fibersim/internal/harness"
+	"fibersim/internal/miniapps/common"
+)
+
+func smallOpts(apps ...string) harness.Options {
+	return harness.Options{Size: common.SizeSmall, Apps: apps}
+}
+
+func parseSuffix(t *testing.T, s, suffix string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, suffix), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+// Finding 1: "shorter OpenMP thread strides perform better in most
+// mini applications."
+func TestFindingThreadStrides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-size acceptance test")
+	}
+	tab, err := harness.FigThreadStride(smallOpts("ccsqcd", "ffvc", "mvmc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := 0
+	for _, app := range []string{"ccsqcd", "ffvc"} {
+		ratio, err := tab.Cell(app, "worst/best")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parseSuffix(t, ratio, "x") > 1.05 {
+			affected++
+		}
+	}
+	if affected < 2 {
+		t.Errorf("memory-bound apps should show a stride effect; table: %+v", tab.Rows)
+	}
+	// "most but not all": the cache-resident scalar app barely moves.
+	ratio, err := tab.Cell("mvmc", "worst/best")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parseSuffix(t, ratio, "x") > 1.10 {
+		t.Errorf("mvmc stride effect %s unexpectedly large", ratio)
+	}
+}
+
+// Finding 2: "MPI process allocation methods have not had a large
+// impact on the performance."
+func TestFindingProcessAllocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-size acceptance test")
+	}
+	tab, err := harness.FigProcAlloc(smallOpts("ccsqcd", "ffvc", "ntchem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"ccsqcd", "ffvc", "ntchem"} {
+		spread, err := tab.Cell(app, "spread")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parseSuffix(t, spread, "%") > 10 {
+			t.Errorf("%s allocation spread %s exceeds 10%%", app, spread)
+		}
+	}
+}
+
+// Finding 3: as-is small-data apps improve substantially with SIMD
+// enhancement and instruction scheduling.
+func TestFindingCompilerTuning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-size acceptance test")
+	}
+	tab, err := harness.FigCompilerTuning(smallOpts("mvmc", "modylas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"mvmc", "modylas"} {
+		sp, err := tab.Cell(app, "speedup")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parseSuffix(t, sp, "x") < 1.5 {
+			t.Errorf("%s tuning speedup %s below 1.5x", app, sp)
+		}
+	}
+}
+
+// Finding 4: the A64FX is better than or comparable to the other
+// processors for the memory-bound apps (HBM2 advantage).
+func TestFindingProcessorComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-size acceptance test")
+	}
+	tab, err := harness.FigProcessorComparison(smallOpts("ccsqcd", "ffvc", "mvmc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"ccsqcd", "ffvc"} {
+		winner, err := tab.Cell(app, "winner")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if winner != "a64fx" {
+			t.Errorf("%s winner = %s, want a64fx", app, winner)
+		}
+	}
+	// The exception the abstract calls out: the as-is scalar app loses.
+	winner, err := tab.Cell("mvmc", "winner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner == "a64fx" {
+		t.Error("mvmc as-is should not be won by the A64FX")
+	}
+}

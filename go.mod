@@ -1,0 +1,3 @@
+module fibersim
+
+go 1.22

@@ -1,0 +1,157 @@
+package fibersim_test
+
+// Cross-module integration tests: every miniapp must run, verify and
+// produce sane metrics on every machine of the catalogue, under the
+// experiment knobs the harness sweeps. These are the end-to-end checks
+// that the substrates (arch, mpi, omp, affinity, core) compose.
+
+import (
+	"testing"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/core"
+	_ "fibersim/internal/miniapps/all"
+	"fibersim/internal/miniapps/common"
+	"fibersim/internal/vtime"
+)
+
+// nodeConfig returns the canonical decomposition for a machine.
+func nodeConfig(m *arch.Machine) common.RunConfig {
+	procs := len(m.Domains)
+	return common.RunConfig{
+		Machine: m,
+		Procs:   procs,
+		Threads: m.TotalCores() / procs,
+		Size:    common.SizeTest,
+	}
+}
+
+func TestSuiteRunsOnAllMachines(t *testing.T) {
+	for _, mn := range arch.Names() {
+		m := arch.MustLookup(mn)
+		for _, an := range common.Names() {
+			app := common.MustLookup(an)
+			t.Run(mn+"/"+an, func(t *testing.T) {
+				res, err := app.Run(nodeConfig(m))
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+				if !res.Verified {
+					t.Fatalf("verification failed: check = %g", res.Check)
+				}
+				if res.Time <= 0 {
+					t.Error("no virtual time elapsed")
+				}
+				if res.RankTimes == nil || res.RankTimes.Len() == 0 {
+					t.Error("missing per-rank series")
+				}
+				if res.Breakdown.Total() <= 0 {
+					t.Error("empty time breakdown")
+				}
+			})
+		}
+	}
+}
+
+func TestFasterMachineWinsStream(t *testing.T) {
+	stream := common.MustLookup("stream")
+	cfgA := nodeConfig(arch.MustLookup("a64fx"))
+	cfgA.Size = common.SizeSmall
+	cfgK := nodeConfig(arch.MustLookup("k"))
+	cfgK.Size = common.SizeSmall
+	a, err := stream.Run(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := stream.Run(cfgK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Figure <= 5*k.Figure {
+		t.Errorf("A64FX STREAM (%.0f GB/s) should dwarf the K computer (%.0f GB/s)", a.Figure, k.Figure)
+	}
+}
+
+func TestTunedBuildNeverSlower(t *testing.T) {
+	// Across the suite, the tuned compiler configuration must not lose
+	// to the as-is build (the model's levers only remove stalls).
+	for _, an := range []string{"mvmc", "ngsa", "ffb", "ccsqcd"} {
+		app := common.MustLookup(an)
+		cfg := nodeConfig(arch.MustLookup("a64fx"))
+		asIs, err := app.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", an, err)
+		}
+		cfg.Compiler = core.Tuned()
+		tuned, err := app.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s tuned: %v", an, err)
+		}
+		if tuned.Time > asIs.Time*1.0001 {
+			t.Errorf("%s: tuned (%g) slower than as-is (%g)", an, tuned.Time, asIs.Time)
+		}
+	}
+}
+
+func TestCommunicationShareGrowsWithRanks(t *testing.T) {
+	// More ranks means more halo traffic for the stencil app.
+	app := common.MustLookup("ffvc")
+	share := func(procs, threads int) float64 {
+		res, err := app.Run(common.RunConfig{Procs: procs, Threads: threads, Size: common.SizeTest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Breakdown.Get(vtime.Comm) / res.Time
+	}
+	if s1, s16 := share(1, 8), share(16, 3); s16 <= s1 {
+		t.Errorf("comm share should grow with ranks: 1 rank %.3f vs 16 ranks %.3f", s1, s16)
+	}
+}
+
+func TestTraceThroughMiniapp(t *testing.T) {
+	// End-to-end tracing: a traced run must yield per-rank timelines
+	// containing both kernel charges and MPI operations.
+	app := common.MustLookup("ffvc")
+	cfg := nodeConfig(arch.MustLookup("a64fx"))
+	cfg.TraceCapacity = 1 << 14
+	res, err := app.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != cfg.Procs {
+		t.Fatalf("want %d trace logs, got %d", cfg.Procs, len(res.Traces))
+	}
+	cats := map[string]bool{}
+	for _, l := range res.Traces {
+		for _, ev := range l.Events() {
+			cats[ev.Cat] = true
+		}
+	}
+	if !cats["kernel"] || !cats["mpi"] {
+		t.Errorf("trace categories incomplete: %v", cats)
+	}
+	// Untraced runs carry no logs.
+	cfg.TraceCapacity = 0
+	res, err = app.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != nil {
+		t.Error("untraced run should have nil traces")
+	}
+}
+
+func TestKernelProfileThroughMiniapp(t *testing.T) {
+	app := common.MustLookup("ccsqcd")
+	res, err := app.Run(nodeConfig(arch.MustLookup("a64fx")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) < 2 {
+		t.Fatalf("profile has %d kernels, want >= 2", len(res.Kernels))
+	}
+	ds, ok := res.Kernels["wilson-clover-dslash"]
+	if !ok || ds.Calls == 0 || ds.Seconds <= 0 || ds.Flops <= 0 {
+		t.Errorf("dslash profile incomplete: %+v", ds)
+	}
+}

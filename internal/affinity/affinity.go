@@ -1,0 +1,363 @@
+// Package affinity computes how MPI ranks and OpenMP threads are placed
+// onto the cores of a machine.
+//
+// These are the experiment knobs of the paper: the MPI process
+// allocation method decides which cores belong to which rank, and the
+// OpenMP thread binding (in particular the *stride* between consecutive
+// threads) decides which of the rank's cores each thread runs on. The
+// placement determines CMG/NUMA locality, which internal/core turns
+// into bandwidth and synchronization costs.
+package affinity
+
+import (
+	"fmt"
+
+	"fibersim/internal/arch"
+)
+
+// ProcAlloc is an MPI process allocation method.
+type ProcAlloc int
+
+const (
+	// AllocBlock packs each rank's cores contiguously: rank 0 gets
+	// cores 0..t-1, rank 1 gets t..2t-1, and so on (the mpirun
+	// "bind-to core, map-by block" default).
+	AllocBlock ProcAlloc = iota
+	// AllocCyclic deals cores to ranks round-robin: rank r gets cores
+	// r, r+p, r+2p, ... ("map-by cyclic").
+	AllocCyclic
+	// AllocCMGRoundRobin deals whole NUMA domains to ranks round-robin,
+	// packing contiguously inside each domain ("map-by numa"). When
+	// ranks divide evenly over domains this coincides with AllocBlock.
+	AllocCMGRoundRobin
+	// AllocReverse is block allocation with the rank order reversed
+	// (rank p-1 gets the first block) — a rank-reordering method that
+	// preserves CMG locality, like the paper's allocation variants.
+	AllocReverse
+)
+
+// String returns the flag spelling of the allocation method.
+func (a ProcAlloc) String() string {
+	switch a {
+	case AllocBlock:
+		return "block"
+	case AllocCyclic:
+		return "cyclic"
+	case AllocCMGRoundRobin:
+		return "cmg-rr"
+	case AllocReverse:
+		return "reverse"
+	default:
+		return fmt.Sprintf("alloc(%d)", int(a))
+	}
+}
+
+// ParseProcAlloc converts a flag spelling to a ProcAlloc.
+func ParseProcAlloc(s string) (ProcAlloc, error) {
+	switch s {
+	case "block":
+		return AllocBlock, nil
+	case "cyclic":
+		return AllocCyclic, nil
+	case "cmg-rr", "cmg", "numa":
+		return AllocCMGRoundRobin, nil
+	case "reverse":
+		return AllocReverse, nil
+	}
+	return 0, fmt.Errorf("affinity: unknown process allocation %q", s)
+}
+
+// ProcAllocs lists all allocation methods.
+func ProcAllocs() []ProcAlloc {
+	return []ProcAlloc{AllocBlock, AllocCyclic, AllocCMGRoundRobin, AllocReverse}
+}
+
+// CMGPreservingAllocs lists the methods the paper's Fig. 3 sweeps:
+// rank-placement variants that keep each rank's threads inside one CMG
+// (when threads divide the CMG size).
+func CMGPreservingAllocs() []ProcAlloc {
+	return []ProcAlloc{AllocBlock, AllocCMGRoundRobin, AllocReverse}
+}
+
+// ThreadBind is an OpenMP thread binding policy within a rank.
+type ThreadBind struct {
+	// Stride is the distance, in positions of the rank's core list,
+	// between consecutive threads. Stride 1 is compact binding; larger
+	// strides spread threads. Threads wrap around the core list with an
+	// offset when the stride exceeds the remaining cores, so every
+	// thread still gets a distinct core when len(cores) >= threads.
+	Stride int
+	// Scatter overrides Stride: threads are spread as evenly as
+	// possible across the NUMA domains the rank's cores cover
+	// (OMP_PROC_BIND=spread).
+	Scatter bool
+}
+
+// String returns the flag spelling of the binding.
+func (b ThreadBind) String() string {
+	if b.Scatter {
+		return "scatter"
+	}
+	return fmt.Sprintf("stride%d", b.Stride)
+}
+
+// ParseThreadBind converts a flag spelling ("stride1", "stride4",
+// "scatter") to a ThreadBind.
+func ParseThreadBind(s string) (ThreadBind, error) {
+	if s == "scatter" {
+		return ThreadBind{Scatter: true}, nil
+	}
+	var k int
+	if _, err := fmt.Sscanf(s, "stride%d", &k); err != nil || k < 1 {
+		return ThreadBind{}, fmt.Errorf("affinity: unknown thread binding %q", s)
+	}
+	return ThreadBind{Stride: k}, nil
+}
+
+// Placement maps every (rank, thread) to a core of a machine.
+type Placement struct {
+	// Machine is the node the placement targets.
+	Machine *arch.Machine
+	// RankCores[r] lists the cores owned by rank r, in allocation order.
+	RankCores [][]int
+	// ThreadCore[r][t] is the core that thread t of rank r is bound to.
+	ThreadCore [][]int
+}
+
+// Plan computes the placement of procs ranks with threads threads each
+// onto m, using allocation method alloc and thread binding bind.
+// procs*threads must not exceed the machine's core count.
+func Plan(m *arch.Machine, procs, threads int, alloc ProcAlloc, bind ThreadBind) (*Placement, error) {
+	if procs < 1 || threads < 1 {
+		return nil, fmt.Errorf("affinity: need at least one rank and one thread, got %dx%d", procs, threads)
+	}
+	total := m.TotalCores()
+	if procs*threads > total {
+		return nil, fmt.Errorf("affinity: %d ranks x %d threads exceeds %d cores of %s",
+			procs, threads, total, m.Name)
+	}
+	if !bind.Scatter && bind.Stride < 1 {
+		return nil, fmt.Errorf("affinity: thread stride must be >= 1, got %d", bind.Stride)
+	}
+
+	rankCores, err := allocate(m, procs, threads, alloc)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Placement{Machine: m, RankCores: rankCores}
+	p.ThreadCore = make([][]int, procs)
+	for r := range rankCores {
+		p.ThreadCore[r] = bindThreads(m, rankCores[r], threads, bind)
+	}
+	return p, nil
+}
+
+// allocate distributes procs*threads cores over ranks.
+func allocate(m *arch.Machine, procs, threads int, alloc ProcAlloc) ([][]int, error) {
+	rankCores := make([][]int, procs)
+	switch alloc {
+	case AllocBlock, AllocReverse:
+		for r := 0; r < procs; r++ {
+			block := r
+			if alloc == AllocReverse {
+				block = procs - 1 - r
+			}
+			cores := make([]int, threads)
+			for t := 0; t < threads; t++ {
+				cores[t] = block*threads + t
+			}
+			rankCores[r] = cores
+		}
+	case AllocCyclic:
+		for r := 0; r < procs; r++ {
+			cores := make([]int, threads)
+			for t := 0; t < threads; t++ {
+				cores[t] = r + t*procs
+			}
+			rankCores[r] = cores
+		}
+	case AllocCMGRoundRobin:
+		// Deal ranks to domains round-robin; pack contiguously within a
+		// domain. Falls back to block packing when a domain overflows.
+		domains := len(m.Domains)
+		nextFree := make([]int, domains) // next free core offset per domain
+		base := make([]int, domains)     // first global core id per domain
+		{
+			off := 0
+			for i, d := range m.Domains {
+				base[i] = off
+				off += d.Cores
+			}
+		}
+		for r := 0; r < procs; r++ {
+			d := r % domains
+			// Find a domain with room, starting at the round-robin target.
+			tries := 0
+			for tries < domains && nextFree[d]+threads > m.Domains[d].Cores {
+				d = (d + 1) % domains
+				tries++
+			}
+			if tries == domains {
+				return nil, fmt.Errorf("affinity: cmg-rr cannot fit rank %d (%d threads) on %s",
+					r, threads, m.Name)
+			}
+			cores := make([]int, threads)
+			for t := 0; t < threads; t++ {
+				cores[t] = base[d] + nextFree[d] + t
+			}
+			nextFree[d] += threads
+			rankCores[r] = cores
+		}
+	default:
+		return nil, fmt.Errorf("affinity: unknown allocation method %d", int(alloc))
+	}
+	return rankCores, nil
+}
+
+// bindThreads picks threads cores from the rank's core list.
+func bindThreads(m *arch.Machine, cores []int, threads int, bind ThreadBind) []int {
+	out := make([]int, threads)
+	if bind.Scatter {
+		// Spread evenly over the positions of the core list, which for a
+		// block-allocated full-node rank spreads over the CMGs.
+		n := len(cores)
+		for t := 0; t < threads; t++ {
+			out[t] = cores[t*n/threads]
+		}
+		return out
+	}
+	// Stride binding with wraparound+offset so that distinct threads
+	// always land on distinct list positions.
+	n := len(cores)
+	used := make([]bool, n)
+	pos := 0
+	for t := 0; t < threads; t++ {
+		for used[pos] {
+			pos = (pos + 1) % n
+		}
+		out[t] = cores[pos]
+		used[pos] = true
+		pos = (pos + bind.Stride) % n
+	}
+	return out
+}
+
+// PlanNodeStride computes the placement the paper's thread-stride
+// experiment uses: global thread g (= rank*threads + thread) is bound
+// to core (g*stride) mod N, with wrap offsets keeping the mapping a
+// bijection. Stride 1 reproduces compact block placement (each rank's
+// threads contiguous, one CMG per 12-thread rank on A64FX); larger
+// strides spread every rank's threads across CMGs.
+func PlanNodeStride(m *arch.Machine, procs, threads, stride int) (*Placement, error) {
+	if procs < 1 || threads < 1 {
+		return nil, fmt.Errorf("affinity: need at least one rank and one thread, got %dx%d", procs, threads)
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("affinity: node stride must be >= 1, got %d", stride)
+	}
+	total := m.TotalCores()
+	if procs*threads > total {
+		return nil, fmt.Errorf("affinity: %d ranks x %d threads exceeds %d cores of %s",
+			procs, threads, total, m.Name)
+	}
+	used := make([]bool, total)
+	p := &Placement{
+		Machine:    m,
+		RankCores:  make([][]int, procs),
+		ThreadCore: make([][]int, procs),
+	}
+	pos := 0
+	for r := 0; r < procs; r++ {
+		cores := make([]int, threads)
+		for t := 0; t < threads; t++ {
+			for used[pos] {
+				pos = (pos + 1) % total
+			}
+			cores[t] = pos
+			used[pos] = true
+			pos = (pos + stride) % total
+		}
+		p.RankCores[r] = cores
+		p.ThreadCore[r] = append([]int(nil), cores...)
+	}
+	return p, nil
+}
+
+// DomainsSpanned returns, for rank r, the set of NUMA domains its bound
+// threads touch, as a sorted slice of domain indices.
+func (p *Placement) DomainsSpanned(r int) []int {
+	seen := map[int]bool{}
+	for _, c := range p.ThreadCore[r] {
+		seen[p.Machine.DomainOf(c)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; tiny slices
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// HomeDomain returns the NUMA domain where rank r's memory lives: the
+// domain of its first allocated core (first-touch by the master thread).
+func (p *Placement) HomeDomain(r int) int {
+	return p.Machine.DomainOf(p.RankCores[r][0])
+}
+
+// LocalThreadFraction returns the fraction of rank r's threads bound to
+// cores in its home domain; remote threads pay NUMA penalties.
+func (p *Placement) LocalThreadFraction(r int) float64 {
+	home := p.HomeDomain(r)
+	local := 0
+	for _, c := range p.ThreadCore[r] {
+		if p.Machine.DomainOf(c) == home {
+			local++
+		}
+	}
+	return float64(local) / float64(len(p.ThreadCore[r]))
+}
+
+// DomainThreadCount returns how many bound threads (over all ranks)
+// land in each NUMA domain; internal/core uses it for bandwidth
+// contention.
+func (p *Placement) DomainThreadCount() []int {
+	counts := make([]int, len(p.Machine.Domains))
+	for r := range p.ThreadCore {
+		for _, c := range p.ThreadCore[r] {
+			counts[p.Machine.DomainOf(c)]++
+		}
+	}
+	return counts
+}
+
+// Validate checks the structural invariants every placement must hold:
+// all cores valid, no core bound by two threads, thread cores drawn
+// from the owning rank's allocation.
+func (p *Placement) Validate() error {
+	seen := map[int]string{}
+	for r, cores := range p.ThreadCore {
+		own := map[int]bool{}
+		for _, c := range p.RankCores[r] {
+			if c < 0 || c >= p.Machine.TotalCores() {
+				return fmt.Errorf("affinity: rank %d allocated invalid core %d", r, c)
+			}
+			own[c] = true
+		}
+		for t, c := range cores {
+			if !own[c] {
+				return fmt.Errorf("affinity: rank %d thread %d bound to core %d outside its allocation", r, t, c)
+			}
+			key := fmt.Sprintf("r%dt%d", r, t)
+			if prev, dup := seen[c]; dup {
+				return fmt.Errorf("affinity: core %d bound by both %s and %s", c, prev, key)
+			}
+			seen[c] = key
+		}
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+// Package arch describes the processors evaluated in the paper as
+// parameterized machine models.
+//
+// A Machine is a single node: a set of NUMA domains (A64FX calls them
+// CMGs, x86 machines call them sockets), each holding cores that share a
+// last-level cache and a memory controller. The performance model in
+// internal/core consumes these parameters; nothing in this package
+// computes time by itself.
+//
+// The catalogue (A64FX, dual Xeon Skylake, dual ThunderX2, K computer)
+// uses publicly documented values. Absolute numbers produced from them
+// are model outputs, not measurements; see DESIGN.md.
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Core describes one hardware core.
+type Core struct {
+	// FreqHz is the sustained clock frequency in Hz.
+	FreqHz float64
+	// SIMDBits is the width of one SIMD register in bits (512 for SVE on
+	// A64FX and AVX-512 on Skylake, 128 for NEON on ThunderX2 and for
+	// the HPC-ACE extension of the K computer's SPARC64 VIIIfx).
+	SIMDBits int
+	// SIMDPipes is the number of SIMD floating-point pipelines that can
+	// issue per cycle (2 FLA pipes on A64FX, 2 FMA units on Skylake).
+	SIMDPipes int
+	// FMA reports whether fused multiply-add counts two flops per lane
+	// per cycle.
+	FMA bool
+	// IssueWidth is the maximum instructions decoded/issued per cycle.
+	IssueWidth int
+	// OoOWindow is the effective out-of-order instruction window
+	// (reorder-buffer entries usable for hiding latency). The A64FX has
+	// notably fewer out-of-order resources than Skylake, which is the
+	// mechanism behind the paper's instruction-scheduling findings.
+	OoOWindow int
+	// L1DBytes is the per-core L1 data cache capacity.
+	L1DBytes int64
+	// LoadBytesPerCycle is the sustainable L1 load bandwidth per core.
+	LoadBytesPerCycle float64
+}
+
+// PeakFlops returns the double-precision peak of one core in flop/s.
+func (c Core) PeakFlops() float64 {
+	lanes := float64(c.SIMDBits) / 64.0
+	flopsPerCycle := lanes * float64(c.SIMDPipes)
+	if c.FMA {
+		flopsPerCycle *= 2
+	}
+	return flopsPerCycle * c.FreqHz
+}
+
+// ScalarFlops returns the peak of one core when no SIMD is used
+// (one lane per pipe, still FMA-capable if the ISA fuses scalars).
+func (c Core) ScalarFlops() float64 {
+	flopsPerCycle := float64(c.SIMDPipes)
+	if c.FMA {
+		flopsPerCycle *= 2
+	}
+	return flopsPerCycle * c.FreqHz
+}
+
+// Domain is one NUMA domain: a CMG on A64FX, a socket on x86/Arm
+// servers, the whole chip on the K computer.
+type Domain struct {
+	// Cores is the number of compute cores in the domain.
+	Cores int
+	// L2Bytes is the capacity of the cache shared by the domain's cores
+	// (L2 on A64FX, LLC on Skylake/ThunderX2).
+	L2Bytes int64
+	// MemBandwidth is the local memory bandwidth of the domain in
+	// bytes/s (HBM2 stack for a CMG, DDR4 channels for a socket).
+	MemBandwidth float64
+	// RemoteBandwidth is the bandwidth available when the domain's cores
+	// access another domain's memory (ring bus on A64FX, UPI on x86).
+	RemoteBandwidth float64
+	// RemoteLatencyFactor multiplies effective access cost for remote
+	// pages (>1).
+	RemoteLatencyFactor float64
+}
+
+// Machine is one node of the evaluated system.
+type Machine struct {
+	// Name is the catalogue key, e.g. "a64fx".
+	Name string
+	// Label is the human-readable description used in tables.
+	Label string
+	// Core describes every core (the catalogue machines are homogeneous).
+	Core Core
+	// Domains lists the NUMA domains. All catalogue machines have
+	// identical domains; heterogeneous nodes are not needed for the
+	// paper's experiments.
+	Domains []Domain
+	// NetworkName selects the inter-node fabric model in internal/simnet
+	// ("tofud", "infiniband", "tofu1").
+	NetworkName string
+	// Year is the year of general availability, for Table 1.
+	Year int
+}
+
+// TotalCores returns the number of compute cores on the node.
+func (m *Machine) TotalCores() int {
+	n := 0
+	for _, d := range m.Domains {
+		n += d.Cores
+	}
+	return n
+}
+
+// PeakFlops returns the node's double-precision peak in flop/s.
+func (m *Machine) PeakFlops() float64 {
+	return float64(m.TotalCores()) * m.Core.PeakFlops()
+}
+
+// MemBandwidth returns the node's aggregate local memory bandwidth in
+// bytes/s.
+func (m *Machine) MemBandwidth() float64 {
+	var bw float64
+	for _, d := range m.Domains {
+		bw += d.MemBandwidth
+	}
+	return bw
+}
+
+// BytePerFlop returns the machine balance (aggregate bandwidth divided
+// by peak flops), the headline metric behind the paper's memory-bound
+// findings.
+func (m *Machine) BytePerFlop() float64 {
+	return m.MemBandwidth() / m.PeakFlops()
+}
+
+// DomainOf returns the index of the NUMA domain holding the given
+// global core id, or -1 if the id is out of range.
+func (m *Machine) DomainOf(core int) int {
+	if core < 0 {
+		return -1
+	}
+	for i, d := range m.Domains {
+		if core < d.Cores {
+			return i
+		}
+		core -= d.Cores
+	}
+	return -1
+}
+
+// Validate reports structural problems with a machine description.
+func (m *Machine) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("arch: machine has no name")
+	}
+	if len(m.Domains) == 0 {
+		return fmt.Errorf("arch: machine %q has no NUMA domains", m.Name)
+	}
+	if m.Core.FreqHz <= 0 {
+		return fmt.Errorf("arch: machine %q has non-positive frequency", m.Name)
+	}
+	if m.Core.SIMDBits < 64 {
+		return fmt.Errorf("arch: machine %q SIMD width %d bits is below one double", m.Name, m.Core.SIMDBits)
+	}
+	if m.Core.IssueWidth <= 0 || m.Core.SIMDPipes <= 0 {
+		return fmt.Errorf("arch: machine %q has non-positive issue or pipe count", m.Name)
+	}
+	for i, d := range m.Domains {
+		if d.Cores <= 0 {
+			return fmt.Errorf("arch: machine %q domain %d has no cores", m.Name, i)
+		}
+		if d.MemBandwidth <= 0 {
+			return fmt.Errorf("arch: machine %q domain %d has no memory bandwidth", m.Name, i)
+		}
+		if d.RemoteBandwidth <= 0 && len(m.Domains) > 1 {
+			return fmt.Errorf("arch: machine %q domain %d has no remote bandwidth", m.Name, i)
+		}
+		if d.RemoteLatencyFactor < 1 && len(m.Domains) > 1 {
+			return fmt.Errorf("arch: machine %q domain %d remote latency factor %.2f < 1", m.Name, i, d.RemoteLatencyFactor)
+		}
+	}
+	return nil
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]*Machine{}
+)
+
+// Register adds a machine to the catalogue. It panics on a duplicate
+// name or an invalid description: the catalogue is assembled at init
+// time and a broken entry is a programming error.
+func Register(m *Machine) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[m.Name]; dup {
+		panic(fmt.Sprintf("arch: duplicate machine %q", m.Name))
+	}
+	registry[m.Name] = m
+}
+
+// Lookup returns the machine registered under name.
+func Lookup(name string) (*Machine, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	m, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("arch: unknown machine %q (have %v)", name, Names())
+	}
+	return m, nil
+}
+
+// MustLookup is Lookup for the catalogue machines known to exist.
+func MustLookup(name string) *Machine {
+	m, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names returns the sorted catalogue keys.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

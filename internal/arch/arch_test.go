@@ -1,0 +1,192 @@
+package arch
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCataloguePresent(t *testing.T) {
+	for _, name := range []string{"a64fx", "skylake", "thunderx2", "k"} {
+		m, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("catalogue machine %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("expected at least 4 machines, got %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("pdp11"); err == nil {
+		t.Fatal("expected error for unknown machine")
+	} else if !strings.Contains(err.Error(), "pdp11") {
+		t.Errorf("error should name the machine: %v", err)
+	}
+}
+
+func TestA64FXHeadlineNumbers(t *testing.T) {
+	m := MustLookup("a64fx")
+	if got := m.TotalCores(); got != 48 {
+		t.Errorf("A64FX cores = %d, want 48", got)
+	}
+	// 48 cores * 8 lanes * 2 pipes * 2 (FMA) * 2.0 GHz = 3.072 TF.
+	if got := m.PeakFlops(); math.Abs(got-3.072e12) > 1e9 {
+		t.Errorf("A64FX peak = %.4g, want 3.072e12", got)
+	}
+	if got := m.MemBandwidth(); math.Abs(got-1024e9) > 1e9 {
+		t.Errorf("A64FX bandwidth = %.4g, want 1.024e12", got)
+	}
+	// Machine balance ~0.33 B/F, the HBM2 advantage the paper leans on.
+	if bf := m.BytePerFlop(); bf < 0.30 || bf > 0.40 {
+		t.Errorf("A64FX byte/flop = %.3f, want ~0.33", bf)
+	}
+}
+
+func TestA64FXBandwidthAdvantage(t *testing.T) {
+	a := MustLookup("a64fx")
+	x := MustLookup("skylake")
+	tx := MustLookup("thunderx2")
+	k := MustLookup("k")
+	if a.MemBandwidth() < 3*x.MemBandwidth() {
+		t.Errorf("A64FX should have >3x Skylake node bandwidth: %g vs %g",
+			a.MemBandwidth(), x.MemBandwidth())
+	}
+	if a.MemBandwidth() < 2.5*tx.MemBandwidth() {
+		t.Errorf("A64FX should have >2.5x ThunderX2 node bandwidth")
+	}
+	if a.BytePerFlop() < 2*x.BytePerFlop() {
+		t.Errorf("A64FX machine balance should dominate Skylake: %.3f vs %.3f",
+			a.BytePerFlop(), x.BytePerFlop())
+	}
+	if k.PeakFlops() > 0.1*a.PeakFlops() {
+		t.Errorf("K node peak should be <10%% of A64FX")
+	}
+}
+
+func TestSkylakeOoOAdvantage(t *testing.T) {
+	// The mechanism behind the paper's scheduling findings: Skylake has
+	// substantially more out-of-order resources than A64FX.
+	a := MustLookup("a64fx")
+	x := MustLookup("skylake")
+	if x.Core.OoOWindow <= a.Core.OoOWindow {
+		t.Errorf("Skylake OoO window (%d) must exceed A64FX (%d)",
+			x.Core.OoOWindow, a.Core.OoOWindow)
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	m := MustLookup("a64fx")
+	cases := []struct{ core, want int }{
+		{0, 0}, {11, 0}, {12, 1}, {23, 1}, {24, 2}, {35, 2}, {36, 3}, {47, 3},
+		{48, -1}, {-1, -1},
+	}
+	for _, c := range cases {
+		if got := m.DomainOf(c.core); got != c.want {
+			t.Errorf("DomainOf(%d) = %d, want %d", c.core, got, c.want)
+		}
+	}
+}
+
+func TestDomainOfTotalCoverage(t *testing.T) {
+	// Every valid core id maps to a valid domain, and the counts per
+	// domain match the description, on every catalogue machine.
+	for _, name := range Names() {
+		m := MustLookup(name)
+		counts := make([]int, len(m.Domains))
+		for c := 0; c < m.TotalCores(); c++ {
+			d := m.DomainOf(c)
+			if d < 0 || d >= len(m.Domains) {
+				t.Fatalf("%s: DomainOf(%d) = %d out of range", name, c, d)
+			}
+			counts[d]++
+		}
+		for i, d := range m.Domains {
+			if counts[i] != d.Cores {
+				t.Errorf("%s: domain %d got %d cores, want %d", name, i, counts[i], d.Cores)
+			}
+		}
+	}
+}
+
+func TestCorePeaks(t *testing.T) {
+	c := Core{FreqHz: 2e9, SIMDBits: 512, SIMDPipes: 2, FMA: true}
+	if got := c.PeakFlops(); got != 64e9 {
+		t.Errorf("PeakFlops = %g, want 64e9", got)
+	}
+	if got := c.ScalarFlops(); got != 8e9 {
+		t.Errorf("ScalarFlops = %g, want 8e9", got)
+	}
+	c.FMA = false
+	if got := c.PeakFlops(); got != 32e9 {
+		t.Errorf("PeakFlops without FMA = %g, want 32e9", got)
+	}
+}
+
+func TestValidateRejectsBrokenMachines(t *testing.T) {
+	good := *a64fx()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline must validate: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Machine)
+	}{
+		{"no name", func(m *Machine) { m.Name = "" }},
+		{"no domains", func(m *Machine) { m.Domains = nil }},
+		{"zero freq", func(m *Machine) { m.Core.FreqHz = 0 }},
+		{"narrow simd", func(m *Machine) { m.Core.SIMDBits = 32 }},
+		{"zero issue", func(m *Machine) { m.Core.IssueWidth = 0 }},
+		{"zero cores", func(m *Machine) { m.Domains[0].Cores = 0 }},
+		{"zero bw", func(m *Machine) { m.Domains[0].MemBandwidth = 0 }},
+		{"zero remote bw", func(m *Machine) { m.Domains[0].RemoteBandwidth = 0 }},
+		{"remote factor <1", func(m *Machine) { m.Domains[0].RemoteLatencyFactor = 0.5 }},
+	}
+	for _, mu := range mutations {
+		m := *a64fx()
+		m.Domains = append([]Domain(nil), m.Domains...)
+		mu.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken machine", mu.name)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register of duplicate name must panic")
+		}
+	}()
+	Register(a64fx()) // "a64fx" already registered at init
+}
+
+func TestPeakScalesWithLanes(t *testing.T) {
+	// Property: doubling SIMD width doubles peak flops; scalar peak is
+	// unaffected.
+	f := func(pipes uint8, freqMHz uint16) bool {
+		p := int(pipes%4) + 1
+		fr := float64(freqMHz%3000+500) * 1e6
+		narrow := Core{FreqHz: fr, SIMDBits: 128, SIMDPipes: p, FMA: true}
+		wide := Core{FreqHz: fr, SIMDBits: 256, SIMDPipes: p, FMA: true}
+		return math.Abs(wide.PeakFlops()-2*narrow.PeakFlops()) < 1 &&
+			narrow.ScalarFlops() == wide.ScalarFlops()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package arch
+
+// The catalogue mirrors Table 1 of the paper: the A64FX node, a
+// dual-socket Intel Xeon Skylake node, a dual-socket Marvell (Cavium)
+// ThunderX2 node, and one node of the K computer. Parameters are the
+// publicly documented ones; see DESIGN.md for sources and caveats.
+
+const (
+	kib = int64(1) << 10
+	mib = int64(1) << 20
+	gb  = 1e9 // decimal gigabyte, as bandwidth specs are quoted
+)
+
+// A64FX: 48 compute cores, 4 CMGs x 12 cores, 2.0 GHz (FX700/Fugaku
+// normal mode), 512-bit SVE with two FLA pipes, 64 KiB L1D, 8 MiB L2
+// per CMG, HBM2 at 256 GB/s per CMG (1024 GB/s per node). The
+// out-of-order resources are modest compared with Skylake; 128 entries
+// models the small reservation stations / physical register files that
+// the companion papers identify as the source of scheduling stalls.
+func a64fx() *Machine {
+	d := Domain{
+		Cores:               12,
+		L2Bytes:             8 * mib,
+		MemBandwidth:        256 * gb,
+		RemoteBandwidth:     115 * gb,
+		RemoteLatencyFactor: 1.6,
+	}
+	return &Machine{
+		Name:  "a64fx",
+		Label: "Fujitsu A64FX (48c, 4 CMG, SVE512, HBM2)",
+		Core: Core{
+			FreqHz:            2.0e9,
+			SIMDBits:          512,
+			SIMDPipes:         2,
+			FMA:               true,
+			IssueWidth:        4,
+			OoOWindow:         128,
+			L1DBytes:          64 * kib,
+			LoadBytesPerCycle: 128,
+		},
+		Domains:     []Domain{d, d, d, d},
+		NetworkName: "tofud",
+		Year:        2019,
+	}
+}
+
+// Dual Intel Xeon Platinum 8168 (Skylake-SP): 2 x 24 cores at a 2.2 GHz
+// AVX-512 sustained clock, two 512-bit FMA units, 33 MiB LLC per
+// socket, 6 DDR4-2666 channels per socket (128 GB/s per socket).
+// Skylake's reorder buffer is 224 entries.
+func xeonSkylake() *Machine {
+	d := Domain{
+		Cores:               24,
+		L2Bytes:             33 * mib,
+		MemBandwidth:        128 * gb,
+		RemoteBandwidth:     62 * gb,
+		RemoteLatencyFactor: 1.7,
+	}
+	return &Machine{
+		Name:  "skylake",
+		Label: "Intel Xeon Platinum 8168 x2 (48c, AVX-512, DDR4)",
+		Core: Core{
+			FreqHz:            2.2e9,
+			SIMDBits:          512,
+			SIMDPipes:         2,
+			FMA:               true,
+			IssueWidth:        5,
+			OoOWindow:         224,
+			L1DBytes:          32 * kib,
+			LoadBytesPerCycle: 128,
+		},
+		Domains:     []Domain{d, d},
+		NetworkName: "infiniband",
+		Year:        2017,
+	}
+}
+
+// Dual Marvell (Cavium) ThunderX2 CN9980: 2 x 32 cores at 2.2 GHz,
+// 128-bit NEON with two FP pipes, 32 MiB LLC per socket, 8 DDR4-2666
+// channels per socket (~159 GB/s per socket). Decent out-of-order
+// machine (ROB ~180) but narrow SIMD.
+func thunderX2() *Machine {
+	d := Domain{
+		Cores:               32,
+		L2Bytes:             32 * mib,
+		MemBandwidth:        159 * gb,
+		RemoteBandwidth:     60 * gb,
+		RemoteLatencyFactor: 1.7,
+	}
+	return &Machine{
+		Name:  "thunderx2",
+		Label: "Marvell ThunderX2 CN9980 x2 (64c, NEON128, DDR4)",
+		Core: Core{
+			FreqHz:            2.2e9,
+			SIMDBits:          128,
+			SIMDPipes:         2,
+			FMA:               true,
+			IssueWidth:        4,
+			OoOWindow:         180,
+			L1DBytes:          32 * kib,
+			LoadBytesPerCycle: 64,
+		},
+		Domains:     []Domain{d, d},
+		NetworkName: "infiniband",
+		Year:        2018,
+	}
+}
+
+// K computer node: one SPARC64 VIIIfx, 8 cores at 2.0 GHz, HPC-ACE
+// 128-bit SIMD with two FMA pipes (16 GF/core), 6 MiB shared L2,
+// 64 GB/s memory bandwidth, single NUMA domain, in-order-leaning
+// pipeline (small effective window).
+func kComputer() *Machine {
+	d := Domain{
+		Cores:               8,
+		L2Bytes:             6 * mib,
+		MemBandwidth:        64 * gb,
+		RemoteBandwidth:     64 * gb,
+		RemoteLatencyFactor: 1.0,
+	}
+	return &Machine{
+		Name:  "k",
+		Label: "K computer SPARC64 VIIIfx (8c, HPC-ACE, DDR3)",
+		Core: Core{
+			FreqHz:            2.0e9,
+			SIMDBits:          128,
+			SIMDPipes:         2,
+			FMA:               true,
+			IssueWidth:        4,
+			OoOWindow:         48,
+			L1DBytes:          32 * kib,
+			LoadBytesPerCycle: 32,
+		},
+		Domains:     []Domain{d},
+		NetworkName: "tofu1",
+		Year:        2011,
+	}
+}
+
+// a64fxBoost is the documented boost mode: 2.2 GHz clock at higher
+// power (see internal/power).
+func a64fxBoost() *Machine {
+	m := a64fx()
+	m.Name = "a64fx-boost"
+	m.Label = "Fujitsu A64FX, boost mode (2.2 GHz)"
+	m.Core.FreqHz = 2.2e9
+	return m
+}
+
+// a64fxEco is the documented eco mode: one of the two FLA pipelines
+// powered down, halving FP issue width while memory bandwidth is
+// unchanged — attractive for memory-bound codes.
+func a64fxEco() *Machine {
+	m := a64fx()
+	m.Name = "a64fx-eco"
+	m.Label = "Fujitsu A64FX, eco mode (1 FLA pipe)"
+	m.Core.SIMDPipes = 1
+	return m
+}
+
+func init() {
+	Register(a64fx())
+	Register(a64fxBoost())
+	Register(a64fxEco())
+	Register(xeonSkylake())
+	Register(thunderX2())
+	Register(kComputer())
+}

@@ -1,0 +1,275 @@
+// Package core is the performance model at the heart of fibersim: it
+// turns (kernel descriptor, machine, placement, compiler options) into
+// virtual execution time, the way the paper's measurements turn
+// (miniapp, A64FX, mpirun/OMP settings, Fujitsu compiler flags) into
+// wall-clock time.
+//
+// The model is a cache-aware roofline combined with a dependency-chain
+// instruction-scheduling term:
+//
+//   - compute time comes from the SIMD/FMA issue throughput of the
+//     cores, degraded by a stall factor when dependency chains exceed
+//     what the out-of-order window can hide (small on the A64FX, large
+//     on Skylake — the mechanism behind the paper's "instruction
+//     scheduling" findings);
+//   - memory time comes from the cache level the working set resides
+//     in, the NUMA domain bandwidth shared by the threads placed there,
+//     an access-pattern efficiency, and a remote-access penalty for
+//     threads bound outside the rank's home domain (the mechanism
+//     behind the thread-stride findings);
+//   - the two overlap partially, as on real hardware.
+//
+// Compiler options modulate the kernel descriptor exactly where the
+// Fujitsu compiler flags act: the vectorized fraction (SIMD
+// enhancement) and the effective scheduling window (software
+// pipelining, loop fission).
+package core
+
+import "fmt"
+
+// AccessPattern classifies a kernel's dominant memory access shape.
+type AccessPattern int
+
+const (
+	// PatternStream is unit-stride streaming (STREAM triad, stencils on
+	// contiguous arrays).
+	PatternStream AccessPattern = iota
+	// PatternStrided is constant non-unit stride (lattice hopping,
+	// array-of-struct sweeps).
+	PatternStrided
+	// PatternGather is indexed gather/scatter (FEM indirect addressing).
+	PatternGather
+	// PatternRandom is pointer-chasing / hash-like access (alignment
+	// tables, neighbour searches).
+	PatternRandom
+)
+
+// String returns the pattern name.
+func (p AccessPattern) String() string {
+	switch p {
+	case PatternStream:
+		return "stream"
+	case PatternStrided:
+		return "strided"
+	case PatternGather:
+		return "gather"
+	case PatternRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Efficiency returns the fraction of peak bandwidth the pattern
+// sustains.
+func (p AccessPattern) Efficiency() float64 { return p.efficiency() }
+
+// efficiency returns the fraction of peak bandwidth the pattern
+// sustains.
+func (p AccessPattern) efficiency() float64 {
+	switch p {
+	case PatternStream:
+		return 1.0
+	case PatternStrided:
+		return 0.60
+	case PatternGather:
+		return 0.35
+	case PatternRandom:
+		return 0.15
+	default:
+		return 1.0
+	}
+}
+
+// Kernel describes one computational loop nest. Per-iteration numbers
+// refer to the kernel's own logical iteration (a lattice site, a mesh
+// element, a read pair); the caller supplies the iteration count.
+type Kernel struct {
+	// Name identifies the kernel in reports ("wilson-dslash",
+	// "sor2sma", ...).
+	Name string
+	// FlopsPerIter is the double-precision floating-point operations
+	// per iteration.
+	FlopsPerIter float64
+	// FMAFrac is the fraction of flops paired into fused
+	// multiply-adds (0..1).
+	FMAFrac float64
+	// LoadBytesPerIter and StoreBytesPerIter are the memory traffic per
+	// iteration as seen below the registers (after register blocking).
+	LoadBytesPerIter  float64
+	StoreBytesPerIter float64
+	// VectorizableFrac is the fraction of the flops that CAN be
+	// vectorized once the code is tuned (SIMD-enhanced build).
+	VectorizableFrac float64
+	// AutoVecFrac is the fraction the compiler vectorizes in the
+	// unmodified ("as-is") build; at most VectorizableFrac. Scalar-heavy
+	// miniapps like mVMC and NGSA have a low AutoVecFrac, which is what
+	// the paper's compiler-tuning experiment improves.
+	AutoVecFrac float64
+	// DepChainPenalty scales how much the kernel suffers when
+	// dependency-chain latency is not hidden: 0 for fully independent
+	// iterations, up to ~3 for tight recurrences (Pfaffian updates,
+	// alignment DP). The stall factor is 1 + DepChainPenalty*(1-hide).
+	DepChainPenalty float64
+	// Pattern is the dominant access pattern.
+	Pattern AccessPattern
+	// WorkingSetBytes is the data touched by one sweep of the kernel
+	// per rank; it selects the cache level that serves the traffic.
+	WorkingSetBytes int64
+	// NonFPFrac is the fraction of issue slots consumed by non-FP work
+	// (integer ops, branches, address arithmetic) that cannot be
+	// vectorized away; dominant in NGSA.
+	NonFPFrac float64
+}
+
+// Validate reports descriptor problems.
+func (k Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("core: kernel has no name")
+	}
+	inUnit := func(v float64, what string) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("core: kernel %s: %s = %g outside [0,1]", k.Name, what, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		v    float64
+		what string
+	}{
+		{k.FMAFrac, "FMAFrac"},
+		{k.VectorizableFrac, "VectorizableFrac"},
+		{k.AutoVecFrac, "AutoVecFrac"},
+		{k.NonFPFrac, "NonFPFrac"},
+	} {
+		if err := inUnit(c.v, c.what); err != nil {
+			return err
+		}
+	}
+	if k.AutoVecFrac > k.VectorizableFrac {
+		return fmt.Errorf("core: kernel %s: AutoVecFrac %g exceeds VectorizableFrac %g",
+			k.Name, k.AutoVecFrac, k.VectorizableFrac)
+	}
+	if k.FlopsPerIter < 0 || k.LoadBytesPerIter < 0 || k.StoreBytesPerIter < 0 {
+		return fmt.Errorf("core: kernel %s: negative per-iteration quantities", k.Name)
+	}
+	if k.DepChainPenalty < 0 {
+		return fmt.Errorf("core: kernel %s: negative DepChainPenalty", k.Name)
+	}
+	if k.WorkingSetBytes < 0 {
+		return fmt.Errorf("core: kernel %s: negative working set", k.Name)
+	}
+	return nil
+}
+
+// BytesPerIter returns total memory traffic per iteration.
+func (k Kernel) BytesPerIter() float64 { return k.LoadBytesPerIter + k.StoreBytesPerIter }
+
+// ArithmeticIntensity returns flops per byte of memory traffic;
+// +Inf for traffic-free kernels.
+func (k Kernel) ArithmeticIntensity() float64 {
+	b := k.BytesPerIter()
+	if b == 0 {
+		if k.FlopsPerIter == 0 {
+			return 0
+		}
+		return inf
+	}
+	return k.FlopsPerIter / b
+}
+
+const inf = 1e308
+
+// SIMDLevel is the degree of vectorization applied at build time.
+type SIMDLevel int
+
+const (
+	// SIMDAuto is the unmodified "as-is" build: the compiler vectorizes
+	// what it can prove safe (Kernel.AutoVecFrac). It is the zero value
+	// so a zero CompilerConfig means the default build.
+	SIMDAuto SIMDLevel = iota
+	// SIMDOff disables vectorization (-Knosimd): everything scalar.
+	SIMDOff
+	// SIMDEnhanced is the tuned build (pragmas, restructuring): the
+	// kernel's full VectorizableFrac is vectorized.
+	SIMDEnhanced
+)
+
+// String returns the level name.
+func (s SIMDLevel) String() string {
+	switch s {
+	case SIMDOff:
+		return "nosimd"
+	case SIMDAuto:
+		return "as-is"
+	case SIMDEnhanced:
+		return "simd-enhanced"
+	default:
+		return fmt.Sprintf("simd(%d)", int(s))
+	}
+}
+
+// CompilerConfig models the Fujitsu compiler options the paper sweeps.
+type CompilerConfig struct {
+	// SIMD is the vectorization level.
+	SIMD SIMDLevel
+	// SoftwarePipelining models -Kswp: the compiler schedules across
+	// iterations, behaving like a larger out-of-order window.
+	SoftwarePipelining bool
+	// LoopFission models the Fujitsu compiler's loop-fission tuning
+	// (splitting fat loops to relieve register/OoO pressure).
+	LoopFission bool
+}
+
+// AsIs returns the unmodified build: auto vectorization, default
+// scheduling.
+func AsIs() CompilerConfig { return CompilerConfig{SIMD: SIMDAuto} }
+
+// Tuned returns the fully tuned build the paper arrives at: enhanced
+// SIMD, software pipelining and loop fission.
+func Tuned() CompilerConfig {
+	return CompilerConfig{SIMD: SIMDEnhanced, SoftwarePipelining: true, LoopFission: true}
+}
+
+// String returns a compact flag-like spelling.
+func (c CompilerConfig) String() string {
+	s := c.SIMD.String()
+	if c.SoftwarePipelining {
+		s += "+swp"
+	}
+	if c.LoopFission {
+		s += "+fission"
+	}
+	return s
+}
+
+// vecFrac returns the vectorized fraction of k's flops under c.
+func (c CompilerConfig) vecFrac(k Kernel) float64 {
+	switch c.SIMD {
+	case SIMDOff:
+		return 0
+	case SIMDAuto:
+		return k.AutoVecFrac
+	case SIMDEnhanced:
+		return k.VectorizableFrac
+	default:
+		return k.AutoVecFrac
+	}
+}
+
+// windowFactor returns the multiplier on the core's effective
+// out-of-order window under c.
+func (c CompilerConfig) windowFactor() float64 {
+	f := 1.0
+	if c.SoftwarePipelining {
+		// Static cross-iteration scheduling hides latency the hardware
+		// window cannot.
+		f *= 2.0
+	}
+	if c.LoopFission {
+		// Splitting fat loop bodies lowers register pressure, letting
+		// the window work at its nominal capacity.
+		f *= 1.3
+	}
+	return f
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/vtime"
+)
+
+// Exec describes the execution context of one rank running a kernel:
+// which cores its threads are bound to, where its memory lives, how
+// loaded each NUMA domain is, and how the code was compiled.
+type Exec struct {
+	// ThreadCores lists the cores the rank's threads are bound to
+	// (affinity.Placement.ThreadCore[rank]).
+	ThreadCores []int
+	// HomeDomain selects the first-touch policy. -1 (the HPC default)
+	// means parallel first-touch: each thread's pages live in its own
+	// NUMA domain, with a shared-traffic fraction going remote when the
+	// rank spans several domains. A value >= 0 forces all pages into
+	// that domain (serial first-touch by the master thread).
+	HomeDomain int
+	// DomainLoad[d] is the total number of busy threads bound to domain
+	// d across ALL ranks on the node
+	// (affinity.Placement.DomainThreadCount()); nil assumes only this
+	// rank's threads load the domains.
+	DomainLoad []int
+	// Compiler is the build configuration.
+	Compiler CompilerConfig
+}
+
+// Estimate is the modelled time of one kernel invocation by one rank.
+type Estimate struct {
+	// Compute is the arithmetic-throughput time (s).
+	Compute float64
+	// Memory is the data-traffic time (s).
+	Memory float64
+	// Total combines them with partial overlap.
+	Total float64
+	// Bottleneck is Compute or Memory, whichever dominates.
+	Bottleneck vtime.Category
+	// StallFactor is the dependency-stall multiplier applied to compute.
+	StallFactor float64
+	// VecFrac is the vectorized fraction used.
+	VecFrac float64
+	// CacheLevel is where the working set was served from: 1, 2 or 3
+	// (3 = main memory).
+	CacheLevel int
+	// Flops is the total floating-point work modelled.
+	Flops float64
+	// Bytes is the total memory traffic modelled.
+	Bytes float64
+}
+
+// GFlops returns the achieved performance in Gflop/s.
+func (e Estimate) GFlops() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return e.Flops / e.Total / 1e9
+}
+
+// Model evaluates kernels on one machine.
+type Model struct {
+	// Machine is the target node.
+	Machine *arch.Machine
+	// Overlap is the fraction of the shorter of (compute, memory) that
+	// hides under the longer one; hardware prefetchers and OoO give
+	// partial overlap. Default 0.85.
+	Overlap float64
+	// RefWindow is the out-of-order window (entries) needed to fully
+	// hide FP dependency chains; cores with a smaller window stall in
+	// proportion. Default 192 (≈ Skylake-class).
+	RefWindow float64
+	// L1Factor and L2Factor give per-core cache bandwidth as a multiple
+	// of LoadBytesPerCycle; defaults 1.0 and 0.5.
+	L1Factor, L2Factor float64
+	// MemEfficiency is the achievable fraction of nominal memory
+	// bandwidth (STREAM vs spec); default 0.82.
+	MemEfficiency float64
+	// SharedRemoteFrac is the fraction of a rank's traffic that crosses
+	// NUMA domains when its threads span more than one domain (halos,
+	// shared arrays, false sharing); default 0.1. This drives the
+	// thread-stride experiment.
+	SharedRemoteFrac float64
+}
+
+// NewModel returns a model of m with default calibration.
+func NewModel(m *arch.Machine) *Model {
+	return &Model{
+		Machine: m, Overlap: 0.85, RefWindow: 192,
+		L1Factor: 1.0, L2Factor: 0.5,
+		MemEfficiency: 0.82, SharedRemoteFrac: 0.1,
+	}
+}
+
+// hide returns how much of the dependency latency the core hides
+// (0..1) given the compiler's scheduling help.
+func (mdl *Model) hide(cfg CompilerConfig) float64 {
+	w := float64(mdl.Machine.Core.OoOWindow) * cfg.windowFactor()
+	h := w / mdl.RefWindow
+	if h > 1 {
+		return 1
+	}
+	return h
+}
+
+// computeTime models the arithmetic time of iters iterations spread
+// over the rank's threads.
+func (mdl *Model) computeTime(k Kernel, iters float64, threads int, cfg CompilerConfig) (float64, float64, float64) {
+	core := mdl.Machine.Core
+	vf := cfg.vecFrac(k)
+
+	flops := k.FlopsPerIter * iters
+	perThread := flops / float64(threads)
+
+	// Throughput of the vector and scalar portions, in flop/s. The
+	// issue rate is lanes*pipes per cycle; FMA doubles flops only for
+	// the fraction of the work actually paired into fused ops.
+	vecIssue, scalarIssue := core.PeakFlops(), core.ScalarFlops()
+	fmaBoost := 1.0
+	if core.FMA {
+		vecIssue /= 2
+		scalarIssue /= 2
+		fmaBoost = 1 + k.FMAFrac
+	}
+	vecRate := vecIssue * fmaBoost
+	scalarRate := scalarIssue * fmaBoost
+
+	var t float64
+	if vf > 0 {
+		t += perThread * vf / vecRate
+	}
+	if vf < 1 {
+		t += perThread * (1 - vf) / scalarRate
+	}
+
+	// Non-FP issue slots compete with FP work: a kernel that is half
+	// integer/branch work can at best keep the FP pipes busy half the
+	// time.
+	if k.NonFPFrac > 0 {
+		t /= (1 - k.NonFPFrac*0.9)
+	}
+
+	// Dependency-chain stalls: unhidden latency multiplies time.
+	stall := 1 + k.DepChainPenalty*(1-mdl.hide(cfg))
+	t *= stall
+	return t, stall, vf
+}
+
+// cacheLevel returns which level serves the working set for one rank:
+// 1 (L1, capacity = threads*L1), 2 (the shared L2/LLC slice available
+// to the rank's home domain) or 3 (memory).
+func (mdl *Model) cacheLevel(k Kernel, threads int) int {
+	if k.WorkingSetBytes <= int64(threads)*mdl.Machine.Core.L1DBytes {
+		return 1
+	}
+	if k.WorkingSetBytes <= mdl.Machine.Domains[0].L2Bytes {
+		return 2
+	}
+	return 3
+}
+
+// memoryTime models the data-movement time of iters iterations.
+func (mdl *Model) memoryTime(k Kernel, iters float64, ex Exec) (float64, int) {
+	bytes := k.BytesPerIter() * iters
+	if bytes == 0 {
+		return 0, 1
+	}
+	threads := len(ex.ThreadCores)
+	level := mdl.cacheLevel(k, threads)
+	core := mdl.Machine.Core
+	eff := k.Pattern.efficiency()
+
+	switch level {
+	case 1:
+		bw := core.LoadBytesPerCycle * core.FreqHz * mdl.L1Factor * float64(threads) * eff
+		return bytes / bw, level
+	case 2:
+		bw := core.LoadBytesPerCycle * core.FreqHz * mdl.L2Factor * float64(threads) * eff
+		return bytes / bw, level
+	}
+
+	// Main memory. Two first-touch policies:
+	//
+	// Parallel first-touch (HomeDomain < 0): each thread's pages live in
+	// its own domain; when the rank spans several domains, a shared
+	// fraction of the traffic still crosses the ring bus at remote
+	// bandwidth and latency.
+	//
+	// Serial first-touch (HomeDomain >= 0): all pages live in the home
+	// domain; threads bound elsewhere pay the remote path for all their
+	// traffic.
+	perThreadBytes := bytes / float64(threads)
+	eff *= mdl.MemEfficiency
+	var maxT float64
+	if ex.HomeDomain < 0 {
+		// The shared-traffic fraction grows with how many domains the
+		// rank spans: a rank across 2 of 4 CMGs shares less remotely
+		// than one across all 4.
+		rf := 0.0
+		if span := domainsSpanned(ex, mdl.Machine); span > 1 && len(mdl.Machine.Domains) > 1 {
+			rf = mdl.SharedRemoteFrac * float64(span-1) / float64(len(mdl.Machine.Domains)-1)
+		}
+		for _, c := range ex.ThreadCores {
+			d := mdl.Machine.DomainOf(c)
+			dom := mdl.Machine.Domains[d]
+			load := float64(threadsInDomain(ex, mdl.Machine, d))
+			localBW := dom.MemBandwidth * eff / load
+			t := perThreadBytes * (1 - rf) / localBW
+			if rf > 0 {
+				remoteBW := dom.RemoteBandwidth * eff / load / dom.RemoteLatencyFactor
+				t += perThreadBytes * rf / remoteBW
+			}
+			if t > maxT {
+				maxT = t
+			}
+		}
+		return maxT, level
+	}
+
+	home := ex.HomeDomain
+	homeDom := mdl.Machine.Domains[home]
+	for _, c := range ex.ThreadCores {
+		d := mdl.Machine.DomainOf(c)
+		var bw float64
+		if d == home {
+			load := float64(threadsInDomain(ex, mdl.Machine, home))
+			bw = homeDom.MemBandwidth * eff / load
+		} else {
+			remote := float64(remoteThreads(ex, mdl.Machine, home))
+			bw = homeDom.RemoteBandwidth * eff / remote / homeDom.RemoteLatencyFactor
+		}
+		if t := perThreadBytes / bw; t > maxT {
+			maxT = t
+		}
+	}
+	return maxT, level
+}
+
+// domainsSpanned counts the NUMA domains the rank's threads cover.
+func domainsSpanned(ex Exec, m *arch.Machine) int {
+	seen := map[int]bool{}
+	for _, c := range ex.ThreadCores {
+		seen[m.DomainOf(c)] = true
+	}
+	return len(seen)
+}
+
+// threadsInDomain returns how many threads load domain d: the global
+// count when DomainLoad is known, else this rank's bound threads.
+func threadsInDomain(ex Exec, m *arch.Machine, d int) int {
+	if ex.DomainLoad != nil && d < len(ex.DomainLoad) && ex.DomainLoad[d] > 0 {
+		return ex.DomainLoad[d]
+	}
+	n := 0
+	for _, c := range ex.ThreadCores {
+		if m.DomainOf(c) == d {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// remoteThreads returns how many of the rank's threads access home
+// remotely.
+func remoteThreads(ex Exec, m *arch.Machine, home int) int {
+	n := 0
+	for _, c := range ex.ThreadCores {
+		if m.DomainOf(c) != home {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// KernelTime estimates the virtual time for one rank to execute iters
+// iterations of k under ex.
+func (mdl *Model) KernelTime(k Kernel, iters float64, ex Exec) (Estimate, error) {
+	if err := k.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if iters < 0 {
+		return Estimate{}, fmt.Errorf("core: negative iteration count %g", iters)
+	}
+	if len(ex.ThreadCores) == 0 {
+		return Estimate{}, fmt.Errorf("core: execution context has no threads")
+	}
+	for _, c := range ex.ThreadCores {
+		if c < 0 || c >= mdl.Machine.TotalCores() {
+			return Estimate{}, fmt.Errorf("core: thread bound to invalid core %d", c)
+		}
+	}
+
+	ct, stall, vf := mdl.computeTime(k, iters, len(ex.ThreadCores), ex.Compiler)
+	mt, level := mdl.memoryTime(k, iters, ex)
+
+	longer, shorter := ct, mt
+	bneck := vtime.Compute
+	if mt > ct {
+		longer, shorter = mt, ct
+		bneck = vtime.Memory
+	}
+	total := longer + (1-mdl.Overlap)*shorter
+
+	return Estimate{
+		Compute:     ct,
+		Memory:      mt,
+		Total:       total,
+		Bottleneck:  bneck,
+		StallFactor: stall,
+		VecFrac:     vf,
+		CacheLevel:  level,
+		Flops:       k.FlopsPerIter * iters,
+		Bytes:       k.BytesPerIter() * iters,
+	}, nil
+}
+
+// Charge estimates k and advances the clock accordingly, splitting the
+// time between the compute and memory categories in proportion to the
+// bound resources. It returns the estimate.
+func (mdl *Model) Charge(clock *vtime.Clock, k Kernel, iters float64, ex Exec) (Estimate, error) {
+	est, err := mdl.KernelTime(k, iters, ex)
+	if err != nil {
+		return est, err
+	}
+	denom := est.Compute + est.Memory
+	if denom == 0 {
+		return est, nil
+	}
+	clock.Advance(est.Total*est.Compute/denom, vtime.Compute)
+	clock.Advance(est.Total*est.Memory/denom, vtime.Memory)
+	return est, nil
+}
+
+// Roofline returns the classic roofline bound (Gflop/s) for a kernel's
+// arithmetic intensity on this machine, useful for reports.
+func (mdl *Model) Roofline(k Kernel) float64 {
+	ai := k.ArithmeticIntensity()
+	peak := mdl.Machine.PeakFlops() / 1e9
+	bw := mdl.Machine.MemBandwidth() / 1e9 * k.Pattern.efficiency()
+	return math.Min(peak, ai*bw)
+}

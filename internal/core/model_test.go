@@ -1,0 +1,518 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/vtime"
+)
+
+// streamTriad is the canonical bandwidth-bound kernel: a[i]=b[i]+s*c[i],
+// 2 flops, 16 B loaded + 8 B stored (+8 B write-allocate folded in).
+func streamTriad() Kernel {
+	return Kernel{
+		Name:              "triad",
+		FlopsPerIter:      2,
+		FMAFrac:           1,
+		LoadBytesPerIter:  24,
+		StoreBytesPerIter: 8,
+		VectorizableFrac:  1,
+		AutoVecFrac:       1,
+		Pattern:           PatternStream,
+		WorkingSetBytes:   1 << 30,
+	}
+}
+
+// dgemmBlocked is the canonical compute-bound kernel.
+func dgemmBlocked() Kernel {
+	return Kernel{
+		Name:             "dgemm",
+		FlopsPerIter:     2,
+		FMAFrac:          1,
+		LoadBytesPerIter: 0.25, // cache-blocked
+		VectorizableFrac: 1,
+		AutoVecFrac:      1,
+		Pattern:          PatternStream,
+		WorkingSetBytes:  4 << 20,
+	}
+}
+
+// scalarChain mimics the mVMC-style "as-is" kernel: barely
+// auto-vectorized, tight dependency chains.
+func scalarChain() Kernel {
+	return Kernel{
+		Name:             "pfaffian-update",
+		FlopsPerIter:     20,
+		FMAFrac:          0.5,
+		LoadBytesPerIter: 16,
+		VectorizableFrac: 0.9,
+		AutoVecFrac:      0.1,
+		DepChainPenalty:  2.0,
+		Pattern:          PatternStrided,
+		WorkingSetBytes:  2 << 20,
+	}
+}
+
+func exec48(m *arch.Machine) Exec {
+	cores := make([]int, m.TotalCores())
+	for i := range cores {
+		cores[i] = i
+	}
+	return Exec{ThreadCores: cores, HomeDomain: -1, Compiler: AsIs()}
+}
+
+func execCMG0() Exec {
+	cores := make([]int, 12)
+	for i := range cores {
+		cores[i] = i
+	}
+	return Exec{ThreadCores: cores, HomeDomain: 0, Compiler: AsIs()}
+}
+
+func TestKernelValidate(t *testing.T) {
+	good := streamTriad()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Kernel{
+		{},
+		{Name: "x", FMAFrac: 2},
+		{Name: "x", VectorizableFrac: -0.5},
+		{Name: "x", AutoVecFrac: 0.8, VectorizableFrac: 0.5},
+		{Name: "x", FlopsPerIter: -1},
+		{Name: "x", DepChainPenalty: -1},
+		{Name: "x", WorkingSetBytes: -1},
+		{Name: "x", NonFPFrac: 1.5},
+	}
+	for i, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, k)
+		}
+	}
+}
+
+func TestArithmeticIntensity(t *testing.T) {
+	k := streamTriad()
+	if ai := k.ArithmeticIntensity(); math.Abs(ai-2.0/32) > 1e-12 {
+		t.Errorf("AI = %g, want 0.0625", ai)
+	}
+	nobytes := Kernel{Name: "x", FlopsPerIter: 1}
+	if nobytes.ArithmeticIntensity() < 1e100 {
+		t.Error("traffic-free kernel should have huge AI")
+	}
+	nothing := Kernel{Name: "x"}
+	if nothing.ArithmeticIntensity() != 0 {
+		t.Error("empty kernel AI should be 0")
+	}
+}
+
+func TestPatternEfficiencyOrdering(t *testing.T) {
+	prev := 2.0
+	for _, p := range []AccessPattern{PatternStream, PatternStrided, PatternGather, PatternRandom} {
+		e := p.efficiency()
+		if e <= 0 || e > 1 {
+			t.Errorf("%v efficiency %g out of range", p, e)
+		}
+		if e >= prev {
+			t.Errorf("%v efficiency %g should be below %g", p, e, prev)
+		}
+		prev = e
+		if p.String() == "" {
+			t.Error("pattern must print")
+		}
+	}
+}
+
+func TestCompilerConfigStrings(t *testing.T) {
+	if AsIs().String() != "as-is" {
+		t.Errorf("AsIs = %q", AsIs().String())
+	}
+	if got := Tuned().String(); got != "simd-enhanced+swp+fission" {
+		t.Errorf("Tuned = %q", got)
+	}
+	if SIMDOff.String() != "nosimd" {
+		t.Error("SIMDOff name")
+	}
+}
+
+func TestStreamIsMemoryBound(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	est, err := mdl.KernelTime(streamTriad(), 1e8, exec48(mdl.Machine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Bottleneck != vtime.Memory {
+		t.Errorf("triad bottleneck = %v, want memory", est.Bottleneck)
+	}
+	if est.CacheLevel != 3 {
+		t.Errorf("triad cache level = %d, want 3 (memory)", est.CacheLevel)
+	}
+	// Achieved bandwidth should be near the node's 1024 GB/s but not above.
+	bw := est.Bytes / est.Total
+	if bw > mdl.Machine.MemBandwidth() {
+		t.Errorf("achieved bandwidth %g exceeds machine peak %g", bw, mdl.Machine.MemBandwidth())
+	}
+	if bw < 0.6*mdl.Machine.MemBandwidth() {
+		t.Errorf("achieved bandwidth %g below 60%% of peak; model too pessimistic", bw)
+	}
+}
+
+func TestDgemmIsComputeBound(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	est, err := mdl.KernelTime(dgemmBlocked(), 1e9, exec48(mdl.Machine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Bottleneck != vtime.Compute {
+		t.Errorf("dgemm bottleneck = %v, want compute", est.Bottleneck)
+	}
+	if est.GFlops() > mdl.Machine.PeakFlops()/1e9 {
+		t.Errorf("achieved %g Gflop/s exceeds peak", est.GFlops())
+	}
+	if est.GFlops() < 0.5*mdl.Machine.PeakFlops()/1e9 {
+		t.Errorf("tuned dgemm achieves %g Gflop/s, below 50%% of peak", est.GFlops())
+	}
+}
+
+func TestRooflineNeverExceeded(t *testing.T) {
+	// Property: achieved Gflop/s never exceeds min(peak, AI*BW) beyond
+	// rounding for any random kernel on any machine.
+	machines := arch.Names()
+	f := func(mi uint8, flops, loads uint8, vec uint8) bool {
+		m := arch.MustLookup(machines[int(mi)%len(machines)])
+		mdl := NewModel(m)
+		k := Kernel{
+			Name:             "q",
+			FlopsPerIter:     float64(flops%40) + 1,
+			LoadBytesPerIter: float64(loads % 64),
+			FMAFrac:          1,
+			VectorizableFrac: float64(vec%101) / 100,
+			AutoVecFrac:      float64(vec%101) / 100,
+			Pattern:          PatternStream,
+			WorkingSetBytes:  1 << 30,
+		}
+		ex := exec48(m)
+		ex.Compiler = Tuned()
+		est, err := mdl.KernelTime(k, 1e7, ex)
+		if err != nil {
+			return false
+		}
+		return est.GFlops() <= mdl.Roofline(k)*1.0001+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeLowerBounds(t *testing.T) {
+	// Property: time >= flops/peak and time >= bytes/bandwidth.
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	f := func(fl, ld, st uint16) bool {
+		k := Kernel{
+			Name:              "b",
+			FlopsPerIter:      float64(fl%100) + 1,
+			LoadBytesPerIter:  float64(ld % 128),
+			StoreBytesPerIter: float64(st % 64),
+			FMAFrac:           1,
+			VectorizableFrac:  1,
+			AutoVecFrac:       1,
+			Pattern:           PatternStream,
+			WorkingSetBytes:   1 << 30,
+		}
+		ex := exec48(mdl.Machine)
+		est, err := mdl.KernelTime(k, 1e6, ex)
+		if err != nil {
+			return false
+		}
+		flopBound := est.Flops / mdl.Machine.PeakFlops()
+		byteBound := est.Bytes / mdl.Machine.MemBandwidth()
+		return est.Total >= flopBound*0.999 && est.Total >= byteBound*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneInIterations(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	ex := exec48(mdl.Machine)
+	k := streamTriad()
+	prev := -1.0
+	for _, n := range []float64{0, 1e3, 1e5, 1e7, 1e9} {
+		est, err := mdl.KernelTime(k, n, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Total < prev {
+			t.Errorf("time not monotone in iterations at %g", n)
+		}
+		prev = est.Total
+	}
+}
+
+func TestSIMDEnhancementHelpsScalarKernel(t *testing.T) {
+	// The paper's F4 mechanism: a scalar-heavy "as-is" kernel gains a
+	// large factor from SIMD enhancement plus scheduling on A64FX, and
+	// much less on Skylake (bigger OoO window).
+	a64 := NewModel(arch.MustLookup("a64fx"))
+	k := scalarChain()
+
+	ex := execCMG0()
+	asIs, err := a64.KernelTime(k, 1e7, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Compiler = Tuned()
+	tuned, err := a64.KernelTime(k, 1e7, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := asIs.Total / tuned.Total
+	if gain < 2 || gain > 8 {
+		t.Errorf("A64FX tuning gain = %.2fx, want 2-8x", gain)
+	}
+
+	// Scheduling-only improvement must be visible on its own.
+	ex.Compiler = CompilerConfig{SIMD: SIMDAuto, SoftwarePipelining: true, LoopFission: true}
+	sched, err := a64.KernelTime(k, 1e7, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Total >= asIs.Total {
+		t.Error("software pipelining should reduce time on A64FX")
+	}
+}
+
+func TestSchedulingMattersLessOnSkylake(t *testing.T) {
+	k := scalarChain()
+	gain := func(name string) float64 {
+		mdl := NewModel(arch.MustLookup(name))
+		cores := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		ex := Exec{ThreadCores: cores, HomeDomain: 0, Compiler: CompilerConfig{SIMD: SIMDAuto}}
+		asIs, err := mdl.KernelTime(k, 1e7, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.Compiler.SoftwarePipelining = true
+		ex.Compiler.LoopFission = true
+		sched, err := mdl.KernelTime(k, 1e7, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return asIs.Total / sched.Total
+	}
+	if ga, gx := gain("a64fx"), gain("skylake"); ga <= gx {
+		t.Errorf("scheduling gain on A64FX (%.3f) should exceed Skylake (%.3f)", ga, gx)
+	}
+}
+
+func TestA64FXWinsStreamSkylakeWinsScalar(t *testing.T) {
+	// The paper's F5 shape on two poles: STREAM-like work favours
+	// A64FX; scalar-chain "as-is" work favours Skylake.
+	fullNode := func(name string, k Kernel, cfg CompilerConfig) float64 {
+		m := arch.MustLookup(name)
+		mdl := NewModel(m)
+		ex := exec48(m)
+		ex.Compiler = cfg
+		est, err := mdl.KernelTime(k, 1e8, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.Total
+	}
+	if a, x := fullNode("a64fx", streamTriad(), AsIs()), fullNode("skylake", streamTriad(), AsIs()); a >= x {
+		t.Errorf("A64FX should win STREAM: %g vs %g", a, x)
+	}
+	if a, x := fullNode("a64fx", scalarChain(), AsIs()), fullNode("skylake", scalarChain(), AsIs()); a <= x {
+		t.Errorf("Skylake should win scalar as-is work: %g vs %g", a, x)
+	}
+}
+
+func TestRemoteThreadsSlower(t *testing.T) {
+	// Thread-stride mechanism: threads bound outside the home domain
+	// make memory-bound kernels slower.
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	k := streamTriad()
+	local := Exec{ThreadCores: []int{0, 1, 2, 3}, HomeDomain: 0, Compiler: AsIs()}
+	spread := Exec{ThreadCores: []int{0, 12, 24, 36}, HomeDomain: 0, Compiler: AsIs()}
+	lt, err := mdl.KernelTime(k, 1e7, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mdl.KernelTime(k, 1e7, spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total <= lt.Total {
+		t.Errorf("remote-spread threads (%g) should be slower than local (%g)", st.Total, lt.Total)
+	}
+}
+
+func TestDomainLoadContention(t *testing.T) {
+	// More threads sharing the home domain's bandwidth slow each rank.
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	k := streamTriad()
+	alone := Exec{ThreadCores: []int{0, 1, 2, 3}, HomeDomain: 0,
+		DomainLoad: []int{4, 0, 0, 0}, Compiler: AsIs()}
+	crowded := Exec{ThreadCores: []int{0, 1, 2, 3}, HomeDomain: 0,
+		DomainLoad: []int{12, 0, 0, 0}, Compiler: AsIs()}
+	at, err := mdl.KernelTime(k, 1e7, alone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := mdl.KernelTime(k, 1e7, crowded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Total <= at.Total {
+		t.Errorf("crowded domain (%g) should be slower than alone (%g)", ct.Total, at.Total)
+	}
+}
+
+func TestCacheLevels(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	ex := execCMG0()
+	mk := func(ws int64) Kernel {
+		k := streamTriad()
+		k.WorkingSetBytes = ws
+		return k
+	}
+	for _, c := range []struct {
+		ws   int64
+		want int
+	}{
+		{16 << 10, 1}, // 16 KiB < 12*64 KiB L1
+		{4 << 20, 2},  // 4 MiB < 8 MiB L2
+		{1 << 30, 3},  // 1 GiB -> memory
+	} {
+		est, err := mdl.KernelTime(mk(c.ws), 1e6, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.CacheLevel != c.want {
+			t.Errorf("ws=%d: level %d, want %d", c.ws, est.CacheLevel, c.want)
+		}
+	}
+	// Smaller working sets must never be slower.
+	l1, _ := mdl.KernelTime(mk(16<<10), 1e6, ex)
+	l2, _ := mdl.KernelTime(mk(4<<20), 1e6, ex)
+	mem, _ := mdl.KernelTime(mk(1<<30), 1e6, ex)
+	if !(l1.Total <= l2.Total && l2.Total <= mem.Total) {
+		t.Errorf("cache hierarchy ordering violated: %g %g %g", l1.Total, l2.Total, mem.Total)
+	}
+}
+
+func TestKernelTimeErrors(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	ex := execCMG0()
+	if _, err := mdl.KernelTime(Kernel{}, 1, ex); err == nil {
+		t.Error("invalid kernel must error")
+	}
+	if _, err := mdl.KernelTime(streamTriad(), -1, ex); err == nil {
+		t.Error("negative iterations must error")
+	}
+	if _, err := mdl.KernelTime(streamTriad(), 1, Exec{}); err == nil {
+		t.Error("empty exec must error")
+	}
+	if _, err := mdl.KernelTime(streamTriad(), 1, Exec{ThreadCores: []int{999}}); err == nil {
+		t.Error("invalid core must error")
+	}
+}
+
+func TestChargeSplitsCategories(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	var clk vtime.Clock
+	est, err := mdl.Charge(&clk, streamTriad(), 1e7, exec48(mdl.Machine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(clk.Now()-est.Total) > 1e-12 {
+		t.Errorf("clock advanced %g, want %g", clk.Now(), est.Total)
+	}
+	if clk.Spent(vtime.Memory) <= clk.Spent(vtime.Compute) {
+		t.Error("stream charge should be memory-dominated")
+	}
+}
+
+func TestChargeZeroWork(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	var clk vtime.Clock
+	k := Kernel{Name: "empty"}
+	if _, err := mdl.Charge(&clk, k, 100, execCMG0()); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != 0 {
+		t.Error("zero-work kernel should charge nothing")
+	}
+}
+
+func TestEstimateGFlopsZeroTime(t *testing.T) {
+	var e Estimate
+	if e.GFlops() != 0 {
+		t.Error("zero estimate GFlops should be 0")
+	}
+}
+
+func TestAnalyzeScalarKernel(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	a, err := mdl.Analyze(scalarChain(), 1e7, execCMG0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kernel != "pfaffian-update" {
+		t.Errorf("Kernel = %q", a.Kernel)
+	}
+	if a.SIMDHeadroom < 1.5 {
+		t.Errorf("SIMDHeadroom = %g, want > 1.5 for scalar kernel", a.SIMDHeadroom)
+	}
+	if a.SchedHeadroom <= 1 {
+		t.Errorf("SchedHeadroom = %g, want > 1", a.SchedHeadroom)
+	}
+	if a.Recommendation == "" {
+		t.Error("expected a tuning recommendation")
+	}
+}
+
+func TestAnalyzeStreamKernel(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	a, err := mdl.Analyze(streamTriad(), 1e8, exec48(mdl.Machine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bottleneck != vtime.Memory {
+		t.Errorf("bottleneck = %v", a.Bottleneck)
+	}
+	if a.SIMDHeadroom > 1.2 {
+		t.Errorf("stream SIMDHeadroom = %g; memory-bound kernel should not gain", a.SIMDHeadroom)
+	}
+	if a.RooflineFrac <= 0 || a.RooflineFrac > 1.01 {
+		t.Errorf("RooflineFrac = %g out of range", a.RooflineFrac)
+	}
+	if a.Recommendation == "" {
+		t.Error("expected a recommendation")
+	}
+	if _, err := mdl.Analyze(Kernel{}, 1, execCMG0()); err == nil {
+		t.Error("Analyze of invalid kernel must error")
+	}
+}
+
+func TestNoSIMDSlowerThanAuto(t *testing.T) {
+	mdl := NewModel(arch.MustLookup("a64fx"))
+	k := dgemmBlocked()
+	ex := execCMG0()
+	ex.Compiler = CompilerConfig{SIMD: SIMDOff}
+	off, _ := mdl.KernelTime(k, 1e8, ex)
+	ex.Compiler = CompilerConfig{SIMD: SIMDAuto}
+	auto, _ := mdl.KernelTime(k, 1e8, ex)
+	if off.Total <= auto.Total {
+		t.Errorf("nosimd (%g) must be slower than auto (%g) on vectorizable work", off.Total, auto.Total)
+	}
+	// SVE512: vector/scalar ratio should approach the lane count for a
+	// fully vectorizable compute-bound kernel.
+	ratio := off.Total / auto.Total
+	if ratio < 4 || ratio > 9 {
+		t.Errorf("SIMD speedup = %g, want ~8 lanes worth", ratio)
+	}
+}

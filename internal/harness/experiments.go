@@ -1,0 +1,486 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"fibersim/internal/affinity"
+	"fibersim/internal/arch"
+	"fibersim/internal/core"
+	_ "fibersim/internal/miniapps/all" // register the suite
+	"fibersim/internal/miniapps/common"
+	"fibersim/internal/vtime"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Size selects the data set (benches use SizeTest, the CLI defaults
+	// to SizeSmall).
+	Size common.Size
+	// Apps restricts the miniapps swept; nil means the full suite.
+	Apps []string
+}
+
+// FiberApps returns the suite order used in every per-app table.
+func FiberApps() []string {
+	return []string{"ccsqcd", "ffb", "ffvc", "nicam", "modylas", "ntchem", "mvmc", "ngsa"}
+}
+
+func (o Options) apps() []string {
+	if len(o.Apps) > 0 {
+		return o.Apps
+	}
+	return FiberApps()
+}
+
+// Experiment is one table or figure of the paper.
+type Experiment struct {
+	// ID is the artefact id ("T1".."T3", "F1".."F6").
+	ID string
+	// Title is the caption.
+	Title string
+	// What the artefact shows, for listings.
+	Description string
+	// Run produces the table.
+	Run func(Options) (*Table, error)
+}
+
+// Experiments returns all experiments in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"T1", "Processor specifications", "the evaluated machines", TableMachines},
+		{"T2", "Fiber miniapps and kernels", "the workload suite", TableMiniapps},
+		{"F1", "MPI x OpenMP decomposition on A64FX", "hybrid decomposition sweep per app", FigDecomposition},
+		{"F2", "OpenMP thread stride on A64FX", "node-level thread stride sweep", FigThreadStride},
+		{"F3", "MPI process allocation methods on A64FX", "block vs cyclic vs CMG round-robin", FigProcAlloc},
+		{"F4", "Compiler tuning of as-is miniapps on A64FX", "SIMD enhancement and instruction scheduling", FigCompilerTuning},
+		{"F5", "Cross-processor comparison", "all apps on all machines, as-is", FigProcessorComparison},
+		{"F6", "STREAM triad bandwidth", "sustainable memory bandwidth per machine", FigStream},
+		{"T3", "Best configuration and bottleneck per app on A64FX", "sweep summary + analyzer attribution", TableBestConfig},
+		{"T4", "Per-kernel time profile on A64FX", "where each app's modelled time goes", TableKernelProfile},
+		{"T5", "Roofline placement of dominant kernels", "AI vs machine bounds per app", TableRoofline},
+		{"E1", "Multi-node weak scaling (extension)", "halo+allreduce proxy over Tofu-D vs InfiniBand", FigMultiNode},
+		{"E2", "A64FX power modes (extension)", "normal vs boost vs eco: time, power, energy", FigPowerModes},
+		{"E3", "Data-set size effect (extension)", "A64FX advantage vs problem size", FigSizeStudy},
+		{"S1", "Reproduction scorecard", "the abstract's four findings as pass/fail", TableScorecard},
+	}
+}
+
+// LookupExperiment finds an experiment by id.
+func LookupExperiment(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// nodeDecomp returns the canonical full-node decomposition of a
+// machine: one rank per NUMA domain.
+func nodeDecomp(m *arch.Machine) (procs, threads int) {
+	procs = len(m.Domains)
+	threads = m.TotalCores() / procs
+	return procs, threads
+}
+
+// fmtSecs formats a virtual time.
+func fmtSecs(s float64) string { return vtime.Format(s) }
+
+// fmtF formats a float with 3 significant digits.
+func fmtF(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// TableMachines regenerates Table 1.
+func TableMachines(Options) (*Table, error) {
+	t := &Table{
+		ID:    "T1",
+		Title: "Processor specifications",
+		Columns: []string{"machine", "label", "year", "cores", "domains",
+			"SIMD bits", "peak Gflop/s", "mem GB/s", "B/F", "network"},
+	}
+	for _, name := range []string{"a64fx", "skylake", "thunderx2", "k"} {
+		m, err := arch.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			m.Name, m.Label, fmt.Sprint(m.Year),
+			fmt.Sprint(m.TotalCores()), fmt.Sprint(len(m.Domains)),
+			fmt.Sprint(m.Core.SIMDBits),
+			fmtF(m.PeakFlops()/1e9), fmtF(m.MemBandwidth()/1e9),
+			fmt.Sprintf("%.2f", m.BytePerFlop()), m.NetworkName,
+		)
+	}
+	t.Notes = append(t.Notes, "A64FX machine balance (B/F) is ~4x the x86 nodes: the HBM2 advantage behind the memory-bound findings")
+	return t, nil
+}
+
+// TableMiniapps regenerates Table 2.
+func TableMiniapps(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "T2",
+		Title:   "Fiber miniapps and dominant kernels",
+		Columns: []string{"app", "description", "kernel", "flops/iter", "bytes/iter", "AI", "as-is vec", "tunable vec"},
+	}
+	for _, name := range o.apps() {
+		app, err := common.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		ks := app.Kernels(o.Size)
+		for i, k := range ks {
+			desc := ""
+			if i == 0 {
+				desc = app.Description()
+			}
+			label := ""
+			if i == 0 {
+				label = name
+			}
+			t.AddRow(label, desc, k.Name,
+				fmtF(k.FlopsPerIter), fmtF(k.BytesPerIter()),
+				fmt.Sprintf("%.2f", k.ArithmeticIntensity()),
+				fmt.Sprintf("%.0f%%", k.AutoVecFrac*100),
+				fmt.Sprintf("%.0f%%", k.VectorizableFrac*100))
+		}
+	}
+	return t, nil
+}
+
+// Decompositions returns the paper's per-node MPI x OpenMP grid for
+// the A64FX (48 cores).
+func Decompositions() [][2]int {
+	return [][2]int{{1, 48}, {2, 24}, {4, 12}, {8, 6}, {16, 3}, {48, 1}}
+}
+
+// FigDecomposition regenerates Fig. 1: runtime of each app across the
+// decomposition grid on the A64FX.
+func FigDecomposition(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "F1",
+		Title:   "Virtual runtime vs MPI x OpenMP decomposition (A64FX)",
+		Columns: append([]string{"app"}, decompLabels()...),
+	}
+	for _, name := range o.apps() {
+		app, err := common.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		best := ""
+		bestTime := 0.0
+		for _, d := range Decompositions() {
+			res, err := app.Run(common.RunConfig{Procs: d[0], Threads: d[1], Size: o.Size})
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			if !res.Verified {
+				return nil, fmt.Errorf("harness: %s %dx%d failed verification (check=%g)", name, d[0], d[1], res.Check)
+			}
+			row = append(row, fmtSecs(res.Time))
+			if best == "" || res.Time < bestTime {
+				best, bestTime = fmt.Sprintf("%dx%d", d[0], d[1]), res.Time
+			}
+		}
+		row = append(row, best)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Columns = append(t.Columns, "best")
+	t.Notes = append(t.Notes,
+		"expected shape: hybrid decompositions (4x12 = rank per CMG) near the top; 48x1 pays MPI overhead; 1x48 pays cross-CMG traffic")
+	return t, nil
+}
+
+func decompLabels() []string {
+	var out []string
+	for _, d := range Decompositions() {
+		out = append(out, fmt.Sprintf("%dx%d", d[0], d[1]))
+	}
+	return out
+}
+
+// Strides returns the node-level thread strides swept in Fig. 2.
+func Strides() []int { return []int{1, 2, 4, 12} }
+
+// FigThreadStride regenerates Fig. 2 on the 4x12 decomposition.
+func FigThreadStride(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "F2",
+		Title:   "Virtual runtime vs OpenMP thread stride (A64FX, 4 ranks x 12 threads)",
+		Columns: []string{"app", "stride1", "stride2", "stride4", "stride12", "worst/best"},
+	}
+	for _, name := range o.apps() {
+		app, err := common.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		var best, worst float64
+		for _, s := range Strides() {
+			res, err := app.Run(common.RunConfig{Procs: 4, Threads: 12, NodeStride: s, Size: o.Size})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s stride %d: %w", name, s, err)
+			}
+			if !res.Verified {
+				return nil, fmt.Errorf("harness: %s stride %d failed verification", name, s)
+			}
+			row = append(row, fmtSecs(res.Time))
+			if best == 0 || res.Time < best {
+				best = res.Time
+			}
+			if res.Time > worst {
+				worst = res.Time
+			}
+		}
+		row = append(row, fmt.Sprintf("%.2fx", worst/best))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: stride 1 (threads packed within a CMG) fastest for most apps; larger strides pay cross-CMG barriers and shared-data traffic")
+	return t, nil
+}
+
+// FigProcAlloc regenerates Fig. 3 on the 8x6 decomposition.
+func FigProcAlloc(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "F3",
+		Title:   "Virtual runtime vs MPI process allocation (A64FX, 8 ranks x 6 threads)",
+		Columns: []string{"app", "block", "cmg-rr", "reverse", "spread", "cyclic(by-core)"},
+	}
+	for _, name := range o.apps() {
+		app, err := common.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		run := func(alloc affinity.ProcAlloc) (float64, error) {
+			res, err := app.Run(common.RunConfig{
+				Procs: 8, Threads: 6, Alloc: alloc,
+				Bind: affinity.ThreadBind{Stride: 1}, Size: o.Size,
+			})
+			if err != nil {
+				return 0, fmt.Errorf("harness: %s alloc %s: %w", name, alloc, err)
+			}
+			if !res.Verified {
+				return 0, fmt.Errorf("harness: %s alloc %s failed verification", name, alloc)
+			}
+			return res.Time, nil
+		}
+		row := []string{name}
+		var times []float64
+		for _, alloc := range affinity.CMGPreservingAllocs() {
+			tm, err := run(alloc)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtSecs(tm))
+			times = append(times, tm)
+		}
+		min, max := times[0], times[0]
+		for _, v := range times {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", (max/min-1)*100))
+		// Core-interleaved cyclic mapping, shown as the known outlier.
+		cyc, err := run(affinity.AllocCyclic)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmtSecs(cyc))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: CMG-preserving allocation methods within a few percent of each other (the paper finds little impact); core-interleaved cyclic mapping is the pathological outlier")
+	return t, nil
+}
+
+// TuningConfigs returns the compiler configurations swept in Fig. 4.
+func TuningConfigs() []core.CompilerConfig {
+	return []core.CompilerConfig{
+		core.AsIs(),
+		{SIMD: core.SIMDEnhanced},
+		{SIMD: core.SIMDAuto, SoftwarePipelining: true, LoopFission: true},
+		core.Tuned(),
+	}
+}
+
+// FigCompilerTuning regenerates Fig. 4 for the scalar-heavy apps.
+func FigCompilerTuning(o Options) (*Table, error) {
+	apps := o.Apps
+	if len(apps) == 0 {
+		apps = []string{"mvmc", "ngsa", "ffb", "modylas"}
+	}
+	t := &Table{
+		ID:      "F4",
+		Title:   "Compiler tuning on A64FX (4 ranks x 12 threads)",
+		Columns: []string{"app", "as-is", "+simd", "+sched", "tuned", "speedup"},
+	}
+	for _, name := range apps {
+		app, err := common.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		var asIs, tuned float64
+		for i, cc := range TuningConfigs() {
+			res, err := app.Run(common.RunConfig{Procs: 4, Threads: 12, Compiler: cc, Size: o.Size})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s %s: %w", name, cc, err)
+			}
+			if !res.Verified {
+				return nil, fmt.Errorf("harness: %s %s failed verification", name, cc)
+			}
+			row = append(row, fmtSecs(res.Time))
+			if i == 0 {
+				asIs = res.Time
+			}
+			if i == len(TuningConfigs())-1 {
+				tuned = res.Time
+			}
+		}
+		row = append(row, fmt.Sprintf("%.2fx", asIs/tuned))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: mvmc/ngsa gain ~2-4x from SIMD enhancement + instruction scheduling; memory-bound apps barely move")
+	return t, nil
+}
+
+// CompareMachines returns the Fig. 5 machine order.
+func CompareMachines() []string { return []string{"a64fx", "skylake", "thunderx2", "k"} }
+
+// FigProcessorComparison regenerates Fig. 5: as-is runtime of each app
+// on each machine's canonical full-node configuration, normalized to
+// the A64FX.
+func FigProcessorComparison(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "F5",
+		Title:   "Cross-processor comparison (as-is, full node, time relative to A64FX; >1 = slower)",
+		Columns: []string{"app", "a64fx", "skylake", "thunderx2", "k", "winner"},
+	}
+	for _, name := range o.apps() {
+		app, err := common.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		var times []float64
+		for _, mn := range CompareMachines() {
+			m := arch.MustLookup(mn)
+			p, th := nodeDecomp(m)
+			res, err := app.Run(common.RunConfig{Machine: m, Procs: p, Threads: th, Size: o.Size})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s on %s: %w", name, mn, err)
+			}
+			if !res.Verified {
+				return nil, fmt.Errorf("harness: %s on %s failed verification", name, mn)
+			}
+			times = append(times, res.Time)
+		}
+		row := []string{name}
+		winner, wt := "", 0.0
+		for i, tm := range times {
+			row = append(row, fmt.Sprintf("%.2f", tm/times[0]))
+			if winner == "" || tm < wt {
+				winner, wt = CompareMachines()[i], tm
+			}
+		}
+		row = append(row, winner)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: A64FX wins the memory-bound apps (ccsqcd, ffb, ffvc, nicam); Skylake wins the scalar as-is apps (mvmc, ngsa)")
+	return t, nil
+}
+
+// FigStream regenerates Fig. 6: triad bandwidth per machine.
+func FigStream(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "F6",
+		Title:   "STREAM triad bandwidth (full node)",
+		Columns: []string{"machine", "GB/s", "% of nominal"},
+	}
+	app, err := common.Lookup("stream")
+	if err != nil {
+		return nil, err
+	}
+	for _, mn := range CompareMachines() {
+		m := arch.MustLookup(mn)
+		p, th := nodeDecomp(m)
+		res, err := app.Run(common.RunConfig{Machine: m, Procs: p, Threads: th, Size: o.Size})
+		if err != nil {
+			return nil, fmt.Errorf("harness: stream on %s: %w", mn, err)
+		}
+		if !res.Verified {
+			return nil, fmt.Errorf("harness: stream on %s failed verification", mn)
+		}
+		t.AddRow(mn, fmt.Sprintf("%.0f", res.Figure),
+			fmt.Sprintf("%.0f%%", res.Figure/(m.MemBandwidth()/1e9)*100))
+	}
+	t.Notes = append(t.Notes, "expected shape: A64FX ~3-4x the DDR4 nodes, K far behind")
+	return t, nil
+}
+
+// TableBestConfig regenerates Table 3: the best decomposition per app
+// on the A64FX plus the analyzer's bottleneck attribution.
+func TableBestConfig(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "T3",
+		Title:   "Best configuration and bottleneck per app (A64FX)",
+		Columns: []string{"app", "best decomp", "time", "comm share", "bottleneck", "recommendation"},
+	}
+	mdl := core.NewModel(arch.MustLookup("a64fx"))
+	for _, name := range o.apps() {
+		app, err := common.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		var best common.Result
+		for _, d := range Decompositions() {
+			res, err := app.Run(common.RunConfig{Procs: d[0], Threads: d[1], Size: o.Size})
+			if err != nil {
+				continue
+			}
+			if !res.Verified {
+				return nil, fmt.Errorf("harness: %s %v failed verification", name, d)
+			}
+			if best.Time == 0 || res.Time < best.Time {
+				best = res
+			}
+		}
+		if best.Time == 0 {
+			return nil, fmt.Errorf("harness: no decomposition ran for %s", name)
+		}
+		// Analyze the dominant (first) kernel under the best config's
+		// placement.
+		ks := app.Kernels(o.Size)
+		cores := make([]int, best.Config.Threads)
+		for i := range cores {
+			cores[i] = i
+		}
+		ana, err := mdl.Analyze(ks[0], 1e6, core.Exec{
+			ThreadCores: cores, HomeDomain: -1, Compiler: core.AsIs(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		commShare := best.Breakdown.Get(vtime.Comm) / best.Time
+		t.AddRow(name,
+			fmt.Sprintf("%dx%d", best.Config.Procs, best.Config.Threads),
+			fmtSecs(best.Time),
+			fmt.Sprintf("%.0f%%", commShare*100),
+			ana.Bottleneck.String(),
+			ana.Recommendation)
+	}
+	return t, nil
+}
+
+// SortRowsByFirstColumn orders rows alphabetically; used by tests that
+// need stable output.
+func (t *Table) SortRowsByFirstColumn() {
+	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i][0] < t.Rows[j][0] })
+}

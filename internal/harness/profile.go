@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"fibersim/internal/miniapps/common"
+	"fibersim/internal/vtime"
+)
+
+// TableKernelProfile is the per-kernel time profile behind the paper's
+// analysis discussion: for each app (best-practice 4x12 configuration
+// on the A64FX), where did the virtual time go, kernel by kernel, and
+// at what rate did each kernel run?
+func TableKernelProfile(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "T4",
+		Title: "Per-kernel profile on A64FX (4 ranks x 12 threads)",
+		Columns: []string{"app", "kernel", "calls", "time (sum over ranks)",
+			"share", "Gflop/s"},
+	}
+	for _, name := range o.apps() {
+		app, err := common.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := app.Run(common.RunConfig{Procs: 4, Threads: 12, Size: o.Size})
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", name, err)
+		}
+		if !res.Verified {
+			return nil, fmt.Errorf("harness: %s failed verification", name)
+		}
+		// Order kernels by time, largest first.
+		type row struct {
+			name string
+			s    common.KernelStats
+		}
+		var rows []row
+		var total float64
+		for kn, s := range res.Kernels {
+			rows = append(rows, row{kn, s})
+			total += s.Seconds
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].s.Seconds > rows[j].s.Seconds })
+		for i, r := range rows {
+			label := ""
+			if i == 0 {
+				label = name
+			}
+			rate := 0.0
+			if r.s.Seconds > 0 {
+				rate = r.s.Flops / r.s.Seconds / 1e9
+			}
+			t.AddRow(label, r.name,
+				fmt.Sprint(r.s.Calls),
+				vtime.Format(r.s.Seconds),
+				fmt.Sprintf("%.0f%%", r.s.Seconds/total*100),
+				fmt.Sprintf("%.1f", rate))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"time shares are of the modelled kernel time (per-rank sums); communication and runtime overheads appear in T3's comm share instead")
+	return t, nil
+}

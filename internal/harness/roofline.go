@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/core"
+	"fibersim/internal/miniapps/common"
+)
+
+// TableRoofline places every app's dominant kernel on each machine's
+// roofline: arithmetic intensity, the machine's ridge point, the bound
+// (compute peak or AI x bandwidth) and which side of the ridge the
+// kernel sits on. This is the classic first-order analysis the paper's
+// discussion is built on.
+func TableRoofline(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "T5",
+		Title: "Roofline placement of the dominant kernels",
+		Columns: []string{"app", "kernel", "AI (flop/B)",
+			"a64fx bound", "skylake bound", "thunderx2 bound", "k bound", "regime on a64fx"},
+	}
+	machines := []string{"a64fx", "skylake", "thunderx2", "k"}
+	models := map[string]*core.Model{}
+	for _, mn := range machines {
+		models[mn] = core.NewModel(arch.MustLookup(mn))
+	}
+	for _, name := range o.apps() {
+		app, err := common.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		ks := app.Kernels(o.Size)
+		if len(ks) == 0 {
+			continue
+		}
+		k := ks[0]
+		row := []string{name, k.Name, fmt.Sprintf("%.2f", k.ArithmeticIntensity())}
+		for _, mn := range machines {
+			row = append(row, fmt.Sprintf("%.0f", models[mn].Roofline(k)))
+		}
+		// Regime from the cache-aware model (the naive DRAM ridge is
+		// wrong for cache-blocked kernels like ntchem's DGEMM).
+		a64 := arch.MustLookup("a64fx")
+		cores := make([]int, a64.TotalCores())
+		for i := range cores {
+			cores[i] = i
+		}
+		est, err := models["a64fx"].KernelTime(k, 1e6, core.Exec{
+			ThreadCores: cores, HomeDomain: -1, Compiler: core.AsIs(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, est.Bottleneck.String()+"-bound")
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"bound = min(peak, AI x pattern-effective DRAM bandwidth), in Gflop/s; the regime column uses the cache-aware model (cache-blocked kernels escape the DRAM roofline)")
+	return t, nil
+}

@@ -1,0 +1,194 @@
+// Package harness defines the paper's experiments — every table and
+// figure of the evaluation section — as runnable objects that produce
+// result tables. cmd/fiberbench and the root benchmarks drive it.
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	// ID is the experiment id ("T1", "F2", ...).
+	ID string
+	// Title is the caption.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+	// Notes are free-form footnotes (expected shapes, caveats).
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes an aligned text rendering.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	sep := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		sep[i] = strings.Repeat("-", len(c))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as CSV (header + rows).
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the table as a JSON object with id, title, columns,
+// rows and notes.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes})
+}
+
+// Cell finds the value at (row label in col 0, column name); used by
+// tests to assert shapes.
+func (t *Table) Cell(rowLabel, column string) (string, error) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return "", fmt.Errorf("harness: table %s has no column %q", t.ID, column)
+	}
+	for _, row := range t.Rows {
+		if len(row) > ci && row[0] == rowLabel {
+			return row[ci], nil
+		}
+	}
+	return "", fmt.Errorf("harness: table %s has no row %q", t.ID, rowLabel)
+}
+
+// RenderBars draws an ASCII bar chart of one numeric column (suffixes
+// like "ms", "x" or "%" are tolerated), labelled by the first column —
+// the closest a terminal gets to the paper's figures.
+func (t *Table) RenderBars(w io.Writer, column string) error {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return fmt.Errorf("harness: table %s has no column %q", t.ID, column)
+	}
+	type bar struct {
+		label string
+		value float64
+	}
+	var bars []bar
+	var max float64
+	for _, row := range t.Rows {
+		if len(row) <= ci {
+			continue
+		}
+		v, ok := parseLeadingFloat(row[ci])
+		if !ok {
+			continue
+		}
+		bars = append(bars, bar{row[0], v})
+		if v > max {
+			max = v
+		}
+	}
+	if len(bars) == 0 {
+		return fmt.Errorf("harness: column %q has no numeric cells", column)
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s (%s) ==\n", t.ID, t.Title, column); err != nil {
+		return err
+	}
+	const width = 48
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.value / max * width)
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %-*s %s\n",
+			b.label, width, strings.Repeat("#", n), t.Rows[indexOf(t.Rows, b.label)][ci]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// indexOf finds a row by its first cell.
+func indexOf(rows [][]string, label string) int {
+	for i, r := range rows {
+		if len(r) > 0 && r[0] == label {
+			return i
+		}
+	}
+	return 0
+}
+
+// parseLeadingFloat reads the leading numeric part of a formatted cell
+// ("4.69ms" -> 4.69, "2.08x" -> 2.08, "81%" -> 81).
+func parseLeadingFloat(s string) (float64, bool) {
+	end := 0
+	for end < len(s) {
+		c := s[end]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+			c == 'e' || c == 'E' {
+			end++
+			continue
+		}
+		break
+	}
+	if end == 0 {
+		return 0, false
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s[:end], "%g", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,257 @@
+package loopir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fibersim/internal/core"
+	_ "fibersim/internal/miniapps/all" // register the suite for the consistency test
+	"fibersim/internal/miniapps/common"
+)
+
+// triad is the STREAM triad loop: a[i] = b[i] + s*c[i].
+func triad() Loop {
+	return Loop{
+		Name: "triad",
+		Ops:  []Op{{OpFMA, 1}},
+		Accesses: []Access{
+			{Bytes: 16, Stride: StrideUnit},
+			{Bytes: 8, Stride: StrideUnit, Store: true},
+		},
+		WorkingSetBytes: 1 << 28,
+	}
+}
+
+func TestTriadDerivation(t *testing.T) {
+	k, err := triad().Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.FlopsPerIter != 2 || k.FMAFrac != 1 {
+		t.Errorf("triad flops/FMA wrong: %+v", k)
+	}
+	if k.LoadBytesPerIter != 16 || k.StoreBytesPerIter != 8 {
+		t.Errorf("triad bytes wrong: %+v", k)
+	}
+	if k.Pattern != core.PatternStream {
+		t.Errorf("triad pattern = %v", k.Pattern)
+	}
+	// A clean streaming loop auto-vectorizes nearly fully.
+	if k.AutoVecFrac < 0.9 {
+		t.Errorf("triad AutoVecFrac = %g, want >= 0.9", k.AutoVecFrac)
+	}
+	if k.DepChainPenalty != 0 {
+		t.Errorf("triad penalty = %g, want 0", k.DepChainPenalty)
+	}
+}
+
+func TestGatherLoopSuppressed(t *testing.T) {
+	// FFB-style element loop: indirect gathers defeat auto
+	// vectorization but tuned code uses hardware gathers.
+	l := Loop{
+		Name: "ebe",
+		Ops:  []Op{{OpFMA, 64}},
+		Accesses: []Access{
+			{Bytes: 64, Stride: StrideIndexed},
+			{Bytes: 32, Stride: StrideIndexed, Store: true},
+		},
+		WorkingSetBytes: 1 << 24,
+	}
+	k, err := l.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.AutoVecFrac > 0.4 {
+		t.Errorf("gather loop AutoVecFrac = %g, want suppressed", k.AutoVecFrac)
+	}
+	if k.VectorizableFrac < 0.6 {
+		t.Errorf("gather loop tuned frac = %g, want recoverable", k.VectorizableFrac)
+	}
+	if k.Pattern != core.PatternGather {
+		t.Errorf("pattern = %v", k.Pattern)
+	}
+}
+
+func TestRecurrenceLoop(t *testing.T) {
+	// mVMC-style rank-1 update with a loop-carried chain.
+	l := Loop{
+		Name:            "sm-update",
+		Ops:             []Op{{OpFMA, 1}},
+		Accesses:        []Access{{Bytes: 16, Stride: StrideConst}, {Bytes: 8, Stride: StrideConst, Store: true}},
+		Recurrence:      true,
+		WorkingSetBytes: 1 << 20,
+	}
+	k, err := l.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.AutoVecFrac > 0.2 {
+		t.Errorf("recurrence AutoVecFrac = %g, want ~0.1", k.AutoVecFrac)
+	}
+	if k.DepChainPenalty < 1 {
+		t.Errorf("recurrence penalty = %g, want >= 1", k.DepChainPenalty)
+	}
+	// Tuning (restructuring) recovers a large part but not everything.
+	if k.VectorizableFrac < 0.4 || k.VectorizableFrac > 0.9 {
+		t.Errorf("recurrence tuned frac = %g", k.VectorizableFrac)
+	}
+}
+
+func TestBranchyIntegerLoop(t *testing.T) {
+	// NGSA-style DP cell: integer ops, compares, branches, recurrence.
+	l := Loop{
+		Name: "sw-cell",
+		Ops: []Op{
+			{OpAdd, 3}, {OpCmp, 3}, {OpInt, 10},
+		},
+		Accesses:        []Access{{Bytes: 20, Stride: StrideConst}, {Bytes: 8, Stride: StrideConst, Store: true}},
+		Conditionals:    2,
+		Recurrence:      true,
+		WorkingSetBytes: 1 << 16,
+	}
+	k, err := l.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.AutoVecFrac > 0.1 {
+		t.Errorf("branchy DP AutoVecFrac = %g, want ~0", k.AutoVecFrac)
+	}
+	if k.NonFPFrac < 0.5 {
+		t.Errorf("NonFPFrac = %g, want integer dominated", k.NonFPFrac)
+	}
+}
+
+func TestCallsBlockVectorization(t *testing.T) {
+	l := Loop{
+		Name:            "call-loop",
+		Ops:             []Op{{OpMul, 4}},
+		Accesses:        []Access{{Bytes: 8, Stride: StrideUnit}},
+		Calls:           1,
+		WorkingSetBytes: 1 << 16,
+	}
+	k, err := l.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.AutoVecFrac != 0 {
+		t.Errorf("call loop AutoVecFrac = %g, want 0", k.AutoVecFrac)
+	}
+}
+
+func TestDivSqrtRaisePenalty(t *testing.T) {
+	plain := Loop{Name: "p", Ops: []Op{{OpMul, 10}}, WorkingSetBytes: 1}
+	divy := Loop{Name: "d", Ops: []Op{{OpMul, 8}, {OpDiv, 1}, {OpSqrt, 1}}, WorkingSetBytes: 1}
+	kp, _ := plain.Kernel()
+	kd, _ := divy.Kernel()
+	if kd.DepChainPenalty <= kp.DepChainPenalty {
+		t.Errorf("div/sqrt should raise penalty: %g vs %g", kd.DepChainPenalty, kp.DepChainPenalty)
+	}
+}
+
+func TestValidateRejectsBadLoops(t *testing.T) {
+	bad := []Loop{
+		{},
+		{Name: "x", Ops: []Op{{OpAdd, -1}}},
+		{Name: "x", Accesses: []Access{{Bytes: -5}}},
+		{Name: "x", Conditionals: -1},
+	}
+	for i, l := range bad {
+		if _, err := l.Kernel(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDerivedKernelsAlwaysValidProperty(t *testing.T) {
+	// Any structurally valid loop derives a kernel that passes
+	// core.Kernel validation (AutoVec <= Vectorizable, fracs in range).
+	f := func(fma, intOps, cond uint8, stride uint8, rec, red bool, calls uint8) bool {
+		l := Loop{
+			Name: "q",
+			Ops: []Op{
+				{OpFMA, float64(fma % 32)},
+				{OpInt, float64(intOps % 32)},
+				{OpAdd, 1},
+			},
+			Accesses: []Access{
+				{Bytes: 24, Stride: StrideClass(stride % 4)},
+				{Bytes: 8, Stride: StrideUnit, Store: true},
+			},
+			Conditionals:    int(cond % 4),
+			Recurrence:      rec,
+			Reduction:       red,
+			Calls:           int(calls % 2),
+			WorkingSetBytes: 1 << 20,
+		}
+		k, err := l.Kernel()
+		if err != nil {
+			return false
+		}
+		return k.Validate() == nil && k.AutoVecFrac <= k.VectorizableFrac
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConsistencyWithHandDescriptors cross-checks the rule-based
+// derivations against the miniapps' hand-calibrated descriptors for
+// three representative kernels: the derivation must agree on the
+// qualitative regime (vectorizes well / suppressed / recurrent).
+func TestConsistencyWithHandDescriptors(t *testing.T) {
+	cases := []struct {
+		app    string
+		kernel int // index into Kernels()
+		loop   Loop
+	}{
+		{
+			app: "ffb", kernel: 0, // ebe-matvec
+			loop: Loop{
+				Name: "ebe", Ops: []Op{{OpFMA, 64}},
+				Accesses: []Access{
+					{Bytes: 96, Stride: StrideIndexed},
+					{Bytes: 64, Stride: StrideIndexed, Store: true},
+				},
+				WorkingSetBytes: 1 << 24,
+			},
+		},
+		{
+			app: "mvmc", kernel: 1, // sherman-morrison
+			loop: Loop{
+				Name: "sm", Ops: []Op{{OpFMA, 1}},
+				Accesses:   []Access{{Bytes: 16, Stride: StrideConst}, {Bytes: 8, Stride: StrideConst, Store: true}},
+				Recurrence: true, WorkingSetBytes: 1 << 20,
+			},
+		},
+		{
+			app: "ngsa", kernel: 0, // smith-waterman
+			loop: Loop{
+				Name: "sw", Ops: []Op{{OpAdd, 3}, {OpCmp, 3}, {OpInt, 8}},
+				Accesses:     []Access{{Bytes: 20, Stride: StrideConst}, {Bytes: 8, Stride: StrideConst, Store: true}},
+				Conditionals: 2, Recurrence: true, WorkingSetBytes: 1 << 16,
+			},
+		},
+	}
+	for _, c := range cases {
+		hand := common.MustLookup(c.app).Kernels(common.SizeSmall)[c.kernel]
+		derived, err := c.loop.Kernel()
+		if err != nil {
+			t.Fatalf("%s: %v", c.app, err)
+		}
+		// Same qualitative regime: within 0.2 of the hand AutoVecFrac
+		// and agreeing on whether tuning recovers > 0.5.
+		if math.Abs(derived.AutoVecFrac-hand.AutoVecFrac) > 0.2 {
+			t.Errorf("%s/%s: derived AutoVec %g vs hand %g",
+				c.app, hand.Name, derived.AutoVecFrac, hand.AutoVecFrac)
+		}
+		if (derived.VectorizableFrac > 0.5) != (hand.VectorizableFrac > 0.5) {
+			t.Errorf("%s/%s: tuning recoverability disagrees: derived %g vs hand %g",
+				c.app, hand.Name, derived.VectorizableFrac, hand.VectorizableFrac)
+		}
+		if (derived.DepChainPenalty > 0.5) != (hand.DepChainPenalty > 0.5) {
+			t.Errorf("%s/%s: dependency regime disagrees: derived %g vs hand %g",
+				c.app, hand.Name, derived.DepChainPenalty, hand.DepChainPenalty)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package all links the complete Fiber miniapp suite into a binary:
+// blank-importing it runs every app's registration.
+package all
+
+import (
+	_ "fibersim/internal/miniapps/ccsqcd"
+	_ "fibersim/internal/miniapps/ffb"
+	_ "fibersim/internal/miniapps/ffvc"
+	_ "fibersim/internal/miniapps/modylas"
+	_ "fibersim/internal/miniapps/mvmc"
+	_ "fibersim/internal/miniapps/ngsa"
+	_ "fibersim/internal/miniapps/nicam"
+	_ "fibersim/internal/miniapps/ntchem"
+	_ "fibersim/internal/miniapps/stream"
+)

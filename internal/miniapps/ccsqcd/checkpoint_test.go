@@ -1,0 +1,58 @@
+package ccsqcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGaugeCheckpointRoundTrip(t *testing.T) {
+	g, _ := NewGeometry(4, 4, 4, 8, 2, 1)
+	u := NewGauge(g, 77)
+	var buf bytes.Buffer
+	if err := u.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGauge(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mu := 0; mu < 4; mu++ {
+		for s := range u.U[mu] {
+			if u.U[mu][s] != back.U[mu][s] {
+				t.Fatalf("link mu=%d site=%d differs after round trip", mu, s)
+			}
+		}
+	}
+}
+
+func TestGaugeCheckpointDetectsCorruption(t *testing.T) {
+	g, _ := NewGeometry(4, 4, 4, 4, 1, 0)
+	u := NewGauge(g, 5)
+	var buf bytes.Buffer
+	if err := u.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-5] ^= 0xFF // flip a payload byte
+	if _, err := ReadGauge(bytes.NewReader(data), g); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestGaugeCheckpointGeometryMismatch(t *testing.T) {
+	g, _ := NewGeometry(4, 4, 4, 4, 1, 0)
+	u := NewGauge(g, 5)
+	var buf bytes.Buffer
+	if err := u.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := NewGeometry(4, 4, 4, 8, 1, 0)
+	if _, err := ReadGauge(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("geometry mismatch not detected")
+	}
+	// Garbage input.
+	if _, err := ReadGauge(strings.NewReader("not a checkpoint at all......."), g); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

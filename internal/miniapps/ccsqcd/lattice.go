@@ -1,0 +1,133 @@
+package ccsqcd
+
+import (
+	"fmt"
+
+	"fibersim/internal/miniapps/common"
+)
+
+// Geometry describes the global lattice and one rank's slab of it.
+// The lattice is decomposed along T only (as the miniapp's default),
+// so every rank holds LX*LY*LZ*(LT/P) sites plus two halo time-slices.
+type Geometry struct {
+	LX, LY, LZ, LT int // global extents
+	Procs          int
+	Rank           int
+	LTloc          int // local time extent (without halo)
+}
+
+// NewGeometry validates and builds a slab geometry.
+func NewGeometry(lx, ly, lz, lt, procs, rank int) (*Geometry, error) {
+	if lx < 2 || ly < 2 || lz < 2 || lt < 2 {
+		return nil, fmt.Errorf("ccsqcd: lattice %dx%dx%dx%d too small", lx, ly, lz, lt)
+	}
+	if procs < 1 || lt%procs != 0 {
+		return nil, fmt.Errorf("ccsqcd: %d ranks do not divide LT=%d", procs, lt)
+	}
+	if lt/procs < 1 {
+		return nil, fmt.Errorf("ccsqcd: empty slab")
+	}
+	return &Geometry{LX: lx, LY: ly, LZ: lz, LT: lt, Procs: procs, Rank: rank, LTloc: lt / procs}, nil
+}
+
+// SliceVol returns the sites in one time-slice.
+func (g *Geometry) SliceVol() int { return g.LX * g.LY * g.LZ }
+
+// LocalVol returns the rank's interior sites.
+func (g *Geometry) LocalVol() int { return g.SliceVol() * g.LTloc }
+
+// StoredVol returns interior plus the two halo slices.
+func (g *Geometry) StoredVol() int { return g.SliceVol() * (g.LTloc + 2) }
+
+// Index returns the storage index of (x,y,z,t) where t is the local
+// time coordinate in [-1, LTloc]: -1 and LTloc address the halos.
+func (g *Geometry) Index(x, y, z, t int) int {
+	return x + g.LX*(y+g.LY*(z+g.LZ*(t+1)))
+}
+
+// GlobalT returns the global time coordinate of local slice t.
+func (g *Geometry) GlobalT(t int) int {
+	gt := g.Rank*g.LTloc + t
+	return ((gt % g.LT) + g.LT) % g.LT
+}
+
+// Spinor fields hold 4 spins x 3 colors per site: 12 complex numbers.
+const spinorLen = 12
+
+// Field is a spinor field over the stored volume.
+type Field []complex128
+
+// NewField allocates a zeroed spinor field for g.
+func (g *Geometry) NewField() Field { return make(Field, g.StoredVol()*spinorLen) }
+
+// At returns the offset of (site, 0, 0).
+func (f Field) At(site int) []complex128 { return f[site*spinorLen : (site+1)*spinorLen] }
+
+// Gauge holds the four forward links per stored site.
+type Gauge struct {
+	g *Geometry
+	U [4][]SU3 // direction (x,y,z,t) -> per stored site
+}
+
+// NewGauge generates the rank's gauge slab (with halo slices)
+// deterministically from the global site coordinates, so neighbouring
+// ranks agree on shared links without communication.
+func NewGauge(g *Geometry, seed int64) *Gauge {
+	gg := &Gauge{g: g}
+	for mu := 0; mu < 4; mu++ {
+		gg.U[mu] = make([]SU3, g.StoredVol())
+	}
+	for t := -1; t <= g.LTloc; t++ {
+		gt := g.GlobalT(t)
+		for z := 0; z < g.LZ; z++ {
+			for y := 0; y < g.LY; y++ {
+				for x := 0; x < g.LX; x++ {
+					site := g.Index(x, y, z, t)
+					for mu := 0; mu < 4; mu++ {
+						m := randomSU3(seed, x, y, z, gt, mu)
+						gg.U[mu][site] = m
+					}
+				}
+			}
+		}
+	}
+	return gg
+}
+
+// NewUnitGauge returns the trivial gauge field (every link the
+// identity); plaquettes are then exactly 1 and the clover term
+// vanishes.
+func NewUnitGauge(g *Geometry) *Gauge {
+	gg := &Gauge{g: g}
+	var id SU3
+	id[0], id[4], id[8] = 1, 1, 1
+	for mu := 0; mu < 4; mu++ {
+		gg.U[mu] = make([]SU3, g.StoredVol())
+		for i := range gg.U[mu] {
+			gg.U[mu][i] = id
+		}
+	}
+	return gg
+}
+
+// siteSeed mixes global coordinates into a per-site seed so fields can
+// be generated identically on any rank that covers the site.
+func siteSeed(seed int64, coords ...int) int64 {
+	h := uint64(seed)
+	for _, v := range coords {
+		h ^= uint64(v) + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+	}
+	return int64(h)
+}
+
+// randomSU3 generates the unique link matrix for a global site and
+// direction.
+func randomSU3(seed int64, x, y, z, t, mu int) SU3 {
+	r := common.NewRNG(siteSeed(seed, x, y, z, t, mu))
+	var m SU3
+	for i := range m {
+		m[i] = complex(r.Float64()*2-1, r.Float64()*2-1)
+	}
+	m.unitarize()
+	return m
+}

@@ -1,0 +1,76 @@
+// Package ccsqcd reproduces the CCS QCD miniapp (University of
+// Tsukuba): a lattice-QCD linear solver applying the Wilson fermion
+// operator on a 4-D lattice of SU(3) gauge links, solved with
+// BiCGStab — the same kernel/solver pair as the original Fortran code.
+package ccsqcd
+
+import "math"
+
+// SU3 is a 3x3 complex color matrix stored row-major.
+type SU3 [9]complex128
+
+// MulVec computes m*v for a color 3-vector.
+func (m *SU3) MulVec(v *[3]complex128) [3]complex128 {
+	return [3]complex128{
+		m[0]*v[0] + m[1]*v[1] + m[2]*v[2],
+		m[3]*v[0] + m[4]*v[1] + m[5]*v[2],
+		m[6]*v[0] + m[7]*v[1] + m[8]*v[2],
+	}
+}
+
+// DagMulVec computes m†*v.
+func (m *SU3) DagMulVec(v *[3]complex128) [3]complex128 {
+	c := func(x complex128) complex128 { return complex(real(x), -imag(x)) }
+	return [3]complex128{
+		c(m[0])*v[0] + c(m[3])*v[1] + c(m[6])*v[2],
+		c(m[1])*v[0] + c(m[4])*v[1] + c(m[7])*v[2],
+		c(m[2])*v[0] + c(m[5])*v[1] + c(m[8])*v[2],
+	}
+}
+
+// unitarize projects m onto (approximately) SU(3) by Gram-Schmidt on
+// its rows; the determinant phase is left free, which is harmless for
+// the solver.
+func (m *SU3) unitarize() {
+	rows := [3][3]complex128{
+		{m[0], m[1], m[2]},
+		{m[3], m[4], m[5]},
+		{m[6], m[7], m[8]},
+	}
+	dot := func(a, b [3]complex128) complex128 {
+		var s complex128
+		for i := 0; i < 3; i++ {
+			s += complex(real(a[i]), -imag(a[i])) * b[i]
+		}
+		return s
+	}
+	norm := func(a [3]complex128) float64 {
+		return math.Sqrt(real(dot(a, a)))
+	}
+	// Row 0: normalize.
+	n0 := norm(rows[0])
+	for i := range rows[0] {
+		rows[0][i] /= complex(n0, 0)
+	}
+	// Row 1: orthogonalize against row 0, normalize.
+	p := dot(rows[0], rows[1])
+	for i := range rows[1] {
+		rows[1][i] -= p * rows[0][i]
+	}
+	n1 := norm(rows[1])
+	for i := range rows[1] {
+		rows[1][i] /= complex(n1, 0)
+	}
+	// Row 2: cross product of conjugates makes the matrix unitary.
+	c := func(x complex128) complex128 { return complex(real(x), -imag(x)) }
+	rows[2] = [3]complex128{
+		c(rows[0][1]*rows[1][2] - rows[0][2]*rows[1][1]),
+		c(rows[0][2]*rows[1][0] - rows[0][0]*rows[1][2]),
+		c(rows[0][0]*rows[1][1] - rows[0][1]*rows[1][0]),
+	}
+	for r := 0; r < 3; r++ {
+		for cc := 0; cc < 3; cc++ {
+			m[3*r+cc] = rows[r][cc]
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package common
+
+import (
+	"math"
+
+	"fibersim/internal/simnet"
+)
+
+// lookupFabric resolves a machine's fabric name; single-node runs only
+// exercise the intra-node transport, but the fabric still parameterizes
+// collectives when experiments scale out.
+func lookupFabric(name string) (*simnet.Fabric, error) {
+	return simnet.Lookup(name)
+}
+
+// RNG is a small deterministic generator (xorshift64*) shared by the
+// miniapps so stochastic workloads are reproducible across runs and
+// machines.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a deterministic generator; seed 0 is remapped.
+func NewRNG(seed int64) *RNG {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: s}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform float in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("common: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

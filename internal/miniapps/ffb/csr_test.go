@@ -1,0 +1,98 @@
+package ffb
+
+import (
+	"math"
+	"testing"
+
+	"fibersim/internal/miniapps/common"
+	"fibersim/internal/omp"
+)
+
+func TestCSRMatchesEBE(t *testing.T) {
+	// Single-rank: the assembled CSR matvec must agree with the
+	// element-by-element sweep to summation-order tolerance.
+	m, err := NewMesh(9, 9, 9, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	K := elementLaplacian(m.H)
+	csr, err := AssembleCSR(m, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.NNZ() == 0 || csr.NNZ() > 27*m.LocalNodes() {
+		t.Fatalf("suspicious nnz %d for %d nodes", csr.NNZ(), m.LocalNodes())
+	}
+
+	n := m.LocalNodes()
+	x := make([]float64, n)
+	rng := common.NewRNG(5)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	yCSR := make([]float64, n)
+	if err := csr.MatVec(yCSR, x); err != nil {
+		t.Fatal(err)
+	}
+
+	var yEBE []float64
+	_, err = common.Launch(common.RunConfig{Procs: 1, Threads: 2}, func(env *common.Env) error {
+		s := &solver{
+			env: env, m: m, K: K,
+			sch: omp.Schedule{Kind: omp.Static},
+			kE:  ebeKernel(len(m.Conn), common.SizeTest),
+			kL:  cgKernel(n, common.SizeTest),
+		}
+		yEBE = make([]float64, n)
+		return s.matvec(yEBE, x)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(yCSR[i]-yEBE[i]) > 1e-11 {
+			t.Fatalf("node %d: CSR %g vs EBE %g", i, yCSR[i], yEBE[i])
+		}
+	}
+}
+
+func TestCSRSymmetry(t *testing.T) {
+	// The Laplacian is symmetric: <y, Ax> == <x, Ay>.
+	m, _ := NewMesh(5, 5, 5, 1, 0)
+	csr, err := AssembleCSR(m, elementLaplacian(m.H))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.LocalNodes()
+	rng := common.NewRNG(9)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+		y[i] = rng.Float64() - 0.5
+	}
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	if err := csr.MatVec(ax, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := csr.MatVec(ay, y); err != nil {
+		t.Fatal(err)
+	}
+	var yAx, xAy float64
+	for i := 0; i < n; i++ {
+		yAx += y[i] * ax[i]
+		xAy += x[i] * ay[i]
+	}
+	if math.Abs(yAx-xAy) > 1e-10*(1+math.Abs(yAx)) {
+		t.Errorf("CSR not symmetric: %g vs %g", yAx, xAy)
+	}
+}
+
+func TestCSRMatVecDimensionCheck(t *testing.T) {
+	m, _ := NewMesh(5, 5, 5, 1, 0)
+	csr, _ := AssembleCSR(m, elementLaplacian(m.H))
+	if err := csr.MatVec(make([]float64, 3), make([]float64, csr.N)); err == nil {
+		t.Error("dimension mismatch must fail")
+	}
+}

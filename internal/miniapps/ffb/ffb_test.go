@@ -1,0 +1,154 @@
+package ffb
+
+import (
+	"math"
+	"testing"
+
+	"fibersim/internal/miniapps/common"
+)
+
+func TestMeshValidation(t *testing.T) {
+	if _, err := NewMesh(2, 9, 9, 1, 0); err == nil {
+		t.Error("tiny mesh must fail")
+	}
+	if _, err := NewMesh(9, 9, 17, 5, 0); err == nil {
+		t.Error("5 ranks on 16 layers must fail")
+	}
+	m, err := NewMesh(9, 9, 17, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EZloc != 4 || m.ZNode0 != 4 || m.NZnodes != 5 {
+		t.Errorf("mesh wrong: %+v", m)
+	}
+	if len(m.Conn) != 8*8*4 {
+		t.Errorf("connectivity count %d", len(m.Conn))
+	}
+}
+
+func TestConnectivityInRange(t *testing.T) {
+	m, _ := NewMesh(9, 9, 17, 2, 1)
+	n := m.LocalNodes()
+	for e, conn := range m.Conn {
+		seen := map[int32]bool{}
+		for _, id := range conn {
+			if id < 0 || int(id) >= n {
+				t.Fatalf("element %d node %d out of range", e, id)
+			}
+			if seen[id] {
+				t.Fatalf("element %d repeats node %d", e, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestOwnsPlanePartition(t *testing.T) {
+	// Across all ranks, every global plane is owned exactly once.
+	const procs = 4
+	owned := map[int]int{}
+	for r := 0; r < procs; r++ {
+		m, err := NewMesh(9, 9, 17, procs, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for z := 0; z < m.NZnodes; z++ {
+			if m.OwnsPlane(z) {
+				owned[m.ZNode0+z]++
+			}
+		}
+		if m.OwnsPlane(-1) || m.OwnsPlane(m.NZnodes) {
+			t.Error("out-of-range planes must not be owned")
+		}
+	}
+	for z := 0; z < 17; z++ {
+		if owned[z] != 1 {
+			t.Errorf("plane %d owned %d times", z, owned[z])
+		}
+	}
+}
+
+func TestElementLaplacianProperties(t *testing.T) {
+	K := elementLaplacian(0.25)
+	// Symmetric.
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			if math.Abs(K[a][b]-K[b][a]) > 1e-14 {
+				t.Errorf("K not symmetric at %d,%d", a, b)
+			}
+		}
+	}
+	// Rows sum to zero (constant field is in the null space).
+	for a := 0; a < 8; a++ {
+		var s float64
+		for b := 0; b < 8; b++ {
+			s += K[a][b]
+		}
+		if math.Abs(s) > 1e-14 {
+			t.Errorf("row %d sums to %g", a, s)
+		}
+	}
+	// Diagonal positive.
+	for a := 0; a < 8; a++ {
+		if K[a][a] <= 0 {
+			t.Errorf("diagonal %d = %g", a, K[a][a])
+		}
+	}
+	// Known value: trilinear hex Laplacian diagonal is h/3 for unit
+	// coefficient (K[a][a] = h * 1/3).
+	if math.Abs(K[0][0]-0.25/3) > 1e-12 {
+		t.Errorf("K[0][0] = %g, want %g", K[0][0], 0.25/3)
+	}
+}
+
+func TestRunSolves(t *testing.T) {
+	res, err := App{}.Run(common.RunConfig{Procs: 2, Threads: 4, Size: common.SizeTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("verification failed: residual=%g", res.Check)
+	}
+	if res.Figure < 5 || res.Figure > 500 {
+		t.Errorf("CG iterations %g suspicious", res.Figure)
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	var iters []float64
+	for _, pt := range [][2]int{{1, 8}, {2, 4}, {4, 2}, {8, 1}, {16, 1}} {
+		res, err := App{}.Run(common.RunConfig{Procs: pt[0], Threads: pt[1], Size: common.SizeTest})
+		if err != nil {
+			t.Fatalf("%v: %v", pt, err)
+		}
+		if !res.Verified {
+			t.Fatalf("%v: residual %g", pt, res.Check)
+		}
+		iters = append(iters, res.Figure)
+	}
+	for i := 1; i < len(iters); i++ {
+		if math.Abs(iters[i]-iters[0]) > 2 {
+			t.Errorf("iterations vary too much across decompositions: %v", iters)
+		}
+	}
+}
+
+func TestRejectsBadDecomposition(t *testing.T) {
+	if _, err := (App{}).Run(common.RunConfig{Procs: 7, Threads: 1, Size: common.SizeTest}); err == nil {
+		t.Error("7 ranks on 16 layers must fail")
+	}
+}
+
+func TestKernels(t *testing.T) {
+	a := common.MustLookup("ffb")
+	for _, k := range a.Kernels(common.SizeSmall) {
+		if err := k.Validate(); err != nil {
+			t.Errorf("kernel %s: %v", k.Name, err)
+		}
+	}
+	// FFB's EBE kernel is the gather-bound, hard-to-vectorize one.
+	ks := a.Kernels(common.SizeSmall)
+	if ks[0].AutoVecFrac > 0.5 {
+		t.Error("EBE kernel should have low as-is vectorization")
+	}
+}

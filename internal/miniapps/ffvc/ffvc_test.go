@@ -1,0 +1,94 @@
+package ffvc
+
+import (
+	"math"
+	"testing"
+
+	"fibersim/internal/miniapps/common"
+)
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(2, 16, 16, 1, 0); err == nil {
+		t.Error("tiny grid must fail")
+	}
+	if _, err := NewGrid(16, 16, 16, 3, 0); err == nil {
+		t.Error("non-dividing procs must fail")
+	}
+	g, err := NewGrid(16, 16, 16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NZloc != 4 || g.GlobalK(0) != 8 || g.LocalVol() != 1024 || g.StoredVol() != 1536 {
+		t.Errorf("grid wrong: %+v", g)
+	}
+}
+
+func TestIdxDistinct(t *testing.T) {
+	g, _ := NewGrid(8, 8, 8, 2, 0)
+	seen := map[int]bool{}
+	for k := -1; k <= g.NZloc; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				id := g.Idx(i, j, k)
+				if id < 0 || id >= g.StoredVol() || seen[id] {
+					t.Fatalf("Idx collision or range error at %d,%d,%d -> %d", i, j, k, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+func TestRunCavity(t *testing.T) {
+	res, err := App{}.Run(common.RunConfig{Procs: 2, Threads: 4, Size: common.SizeTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("cavity run failed verification: div=%g", res.Check)
+	}
+	if res.Time <= 0 || res.Figure <= 0 {
+		t.Errorf("missing figures: %+v", res)
+	}
+	if math.IsNaN(res.Check) {
+		t.Error("divergence is NaN: unstable integration")
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	// The cavity field after N steps must be identical (up to roundoff
+	// accumulation order) for any decomposition: compare final max
+	// divergence, which is a global functional of the field.
+	var checks []float64
+	for _, pt := range [][2]int{{1, 4}, {2, 2}, {4, 1}, {8, 2}} {
+		res, err := App{}.Run(common.RunConfig{Procs: pt[0], Threads: pt[1], Size: common.SizeTest})
+		if err != nil {
+			t.Fatalf("%v: %v", pt, err)
+		}
+		checks = append(checks, res.Check)
+	}
+	for i := 1; i < len(checks); i++ {
+		if math.Abs(checks[i]-checks[0]) > 1e-9*(1+math.Abs(checks[0])) {
+			t.Errorf("divergence differs across decompositions: %v", checks)
+		}
+	}
+}
+
+func TestRejectsBadDecomposition(t *testing.T) {
+	if _, err := (App{}).Run(common.RunConfig{Procs: 5, Threads: 1, Size: common.SizeTest}); err == nil {
+		t.Error("5 ranks on NZ=16 must fail")
+	}
+}
+
+func TestKernels(t *testing.T) {
+	a := common.MustLookup("ffvc")
+	ks := a.Kernels(common.SizeSmall)
+	if len(ks) != 3 {
+		t.Fatalf("want 3 kernels, got %d", len(ks))
+	}
+	for _, k := range ks {
+		if err := k.Validate(); err != nil {
+			t.Errorf("kernel %s: %v", k.Name, err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package modylas
+
+// The radial distribution function, the first observable any MD study
+// reports: g(r) counts pair separations into shells and normalizes by
+// the ideal-gas expectation, so g -> 1 at large r in a homogeneous
+// system and structure (shells) appears as peaks.
+
+import (
+	"fmt"
+	"math"
+)
+
+// RDF histograms all pair distances up to rMax into bins shells and
+// returns g(r) sampled at the shell centers (assuming the particles
+// fill the unit box approximately homogeneously).
+func (s *System) RDF(bins int, rMax float64) (r []float64, g []float64, err error) {
+	if bins < 1 || rMax <= 0 || rMax > s.Box {
+		return nil, nil, fmt.Errorf("modylas: bad RDF parameters bins=%d rMax=%g", bins, rMax)
+	}
+	counts := make([]float64, bins)
+	dr := rMax / float64(bins)
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			var d2 float64
+			for k := 0; k < 3; k++ {
+				d := s.X[i][k] - s.X[j][k]
+				d2 += d * d
+			}
+			dist := math.Sqrt(d2)
+			if dist >= rMax {
+				continue
+			}
+			counts[int(dist/dr)] += 2 // both orderings of the pair
+		}
+	}
+	rho := float64(s.N) / (s.Box * s.Box * s.Box)
+	r = make([]float64, bins)
+	g = make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		rLo, rHi := float64(b)*dr, float64(b+1)*dr
+		shell := 4.0 / 3.0 * math.Pi * (rHi*rHi*rHi - rLo*rLo*rLo)
+		ideal := rho * shell * float64(s.N)
+		r[b] = (rLo + rHi) / 2
+		if ideal > 0 {
+			g[b] = counts[b] / ideal
+		}
+	}
+	return r, g, nil
+}

@@ -1,0 +1,361 @@
+package mvmc
+
+import (
+	"fmt"
+	"math"
+)
+
+// The correlated wavefunction of the real mVMC code: a Jastrow factor
+// on top of the Slater determinant,
+//
+//	psi(x) = exp(-alpha * sum_<ij> n_i n_j) * det D(x)
+//
+// with the sum over nearest-neighbour pairs of the chain. Unlike the
+// free determinant, this state is not an eigenstate, so Monte Carlo
+// estimates carry variance; the tests verify them against exact
+// enumeration of all C(L,N) configurations on small systems.
+
+// Hamiltonian couples the tight-binding hopping with a
+// nearest-neighbour repulsion V (spinless extended Hubbard).
+type Hamiltonian struct {
+	T, V float64
+}
+
+// nnPairs returns the number of occupied nearest-neighbour pairs of
+// the configuration.
+func (w *Walker) nnPairs() int {
+	l := w.m.L
+	count := 0
+	for s := 0; s < l; s++ {
+		if w.siteEl[s] != -1 && w.siteEl[(s+1)%l] != -1 {
+			count++
+		}
+	}
+	return count
+}
+
+// nnDelta returns the change in occupied-neighbour pairs if the
+// electron at src moved to dst (assumed empty).
+func (w *Walker) nnDelta(src, dst int) int {
+	l := w.m.L
+	occ := func(s int) bool {
+		if s == src {
+			return false // the mover has left
+		}
+		return w.siteEl[s] != -1
+	}
+	delta := 0
+	// Pairs gained around dst.
+	for _, nb := range [2]int{(dst + 1) % l, (dst - 1 + l) % l} {
+		if nb != dst && occ(nb) {
+			delta++
+		}
+	}
+	// Pairs lost around src.
+	for _, nb := range [2]int{(src + 1) % l, (src - 1 + l) % l} {
+		if w.siteEl[nb] != -1 && nb != src {
+			delta--
+		}
+	}
+	return delta
+}
+
+// CorrelatedSweep performs L Metropolis moves with acceptance
+// |J'/J * rho|^2 for Jastrow parameter alpha; returns accepted moves.
+func (w *Walker) CorrelatedSweep(alpha float64) int {
+	accepted := 0
+	for move := 0; move < w.m.L; move++ {
+		e := w.rng.Intn(w.m.N)
+		dst := w.rng.Intn(w.m.L)
+		if w.siteEl[dst] != -1 {
+			continue
+		}
+		rho := w.Ratio(e, dst)
+		jr := math.Exp(-alpha * float64(w.nnDelta(w.occ[e], dst)))
+		amp := jr * rho
+		if amp*amp > w.rng.Float64() {
+			w.Update(e, dst, rho)
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// CorrelatedLocalEnergy evaluates
+//
+//	E_L(x) = -t sum_hops (J(x')/J(x)) rho + V * nnPairs(x)
+//
+// for the correlated state under h.
+func (w *Walker) CorrelatedLocalEnergy(h Hamiltonian, alpha float64) float64 {
+	l := w.m.L
+	e := h.V * float64(w.nnPairs())
+	for el := 0; el < w.m.N; el++ {
+		s := w.occ[el]
+		for _, dst := range [2]int{(s + 1) % l, (s - 1 + l) % l} {
+			if w.siteEl[dst] != -1 {
+				continue
+			}
+			jr := math.Exp(-alpha * float64(w.nnDelta(s, dst)))
+			e += -h.T * jr * w.Ratio(el, dst)
+		}
+	}
+	return e
+}
+
+// ExactVariationalEnergy enumerates every C(L,N) configuration and
+// computes <psi|H|psi>/<psi|psi> exactly — the reference the Monte
+// Carlo estimate must match. Feasible only for small systems; it
+// errors beyond ~5000 configurations.
+func (m *Model) ExactVariationalEnergy(h Hamiltonian, alpha float64) (float64, error) {
+	if n := binomial(m.L, m.N); n > 5000 {
+		return 0, fmt.Errorf("mvmc: %.0f configurations too many for exact enumeration", n)
+	}
+	configs := combinations(m.L, m.N)
+	psi := func(occ []int) float64 {
+		// det of the N x N matrix Phi[occ[e]][j].
+		d := make([][]float64, m.N)
+		for e, s := range occ {
+			d[e] = append([]float64(nil), m.Phi[s][:m.N]...)
+		}
+		det := determinant(d)
+		// Jastrow.
+		onSite := make([]bool, m.L)
+		for _, s := range occ {
+			onSite[s] = true
+		}
+		pairs := 0
+		for s := 0; s < m.L; s++ {
+			if onSite[s] && onSite[(s+1)%m.L] {
+				pairs++
+			}
+		}
+		return math.Exp(-alpha*float64(pairs)) * det
+	}
+
+	// <psi|H|psi> = sum_x psi(x) [ V nn(x) psi(x) - t sum_hops psi(x') ].
+	var num, den float64
+	for _, occ := range configs {
+		px := psi(occ)
+		if px == 0 {
+			continue
+		}
+		den += px * px
+		onSite := make([]bool, m.L)
+		for _, s := range occ {
+			onSite[s] = true
+		}
+		pairs := 0
+		for s := 0; s < m.L; s++ {
+			if onSite[s] && onSite[(s+1)%m.L] {
+				pairs++
+			}
+		}
+		num += px * px * h.V * float64(pairs)
+		// Hopping: move each electron to empty neighbours. The matrix
+		// element convention must match the determinant row replacement
+		// used by the walker (replace row e with the new site's
+		// orbitals, keeping row order), which is what psi(occ') with
+		// in-place substitution computes.
+		for e, s := range occ {
+			for _, dst := range [2]int{(s + 1) % m.L, (s - 1 + m.L) % m.L} {
+				if onSite[dst] {
+					continue
+				}
+				occPrime := append([]int(nil), occ...)
+				occPrime[e] = dst
+				num += px * (-h.T) * psi(occPrime)
+			}
+		}
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("mvmc: wavefunction vanishes everywhere")
+	}
+	return num / den, nil
+}
+
+// binomial returns C(l, n) as a float (exactness is irrelevant; it
+// only gates enumeration).
+func binomial(l, n int) float64 {
+	if n > l-n {
+		n = l - n
+	}
+	c := 1.0
+	for i := 0; i < n; i++ {
+		c = c * float64(l-i) / float64(i+1)
+	}
+	return c
+}
+
+// combinations enumerates all N-subsets of {0..L-1} in lexicographic
+// order.
+func combinations(l, n int) [][]int {
+	var out [][]int
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		// Advance.
+		i := n - 1
+		for i >= 0 && idx[i] == l-n+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for j := i + 1; j < n; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// determinant computes det(a) by Gaussian elimination with partial
+// pivoting; a is clobbered.
+func determinant(a [][]float64) float64 {
+	n := len(a)
+	det := 1.0
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if a[p][col] == 0 {
+			return 0
+		}
+		if p != col {
+			a[p], a[col] = a[col], a[p]
+			det = -det
+		}
+		det *= a[col][col]
+		piv := a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / piv
+			for j := col; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	return det
+}
+
+// OptimizeAlpha scans Jastrow parameters and returns the one with the
+// lowest Monte Carlo variational energy — the (grid-search version of
+// the) parameter optimization that gives mVMC its name. Each candidate
+// runs its own burned-in Markov chain.
+func (m *Model) OptimizeAlpha(h Hamiltonian, alphas []float64, sweeps int, seed int64) (float64, float64, error) {
+	if len(alphas) == 0 {
+		return 0, 0, fmt.Errorf("mvmc: no candidate parameters")
+	}
+	if sweeps < 10 {
+		return 0, 0, fmt.Errorf("mvmc: need at least 10 sweeps per candidate")
+	}
+	bestAlpha, bestE := 0.0, math.Inf(1)
+	for i, alpha := range alphas {
+		w, err := NewWalker(m, seed+int64(i)*101)
+		if err != nil {
+			return 0, 0, err
+		}
+		burn := sweeps / 5
+		for s := 0; s < burn; s++ {
+			w.CorrelatedSweep(alpha)
+		}
+		var sum float64
+		n := 0
+		for s := 0; s < sweeps; s++ {
+			w.CorrelatedSweep(alpha)
+			if s%25 == 24 {
+				if err := w.RebuildInverse(); err != nil {
+					return 0, 0, err
+				}
+			}
+			sum += w.CorrelatedLocalEnergy(h, alpha)
+			n++
+		}
+		if e := sum / float64(n); e < bestE {
+			bestE, bestAlpha = e, alpha
+		}
+	}
+	return bestAlpha, bestE, nil
+}
+
+// DensityCorrelationSnapshot measures the translation-averaged
+// density-density correlation of the current configuration:
+// C[d] = (1/L) sum_s n_s n_{s+d}, for d = 0..L-1. Averaged over
+// |psi|^2-distributed samples it estimates <n_0 n_d>; the sum rule
+// sum_d C[d] = N^2/L holds configuration by configuration.
+func (w *Walker) DensityCorrelationSnapshot() []float64 {
+	l := w.m.L
+	c := make([]float64, l)
+	for s := 0; s < l; s++ {
+		if w.siteEl[s] == -1 {
+			continue
+		}
+		for d := 0; d < l; d++ {
+			if w.siteEl[(s+d)%l] != -1 {
+				c[d] += 1.0 / float64(l)
+			}
+		}
+	}
+	return c
+}
+
+// ExactDensityCorrelation enumerates <n_0 n_d> for the correlated
+// state (small systems only, like ExactVariationalEnergy).
+func (m *Model) ExactDensityCorrelation(alpha float64) ([]float64, error) {
+	if n := binomial(m.L, m.N); n > 5000 {
+		return nil, fmt.Errorf("mvmc: %.0f configurations too many for exact enumeration", n)
+	}
+	psi2 := func(occ []int) float64 {
+		d := make([][]float64, m.N)
+		for e, s := range occ {
+			d[e] = append([]float64(nil), m.Phi[s][:m.N]...)
+		}
+		det := determinant(d)
+		onSite := make([]bool, m.L)
+		for _, s := range occ {
+			onSite[s] = true
+		}
+		pairs := 0
+		for s := 0; s < m.L; s++ {
+			if onSite[s] && onSite[(s+1)%m.L] {
+				pairs++
+			}
+		}
+		p := math.Exp(-alpha*float64(pairs)) * det
+		return p * p
+	}
+	out := make([]float64, m.L)
+	var den float64
+	for _, occ := range combinations(m.L, m.N) {
+		w := psi2(occ)
+		if w == 0 {
+			continue
+		}
+		den += w
+		onSite := make([]bool, m.L)
+		for _, s := range occ {
+			onSite[s] = true
+		}
+		for s := 0; s < m.L; s++ {
+			if !onSite[s] {
+				continue
+			}
+			for d := 0; d < m.L; d++ {
+				if onSite[(s+d)%m.L] {
+					out[d] += w / float64(m.L)
+				}
+			}
+		}
+	}
+	if den == 0 {
+		return nil, fmt.Errorf("mvmc: wavefunction vanishes everywhere")
+	}
+	for d := range out {
+		out[d] /= den
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+package mvmc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCombinations(t *testing.T) {
+	c := combinations(5, 2)
+	if len(c) != 10 {
+		t.Fatalf("C(5,2) = %d, want 10", len(c))
+	}
+	if c[0][0] != 0 || c[0][1] != 1 {
+		t.Errorf("first combination %v", c[0])
+	}
+	if c[9][0] != 3 || c[9][1] != 4 {
+		t.Errorf("last combination %v", c[9])
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	if d := determinant([][]float64{{2, 0}, {0, 3}}); d != 6 {
+		t.Errorf("det diag = %g", d)
+	}
+	if d := determinant([][]float64{{0, 1}, {1, 0}}); d != -1 {
+		t.Errorf("det swap = %g", d)
+	}
+	if d := determinant([][]float64{{1, 2}, {2, 4}}); d != 0 {
+		t.Errorf("det singular = %g", d)
+	}
+}
+
+func TestNNDeltaConsistency(t *testing.T) {
+	m, _ := NewModel(12, 5)
+	w, _ := NewWalker(m, 3)
+	for trial := 0; trial < 200; trial++ {
+		e := w.rng.Intn(m.N)
+		dst := w.rng.Intn(m.L)
+		if w.siteEl[dst] != -1 {
+			continue
+		}
+		before := w.nnPairs()
+		predicted := w.nnDelta(w.occ[e], dst)
+		rho := w.Ratio(e, dst)
+		if rho == 0 {
+			continue
+		}
+		w.Update(e, dst, rho)
+		after := w.nnPairs()
+		if after-before != predicted {
+			t.Fatalf("trial %d: nnDelta predicted %d, actual %d", trial, predicted, after-before)
+		}
+	}
+}
+
+func TestExactVariationalEnergyFreeLimit(t *testing.T) {
+	// With alpha = 0 and V = 0 the correlated machinery must reproduce
+	// the exact determinant-state energy.
+	m, err := NewModel(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.ExactVariationalEnergy(Hamiltonian{T: hoppingT, V: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-m.Eexact) > 1e-10 {
+		t.Errorf("free-limit enumeration = %.12g, want %.12g", e, m.Eexact)
+	}
+}
+
+func TestExactEnumerationTooLarge(t *testing.T) {
+	m, _ := NewModel(48, 21)
+	if _, err := m.ExactVariationalEnergy(Hamiltonian{T: 1}, 0.1); err == nil {
+		t.Error("huge enumeration must refuse")
+	}
+}
+
+func TestCorrelatedLocalEnergyZeroVarianceAtFreePoint(t *testing.T) {
+	m, _ := NewModel(10, 3)
+	w, _ := NewWalker(m, 5)
+	for sweep := 0; sweep < 10; sweep++ {
+		w.CorrelatedSweep(0)
+		e := w.CorrelatedLocalEnergy(Hamiltonian{T: hoppingT, V: 0}, 0)
+		if math.Abs(e-m.Eexact) > 1e-9 {
+			t.Fatalf("alpha=0,V=0 local energy %g, want %g", e, m.Eexact)
+		}
+	}
+}
+
+func TestCorrelatedMonteCarloMatchesEnumeration(t *testing.T) {
+	// The headline check: the Jastrow-correlated MC estimate converges
+	// to the exactly enumerated variational energy.
+	const (
+		alpha = 0.4
+		v     = 1.0
+	)
+	m, err := NewModel(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Hamiltonian{T: hoppingT, V: v}
+	exact, err := m.ExactVariationalEnergy(h, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := NewWalker(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn-in, then measure.
+	for sweep := 0; sweep < 200; sweep++ {
+		w.CorrelatedSweep(alpha)
+	}
+	var sum, sum2 float64
+	const samples = 4000
+	for sweep := 0; sweep < samples; sweep++ {
+		w.CorrelatedSweep(alpha)
+		if sweep%25 == 24 {
+			if err := w.RebuildInverse(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e := w.CorrelatedLocalEnergy(h, alpha)
+		sum += e
+		sum2 += e * e
+	}
+	mean := sum / samples
+	sigma := math.Sqrt((sum2/samples - mean*mean) / samples)
+	tol := 6*sigma + 1e-3
+	if math.Abs(mean-exact) > tol {
+		t.Errorf("MC energy %.6g vs exact %.6g (tol %.3g, sigma %.3g)", mean, exact, tol, sigma)
+	}
+	// The interaction must actually shift the energy away from the
+	// free value, or the test proves nothing.
+	if math.Abs(exact-m.Eexact) < 0.05 {
+		t.Errorf("correlated energy %.6g too close to free energy %.6g; weak test", exact, m.Eexact)
+	}
+}
+
+func TestOptimizeAlphaImprovesOnFreeState(t *testing.T) {
+	// With a repulsive V, a positive Jastrow parameter must lower the
+	// variational energy below the bare determinant's.
+	m, err := NewModel(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Hamiltonian{T: hoppingT, V: 2.0}
+	alphas := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	bestAlpha, bestE, err := m.OptimizeAlpha(h, alphas, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestAlpha == 0 {
+		t.Errorf("optimizer picked alpha=0 despite repulsion")
+	}
+	// Cross-check against exact enumeration: the chosen alpha must beat
+	// alpha = 0 exactly, not just statistically.
+	e0, err := m.ExactVariationalEnergy(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBest, err := m.ExactVariationalEnergy(h, bestAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eBest >= e0 {
+		t.Errorf("exact E(alpha=%g) = %g not below E(0) = %g", bestAlpha, eBest, e0)
+	}
+	if bestE > e0+0.5 {
+		t.Errorf("MC estimate %g wildly above the free energy %g", bestE, e0)
+	}
+}
+
+func TestOptimizeAlphaValidation(t *testing.T) {
+	m, _ := NewModel(10, 3)
+	if _, _, err := m.OptimizeAlpha(Hamiltonian{T: 1}, nil, 100, 1); err == nil {
+		t.Error("empty grid must fail")
+	}
+	if _, _, err := m.OptimizeAlpha(Hamiltonian{T: 1}, []float64{0.1}, 1, 1); err == nil {
+		t.Error("too few sweeps must fail")
+	}
+}
+
+func TestDensityCorrelationSumRule(t *testing.T) {
+	m, _ := NewModel(12, 5)
+	w, _ := NewWalker(m, 9)
+	for sweep := 0; sweep < 10; sweep++ {
+		w.CorrelatedSweep(0.3)
+		c := w.DensityCorrelationSnapshot()
+		var sum float64
+		for _, v := range c {
+			sum += v
+		}
+		want := float64(m.N*m.N) / float64(m.L)
+		if math.Abs(sum-want) > 1e-12 {
+			t.Fatalf("sum rule violated: %g vs %g", sum, want)
+		}
+		if math.Abs(c[0]-float64(m.N)/float64(m.L)) > 1e-12 {
+			t.Fatalf("C[0] = %g, want density %g", c[0], float64(m.N)/float64(m.L))
+		}
+	}
+}
+
+func TestDensityCorrelationMatchesEnumeration(t *testing.T) {
+	const alpha = 0.5
+	m, _ := NewModel(10, 3)
+	exact, err := m.ExactDensityCorrelation(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repulsion suppresses neighbours relative to the uncorrelated
+	// product density^2.
+	density := float64(m.N) / float64(m.L)
+	if exact[1] >= density*density {
+		t.Errorf("C[1] = %g not suppressed below %g by the Jastrow factor", exact[1], density*density)
+	}
+	// MC estimate.
+	w, _ := NewWalker(m, 21)
+	for s := 0; s < 200; s++ {
+		w.CorrelatedSweep(alpha)
+	}
+	mc := make([]float64, m.L)
+	const samples = 6000
+	for s := 0; s < samples; s++ {
+		w.CorrelatedSweep(alpha)
+		if s%25 == 24 {
+			if err := w.RebuildInverse(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for d, v := range w.DensityCorrelationSnapshot() {
+			mc[d] += v / samples
+		}
+	}
+	for d := 0; d < m.L; d++ {
+		if math.Abs(mc[d]-exact[d]) > 0.02 {
+			t.Errorf("C[%d]: MC %g vs exact %g", d, mc[d], exact[d])
+		}
+	}
+}
+
+func TestExactDensityCorrelationTooLarge(t *testing.T) {
+	m, _ := NewModel(48, 21)
+	if _, err := m.ExactDensityCorrelation(0.1); err == nil {
+		t.Error("huge enumeration must refuse")
+	}
+}

@@ -1,0 +1,150 @@
+package mvmc
+
+import (
+	"math"
+	"testing"
+
+	"fibersim/internal/miniapps/common"
+)
+
+func TestModelValidation(t *testing.T) {
+	if _, err := NewModel(3, 1); err == nil {
+		t.Error("tiny lattice must fail")
+	}
+	if _, err := NewModel(16, 4); err == nil {
+		t.Error("even electron count must fail")
+	}
+	if _, err := NewModel(16, 16); err == nil {
+		t.Error("full lattice must fail")
+	}
+}
+
+func TestOrbitalsOrthonormal(t *testing.T) {
+	m, err := NewModel(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < m.N; a++ {
+		for b := 0; b < m.N; b++ {
+			var dot float64
+			for s := 0; s < m.L; s++ {
+				dot += m.Phi[s][a] * m.Phi[s][b]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-12 {
+				t.Errorf("orbital overlap[%d][%d] = %g, want %g", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestExactEnergyValue(t *testing.T) {
+	m, err := NewModel(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -2.0 // k=0
+	for _, k := range []int{1, 2} {
+		want += 2 * (-2 * math.Cos(2*math.Pi*float64(k)/16))
+	}
+	if math.Abs(m.Eexact-want) > 1e-12 {
+		t.Errorf("Eexact = %g, want %g", m.Eexact, want)
+	}
+}
+
+func TestWalkerInverse(t *testing.T) {
+	m, _ := NewModel(16, 5)
+	w, err := NewWalker(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := w.InverseResidual(); r > 1e-12 {
+		t.Errorf("fresh inverse residual %g", r)
+	}
+}
+
+func TestRatioMatchesDeterminants(t *testing.T) {
+	// The O(N) ratio must equal the ratio of explicitly recomputed
+	// determinant inverses: move, rebuild, compare residuals.
+	m, _ := NewModel(16, 5)
+	w, _ := NewWalker(m, 2)
+	for trial := 0; trial < 50; trial++ {
+		e := w.rng.Intn(m.N)
+		dst := w.rng.Intn(m.L)
+		if w.siteEl[dst] != -1 {
+			continue
+		}
+		rho := w.Ratio(e, dst)
+		if rho == 0 {
+			continue
+		}
+		w.Update(e, dst, rho)
+		if r := w.InverseResidual(); r > 1e-8 {
+			t.Fatalf("trial %d: inverse residual %g after Sherman-Morrison", trial, r)
+		}
+	}
+}
+
+func TestZeroVarianceLocalEnergy(t *testing.T) {
+	// The Slater determinant of exact eigenorbitals is an eigenstate:
+	// local energy equals Eexact for every configuration.
+	m, _ := NewModel(16, 5)
+	w, _ := NewWalker(m, 3)
+	for sweep := 0; sweep < 20; sweep++ {
+		w.Sweep()
+		if e := w.LocalEnergy(); math.Abs(e-m.Eexact) > 1e-9 {
+			t.Fatalf("sweep %d: local energy %g, want %g", sweep, e, m.Eexact)
+		}
+	}
+}
+
+func TestRunVerifies(t *testing.T) {
+	res, err := App{}.Run(common.RunConfig{Procs: 2, Threads: 2, Size: common.SizeTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("verification failed: energy error %g, acceptance %g", res.Check, res.Figure)
+	}
+	if res.Figure <= 0.05 || res.Figure > 1 {
+		t.Errorf("acceptance rate %g out of range", res.Figure)
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	// Different rank counts use different chains, but the zero-variance
+	// property means every decomposition reports ~zero energy error.
+	for _, pt := range [][2]int{{1, 2}, {2, 1}, {4, 2}} {
+		res, err := App{}.Run(common.RunConfig{Procs: pt[0], Threads: pt[1], Size: common.SizeTest})
+		if err != nil {
+			t.Fatalf("%v: %v", pt, err)
+		}
+		if !res.Verified {
+			t.Errorf("%v: energy error %g", pt, res.Check)
+		}
+	}
+}
+
+func TestKernelsAreScalarHeavy(t *testing.T) {
+	// mVMC is the paper's compiler-tuning target: kernels must expose a
+	// large gap between as-is and enhanced vectorization.
+	a := common.MustLookup("mvmc")
+	ks := a.Kernels(common.SizeSmall)
+	if len(ks) != 3 {
+		t.Fatalf("want 3 kernels")
+	}
+	for _, k := range ks {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+	if ks[0].VectorizableFrac-ks[0].AutoVecFrac < 0.5 {
+		t.Error("det-ratio kernel should have a large SIMD tuning gap")
+	}
+	if ks[0].DepChainPenalty < 1 {
+		t.Error("det-ratio kernel should be dependency-chain heavy")
+	}
+}

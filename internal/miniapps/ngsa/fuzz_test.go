@@ -1,0 +1,104 @@
+package ngsa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fullSW is the unbanded reference Smith-Waterman used to bound the
+// banded implementation.
+func fullSW(read, ref []byte) int {
+	n, m := len(read), len(ref)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	best := 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			sc := mismatchSc
+			if read[i-1] == ref[j-1] {
+				sc = matchSc
+			}
+			v := prev[j-1] + sc
+			if up := prev[j] + gapSc; up > v {
+				v = up
+			}
+			if left := cur[j-1] + gapSc; left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return best
+}
+
+// sanitize maps arbitrary fuzz bytes onto the DNA alphabet.
+func sanitize(b []byte, maxLen int) []byte {
+	if len(b) > maxLen {
+		b = b[:maxLen]
+	}
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[i] = bases[int(c)%4]
+	}
+	return out
+}
+
+func FuzzBandedSWBounds(f *testing.F) {
+	f.Add([]byte("ACGTACGTAA"), []byte("ACGTACGTAA"))
+	f.Add([]byte("AAAA"), []byte("TTTT"))
+	f.Add([]byte("ACGT"), []byte("ACGTACGTACGTACGT"))
+	f.Add([]byte{}, []byte("ACGT"))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		read := sanitize(a, 64)
+		ref := sanitize(b, 96)
+		banded, cells := BandedSW(read, ref)
+		full := fullSW(read, ref)
+		if banded < 0 {
+			t.Fatalf("negative banded score %d", banded)
+		}
+		if banded > full {
+			t.Fatalf("banded score %d exceeds full SW %d (read=%q ref=%q)",
+				banded, full, read, ref)
+		}
+		if maxPossible := len(read) * matchSc; banded > maxPossible {
+			t.Fatalf("score %d exceeds perfect %d", banded, maxPossible)
+		}
+		if cells < 0 || cells > (len(read)+1)*(len(ref)+1) {
+			t.Fatalf("cell count %d out of range", cells)
+		}
+		// Identical sequences on the diagonal: the band always covers
+		// the perfect alignment.
+		if bytes.Equal(read, ref) && banded != len(read)*matchSc {
+			t.Fatalf("self-alignment score %d, want %d", banded, len(read)*matchSc)
+		}
+	})
+}
+
+func FuzzKmerCodeInjective(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTAA"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s := sanitize(b, 40)
+		if len(s) < kmerLen+1 {
+			return
+		}
+		// Codes of adjacent windows differ unless the windows are equal.
+		c1, ok1 := kmerCode(s)
+		c2, ok2 := kmerCode(s[1:])
+		if !ok1 || !ok2 {
+			t.Fatal("sanitized k-mers must encode")
+		}
+		if c1 == c2 && !bytes.Equal(s[:kmerLen], s[1:kmerLen+1]) {
+			t.Fatalf("distinct k-mers collide: %q %q", s[:kmerLen], s[1:kmerLen+1])
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package ngsa
+
+// Paired-end sequencing, the input format of the real NGS Analyzer
+// pipeline: fragments of ~3 read lengths are sampled from the donor
+// and sequenced from both ends — the second mate on the reverse
+// strand. The aligner maps both mates and accepts the pair only when
+// the mapped positions are concordant with the insert-size
+// distribution, which is what gives paired-end data its precision.
+
+import "fibersim/internal/miniapps/common"
+
+const (
+	insertLen   = 3 * readLen // fragment length
+	insertSlack = 8           // accepted deviation of the mapped insert
+)
+
+// revComp returns the reverse complement of a DNA sequence.
+func revComp(seq []byte) []byte {
+	out := make([]byte, len(seq))
+	for i, c := range seq {
+		var rc byte
+		switch c {
+		case 'A':
+			rc = 'T'
+		case 'T':
+			rc = 'A'
+		case 'C':
+			rc = 'G'
+		case 'G':
+			rc = 'C'
+		default:
+			rc = c
+		}
+		out[len(seq)-1-i] = rc
+	}
+	return out
+}
+
+// Pair is one read pair with its true fragment origin and error masks
+// (origin and masks are used by tests and by the quality simulator).
+type Pair struct {
+	R1, R2     []byte // R2 is reverse-strand as sequenced
+	Err1, Err2 []bool // positions the sequencer corrupted
+	Q1, Q2     []float64
+	TruePos    int // fragment start in the donor
+}
+
+// MakePair deterministically samples fragment i from the donor,
+// including per-base quality scores correlated with the error process.
+func (g *Genome) MakePair(i int, seed int64) Pair {
+	mix := uint64(seed) ^ uint64(i)*0x9E3779B97F4A7C15
+	r := common.NewRNG(int64(mix | 1))
+	pos := r.Intn(len(g.Donor) - insertLen)
+	r1 := make([]byte, readLen)
+	copy(r1, g.Donor[pos:pos+readLen])
+	r2fwd := make([]byte, readLen)
+	copy(r2fwd, g.Donor[pos+insertLen-readLen:pos+insertLen])
+	err1 := make([]bool, readLen)
+	err2 := make([]bool, readLen)
+	// Sequencing errors on both mates.
+	for j := 0; j < readLen; j++ {
+		if r.Float64() < errRate {
+			r1[j] = bases[r.Intn(4)]
+			err1[j] = true
+		}
+		if r.Float64() < errRate {
+			r2fwd[j] = bases[r.Intn(4)]
+			err2[j] = true
+		}
+	}
+	return Pair{
+		R1: r1, R2: revComp(r2fwd),
+		Err1: err1, Err2: err2,
+		Q1: Qualities(r, err1), Q2: Qualities(r, err2),
+		TruePos: pos,
+	}
+}
+
+// PassesQuality reports whether both mates clear the filter floor.
+func (p Pair) PassesQuality() bool {
+	return PassesFilter(p.Q1) && PassesFilter(p.Q2)
+}
+
+// PairResult is the mapping of one pair.
+type PairResult struct {
+	Pos1, Pos2 int // forward-strand start positions of the two mates
+	Concordant bool
+}
+
+// AlignPair maps both mates (the second after reverse complementing)
+// and checks insert-size concordance. It returns the mapping, the
+// forward-strand sequence of mate 2 (for pileup), and the DP cells
+// evaluated.
+func AlignPair(idx *Index, ref []byte, p Pair) (PairResult, []byte, int) {
+	res1, cells1 := Align(idx, ref, p.R1)
+	fwd2 := revComp(p.R2)
+	res2, cells2 := Align(idx, ref, fwd2)
+	cells := cells1 + cells2
+	out := PairResult{Pos1: -1, Pos2: -1}
+	if res1.OK {
+		out.Pos1 = res1.Pos
+	}
+	if res2.OK {
+		out.Pos2 = res2.Pos
+	}
+	if res1.OK && res2.OK {
+		insert := res2.Pos + readLen - res1.Pos
+		if insert >= insertLen-insertSlack && insert <= insertLen+insertSlack {
+			out.Concordant = true
+		}
+	}
+	return out, fwd2, cells
+}

@@ -1,0 +1,104 @@
+package ngsa
+
+import (
+	"bytes"
+	"testing"
+
+	"fibersim/internal/miniapps/common"
+)
+
+func TestRevComp(t *testing.T) {
+	if got := revComp([]byte("ACGT")); !bytes.Equal(got, []byte("ACGT")) {
+		t.Errorf("revComp(ACGT) = %s (palindrome)", got)
+	}
+	if got := revComp([]byte("AACG")); !bytes.Equal(got, []byte("CGTT")) {
+		t.Errorf("revComp(AACG) = %s, want CGTT", got)
+	}
+	// Involution.
+	s := []byte("ACGTTGCAATCG")
+	if !bytes.Equal(revComp(revComp(s)), s) {
+		t.Error("revComp not an involution")
+	}
+}
+
+func TestMakePairStructure(t *testing.T) {
+	g := NewGenome(5000, 3)
+	for i := 0; i < 10; i++ {
+		p := g.MakePair(i, 3)
+		if len(p.R1) != readLen || len(p.R2) != readLen {
+			t.Fatal("wrong mate lengths")
+		}
+		// Mate 1 matches the fragment start (few errors).
+		mm := 0
+		for j := 0; j < readLen; j++ {
+			if p.R1[j] != g.Donor[p.TruePos+j] {
+				mm++
+			}
+		}
+		if mm > readLen/5 {
+			t.Errorf("pair %d mate1 mismatches %d", i, mm)
+		}
+		// Reverse-complemented mate 2 matches the fragment end.
+		fwd2 := revComp(p.R2)
+		mm = 0
+		for j := 0; j < readLen; j++ {
+			if fwd2[j] != g.Donor[p.TruePos+insertLen-readLen+j] {
+				mm++
+			}
+		}
+		if mm > readLen/5 {
+			t.Errorf("pair %d mate2 mismatches %d", i, mm)
+		}
+	}
+}
+
+func TestAlignPairConcordant(t *testing.T) {
+	g := NewGenome(8000, 21)
+	idx := NewIndex(g.Ref)
+	concordant := 0
+	const pairs = 40
+	for i := 0; i < pairs; i++ {
+		p := g.MakePair(i, 21)
+		res, fwd2, cells := AlignPair(idx, g.Ref, p)
+		if cells <= 0 {
+			t.Error("no DP cells evaluated")
+		}
+		if res.Concordant {
+			concordant++
+			if res.Pos1 != p.TruePos {
+				t.Errorf("pair %d mate1 at %d, want %d", i, res.Pos1, p.TruePos)
+			}
+			want2 := p.TruePos + insertLen - readLen
+			if res.Pos2 != want2 {
+				t.Errorf("pair %d mate2 at %d, want %d", i, res.Pos2, want2)
+			}
+			_ = fwd2
+		}
+	}
+	if concordant < pairs*8/10 {
+		t.Errorf("only %d/%d pairs concordant", concordant, pairs)
+	}
+}
+
+func TestAlignPairRejectsDiscordant(t *testing.T) {
+	g := NewGenome(8000, 33)
+	idx := NewIndex(g.Ref)
+	// Mate2 from an unrelated fragment: insert check must reject.
+	p1 := g.MakePair(0, 33)
+	p2 := g.MakePair(7, 33)
+	frank := Pair{R1: p1.R1, R2: p2.R2, TruePos: p1.TruePos}
+	res, _, _ := AlignPair(idx, g.Ref, frank)
+	if res.Concordant {
+		t.Error("cross-fragment pair accepted as concordant")
+	}
+}
+
+func TestPairedRunStillCallsSNPs(t *testing.T) {
+	res, err := App{}.Run(common.RunConfig{Procs: 2, Threads: 4, Size: common.SizeTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("paired-end pipeline failed: recall %g", res.Check)
+	}
+}

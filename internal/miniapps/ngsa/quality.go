@@ -1,0 +1,71 @@
+package ngsa
+
+// Quality scores and the filtering stage: the first step of the real
+// NGS Analyzer pipeline drops reads whose base qualities are too low
+// before any alignment work is spent on them. Qualities here are
+// Phred-like (higher = more reliable) and correlate with the simulated
+// error process: erroneous bases draw from a low-quality distribution.
+
+import "fibersim/internal/miniapps/common"
+
+const (
+	// qualityFloor is the minimum mean quality a read needs to pass.
+	qualityFloor = 25.0
+	// goodQualMean / badQualMean parameterize the simulated score
+	// distributions for correct and erroneous bases.
+	goodQualMean = 38.0
+	badQualMean  = 12.0
+)
+
+// Qualities synthesizes per-base Phred-like scores for read i of the
+// genome; erroneous positions (which MakePair/MakeRead decided with
+// the same deterministic stream) receive low scores on average.
+// errAt[j] marks the bases that were corrupted.
+func Qualities(rng *common.RNG, errAt []bool) []float64 {
+	q := make([]float64, len(errAt))
+	for j := range q {
+		mean := goodQualMean
+		if errAt[j] {
+			mean = badQualMean
+		}
+		v := mean + 6*rng.NormFloat64()
+		if v < 2 {
+			v = 2
+		}
+		if v > 41 {
+			v = 41
+		}
+		q[j] = v
+	}
+	return q
+}
+
+// MeanQuality averages a score vector.
+func MeanQuality(q []float64) float64 {
+	if len(q) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range q {
+		s += v
+	}
+	return s / float64(len(q))
+}
+
+// PassesFilter reports whether a read's scores clear the floor.
+func PassesFilter(q []float64) bool {
+	return MeanQuality(q) >= qualityFloor
+}
+
+// FilterStats summarizes a filtering pass.
+type FilterStats struct {
+	Total, Passed int
+}
+
+// PassRate returns the surviving fraction.
+func (f FilterStats) PassRate() float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return float64(f.Passed) / float64(f.Total)
+}

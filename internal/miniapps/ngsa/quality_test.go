@@ -1,0 +1,66 @@
+package ngsa
+
+import (
+	"testing"
+
+	"fibersim/internal/miniapps/common"
+)
+
+func TestQualitiesCorrelateWithErrors(t *testing.T) {
+	rng := common.NewRNG(3)
+	errAt := make([]bool, 2000)
+	for i := range errAt {
+		errAt[i] = i%10 == 0 // 10% corrupted
+	}
+	q := Qualities(rng, errAt)
+	var goodSum, badSum float64
+	var goodN, badN int
+	for i, v := range q {
+		if v < 2 || v > 41 {
+			t.Fatalf("quality %g out of Phred range", v)
+		}
+		if errAt[i] {
+			badSum += v
+			badN++
+		} else {
+			goodSum += v
+			goodN++
+		}
+	}
+	if badSum/float64(badN) >= goodSum/float64(goodN)-10 {
+		t.Errorf("erroneous bases should score far lower: bad %.1f vs good %.1f",
+			badSum/float64(badN), goodSum/float64(goodN))
+	}
+}
+
+func TestFilterSeparatesReadClasses(t *testing.T) {
+	rng := common.NewRNG(7)
+	clean := make([]bool, readLen) // no errors
+	junk := make([]bool, readLen)
+	for i := range junk {
+		junk[i] = true // every base corrupted
+	}
+	stats := FilterStats{}
+	for trial := 0; trial < 50; trial++ {
+		stats.Total += 2
+		if PassesFilter(Qualities(rng, clean)) {
+			stats.Passed++
+		}
+		if PassesFilter(Qualities(rng, junk)) {
+			stats.Passed++
+		}
+	}
+	// All clean reads pass, no junk reads do: pass rate 50%.
+	if r := stats.PassRate(); r < 0.45 || r > 0.55 {
+		t.Errorf("pass rate %.2f, want ~0.50 (clean pass, junk fail)", r)
+	}
+}
+
+func TestMeanQualityEmpty(t *testing.T) {
+	if MeanQuality(nil) != 0 {
+		t.Error("empty quality mean should be 0")
+	}
+	if (FilterStats{}).PassRate() != 0 {
+		t.Error("empty stats pass rate should be 0")
+	}
+}

@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"testing"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/miniapps/common"
+)
+
+func TestRegistered(t *testing.T) {
+	a, err := common.Lookup("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Description() == "" {
+		t.Error("empty description")
+	}
+	if len(a.Kernels(common.SizeTest)) != 4 {
+		t.Error("STREAM should expose 4 kernels")
+	}
+}
+
+func TestRunVerifies(t *testing.T) {
+	res, err := App{}.Run(common.RunConfig{Procs: 4, Threads: 4, Size: common.SizeTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Errorf("STREAM verification failed, worst error %g", res.Check)
+	}
+	if res.Time <= 0 || res.Figure <= 0 {
+		t.Errorf("missing timing: time=%g figure=%g", res.Time, res.Figure)
+	}
+	if res.FigureUnit == "" {
+		t.Error("missing figure unit")
+	}
+}
+
+func TestA64FXTriadBandwidthShape(t *testing.T) {
+	// Best-config triad on A64FX should land near the published
+	// ~830 GB/s, and far above dual-socket Skylake.
+	run := func(machine string) float64 {
+		m := arch.MustLookup(machine)
+		procs := len(m.Domains)
+		threads := m.TotalCores() / procs
+		res, err := App{}.Run(common.RunConfig{
+			Machine: m, Procs: procs, Threads: threads, Size: common.SizeSmall,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s: verification failed", machine)
+		}
+		return res.Figure
+	}
+	a64 := run("a64fx")
+	skl := run("skylake")
+	if a64 < 600 || a64 > 1024 {
+		t.Errorf("A64FX triad = %.0f GB/s, want 600-1024", a64)
+	}
+	if skl > 260 {
+		t.Errorf("Skylake triad = %.0f GB/s, want < 260", skl)
+	}
+	if a64 < 3*skl {
+		t.Errorf("A64FX (%f) should be >3x Skylake (%f)", a64, skl)
+	}
+}
+
+func TestSingleCoreSlower(t *testing.T) {
+	full, err := App{}.Run(common.RunConfig{Procs: 4, Threads: 12, Size: common.SizeTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := App{}.Run(common.RunConfig{Procs: 1, Threads: 1, Size: common.SizeTest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Figure >= full.Figure {
+		t.Errorf("single core bandwidth (%g) should be below full node (%g)",
+			single.Figure, full.Figure)
+	}
+}

@@ -1,0 +1,66 @@
+package mpi
+
+import "fmt"
+
+// Request is a handle on a nonblocking operation; Wait completes it.
+type Request struct {
+	c        *Comm
+	done     bool
+	isRecv   bool
+	src, tag int
+	data     []float64
+	err      error
+}
+
+// Isend posts a nonblocking send. The runtime's sends are eager, so
+// the operation is already complete when Isend returns; the Request
+// exists for MPI-shaped code and for symmetry with Irecv.
+func (c *Comm) Isend(dst, tag int, data []float64) (*Request, error) {
+	if err := c.Send(dst, tag, data); err != nil {
+		return nil, err
+	}
+	return &Request{c: c, done: true}, nil
+}
+
+// Irecv posts a nonblocking receive. Matching happens at Wait; posting
+// is free, which preserves the usual post-early/complete-late pattern
+// without a background matcher.
+func (c *Comm) Irecv(src, tag int) (*Request, error) {
+	if src != AnySource {
+		if err := c.checkPeer(src); err != nil {
+			return nil, err
+		}
+	}
+	return &Request{c: c, isRecv: true, src: src, tag: tag}, nil
+}
+
+// Wait completes the request, returning received data for Irecv (nil
+// for sends). Waiting twice returns the original outcome.
+func (r *Request) Wait() ([]float64, error) {
+	if r.done {
+		return r.data, r.err
+	}
+	r.done = true
+	if !r.isRecv {
+		return nil, nil
+	}
+	r.data, r.err = r.c.Recv(r.src, r.tag)
+	return r.data, r.err
+}
+
+// WaitAll completes every request, returning the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for i, r := range reqs {
+		if r == nil {
+			if first == nil {
+				first = fmt.Errorf("mpi: WaitAll got nil request %d", i)
+			}
+			continue
+		}
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,159 @@
+// Package power estimates node power and energy-to-solution for
+// simulated runs — the extension axis of the authors' companion
+// studies ("Evaluation of Power Management Control on the Supercomputer
+// Fugaku", "Power/Performance/Area Evaluations..."): the A64FX exposes
+// a boost mode (higher clock at disproportionate power) and an eco
+// mode (one of two FP pipelines powered down), and the interesting
+// question is which application classes profit from which mode.
+//
+// The model is an activity-based linear one: node power is a static
+// floor plus compute and memory components weighted by how busy the
+// run kept each resource (taken from the virtual-time breakdown).
+// Energy is power x virtual time.
+package power
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fibersim/internal/vtime"
+)
+
+// Profile is the power description of one machine.
+type Profile struct {
+	// Machine is the arch catalogue key this profile belongs to.
+	Machine string
+	// IdleWatts is the static node power (uncore, HBM refresh, fans).
+	IdleWatts float64
+	// ComputeWatts is the incremental power at full floating-point
+	// activity.
+	ComputeWatts float64
+	// MemoryWatts is the incremental power at full memory-bandwidth
+	// activity.
+	MemoryWatts float64
+}
+
+// Validate reports structural problems.
+func (p Profile) Validate() error {
+	if p.Machine == "" {
+		return fmt.Errorf("power: profile has no machine")
+	}
+	if p.IdleWatts < 0 || p.ComputeWatts < 0 || p.MemoryWatts < 0 {
+		return fmt.Errorf("power: profile %q has negative components", p.Machine)
+	}
+	if p.IdleWatts+p.ComputeWatts+p.MemoryWatts <= 0 {
+		return fmt.Errorf("power: profile %q has no power at all", p.Machine)
+	}
+	return nil
+}
+
+// MaxWatts is the node power at full activity on both resources.
+func (p Profile) MaxWatts() float64 { return p.IdleWatts + p.ComputeWatts + p.MemoryWatts }
+
+// Estimate is the power/energy outcome of one run.
+type Estimate struct {
+	// Watts is the average node power over the run.
+	Watts float64
+	// Joules is energy to solution (Watts x time).
+	Joules float64
+	// EDP is the energy-delay product (J*s), the usual
+	// efficiency-vs-speed compromise metric.
+	EDP float64
+}
+
+// ForRun estimates power/energy for a run that took time seconds with
+// the given virtual-time breakdown (per the slowest rank). Activity
+// shares are the fractions of wall time each resource was busy;
+// communication and runtime waits burn only static power.
+func (p Profile) ForRun(time float64, b vtime.Breakdown) (Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if time <= 0 {
+		return Estimate{}, fmt.Errorf("power: non-positive runtime %g", time)
+	}
+	computeShare := clamp01(b.Get(vtime.Compute) / time)
+	memShare := clamp01(b.Get(vtime.Memory) / time)
+	watts := p.IdleWatts + p.ComputeWatts*computeShare + p.MemoryWatts*memShare
+	e := Estimate{Watts: watts, Joules: watts * time}
+	e.EDP = e.Joules * time
+	return e, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Profile{}
+)
+
+// Register adds a profile, panicking on duplicates or invalid data
+// (profiles are assembled at init time).
+func Register(p Profile) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[p.Machine]; dup {
+		panic(fmt.Sprintf("power: duplicate profile %q", p.Machine))
+	}
+	registry[p.Machine] = p
+}
+
+// Lookup returns the profile for a machine.
+func Lookup(machine string) (Profile, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	p, ok := registry[machine]
+	if !ok {
+		return Profile{}, fmt.Errorf("power: no profile for machine %q (have %v)", machine, Names())
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup for machines known to have profiles.
+func MustLookup(machine string) Profile {
+	p, err := Lookup(machine)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns the sorted profile keys.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	// A64FX node: ~120 W typical under load, dominated by the chip
+	// (HBM2 stacks are efficient). Companion-paper figures: boost mode
+	// trades ~10% speed for ~17% power; eco mode powers down one FLA
+	// pipe.
+	Register(Profile{Machine: "a64fx", IdleWatts: 60, ComputeWatts: 45, MemoryWatts: 25})
+	Register(Profile{Machine: "a64fx-boost", IdleWatts: 63, ComputeWatts: 62, MemoryWatts: 27})
+	Register(Profile{Machine: "a64fx-eco", IdleWatts: 55, ComputeWatts: 27, MemoryWatts: 25})
+	// Dual-socket Xeon Skylake: ~2x205 W TDP plus DRAM.
+	Register(Profile{Machine: "skylake", IdleWatts: 120, ComputeWatts: 230, MemoryWatts: 60})
+	// Dual ThunderX2: ~2x175 W TDP.
+	Register(Profile{Machine: "thunderx2", IdleWatts: 100, ComputeWatts: 190, MemoryWatts: 60})
+	// K computer node: SPARC64 VIIIfx was ~58 W per chip.
+	Register(Profile{Machine: "k", IdleWatts: 25, ComputeWatts: 28, MemoryWatts: 10})
+}

@@ -1,0 +1,133 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/vtime"
+)
+
+func TestProfilesForAllMachines(t *testing.T) {
+	// Every catalogue machine must have a power profile.
+	for _, name := range arch.Names() {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Errorf("no power profile for %q: %v", name, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %q invalid: %v", name, err)
+		}
+	}
+	if _, err := Lookup("abacus"); err == nil {
+		t.Error("unknown machine must fail")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Machine: "x", IdleWatts: -1},
+		{Machine: "x"},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestForRun(t *testing.T) {
+	p := Profile{Machine: "x", IdleWatts: 100, ComputeWatts: 50, MemoryWatts: 30}
+	var b vtime.Breakdown
+	// Fully compute-busy 10 s run.
+	bb := b
+	bb[vtime.Compute] = 10
+	e, err := p.ForRun(10, bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Watts != 150 || e.Joules != 1500 || e.EDP != 15000 {
+		t.Errorf("estimate wrong: %+v", e)
+	}
+	// Idle (all comm) run burns only static power.
+	bc := b
+	bc[vtime.Comm] = 10
+	e, err = p.ForRun(10, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Watts != 100 {
+		t.Errorf("comm-only watts = %g, want 100", e.Watts)
+	}
+	if _, err := p.ForRun(0, b); err == nil {
+		t.Error("zero-time run must fail")
+	}
+}
+
+func TestEstimateBoundsProperty(t *testing.T) {
+	p := MustLookup("a64fx")
+	f := func(ct, mt, wt uint16) bool {
+		c := float64(ct%1000) / 100
+		m := float64(mt%1000) / 100
+		wait := float64(wt%1000) / 100
+		total := c + m + wait
+		if total == 0 {
+			return true
+		}
+		var b vtime.Breakdown
+		b[vtime.Compute] = c
+		b[vtime.Memory] = m
+		b[vtime.Comm] = wait
+		e, err := p.ForRun(total, b)
+		if err != nil {
+			return false
+		}
+		return e.Watts >= p.IdleWatts && e.Watts <= p.MaxWatts() && e.Joules > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeOrdering(t *testing.T) {
+	normal := MustLookup("a64fx")
+	boost := MustLookup("a64fx-boost")
+	eco := MustLookup("a64fx-eco")
+	if boost.MaxWatts() <= normal.MaxWatts() {
+		t.Error("boost mode should draw more power")
+	}
+	if eco.MaxWatts() >= normal.MaxWatts() {
+		t.Error("eco mode should draw less power")
+	}
+	// Boost power premium ~15-20% at full load, per the companion paper.
+	premium := boost.MaxWatts()/normal.MaxWatts() - 1
+	if premium < 0.10 || premium > 0.25 {
+		t.Errorf("boost power premium = %.0f%%, want 10-25%%", premium*100)
+	}
+}
+
+func TestMachineModesInCatalogue(t *testing.T) {
+	normal := arch.MustLookup("a64fx")
+	boost := arch.MustLookup("a64fx-boost")
+	eco := arch.MustLookup("a64fx-eco")
+	if boost.Core.FreqHz != 2.2e9 {
+		t.Errorf("boost clock = %g", boost.Core.FreqHz)
+	}
+	if boost.PeakFlops() <= normal.PeakFlops() {
+		t.Error("boost must raise peak")
+	}
+	if eco.PeakFlops() >= normal.PeakFlops()*0.6 {
+		t.Error("eco should roughly halve peak")
+	}
+	if eco.MemBandwidth() != normal.MemBandwidth() {
+		t.Error("eco mode keeps memory bandwidth")
+	}
+}

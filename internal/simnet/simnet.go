@@ -1,0 +1,221 @@
+// Package simnet models the interconnects of the evaluated systems.
+//
+// The paper runs single-node and multi-node configurations; messages
+// between MPI ranks either cross shared memory (ranks on the same node)
+// or the fabric (Tofu-D for A64FX/Fugaku, InfiniBand EDR for the x86 and
+// ThunderX2 clusters, Tofu for the K computer). This package supplies
+// latency/bandwidth point-to-point costs and LogP-style collective
+// costs; internal/mpi charges them against the ranks' virtual clocks.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Fabric is a network cost model.
+type Fabric struct {
+	// Name is the registry key.
+	Name string
+	// Label describes the fabric in reports.
+	Label string
+	// Latency is the one-way small-message latency in seconds.
+	Latency float64
+	// Bandwidth is the per-link bandwidth in bytes/s.
+	Bandwidth float64
+	// MsgOverhead is the per-message software overhead (s) charged to
+	// both endpoints (the "o" of LogP).
+	MsgOverhead float64
+	// EagerLimit is the message size (bytes) below which the eager
+	// protocol applies; larger messages pay one extra rendezvous
+	// round-trip of Latency.
+	EagerLimit int64
+	// HopLatency is the added latency per network hop beyond the first
+	// (used with a Topology; zero for flat fabrics).
+	HopLatency float64
+}
+
+// Validate reports structural problems with a fabric description.
+func (f *Fabric) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("simnet: fabric has no name")
+	}
+	if f.Latency < 0 || f.Bandwidth <= 0 || f.MsgOverhead < 0 || f.EagerLimit < 0 || f.HopLatency < 0 {
+		return fmt.Errorf("simnet: fabric %q has invalid parameters", f.Name)
+	}
+	return nil
+}
+
+// PointToPoint returns the time for one message of n bytes to travel
+// from send-post to receive-completion, excluding any waiting for the
+// partner (internal/mpi handles matching).
+func (f *Fabric) PointToPoint(n int64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	t := f.Latency + float64(n)/f.Bandwidth + 2*f.MsgOverhead
+	if n > f.EagerLimit {
+		// Rendezvous: request + clear-to-send round trip.
+		t += 2 * f.Latency
+	}
+	return t
+}
+
+// SendOverhead returns the sender-side software cost charged even when
+// the transfer itself is pipelined.
+func (f *Fabric) SendOverhead() float64 { return f.MsgOverhead }
+
+// ceilLog2 returns ceil(log2(p)) for p >= 1.
+func ceilLog2(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(p))))
+}
+
+// Barrier returns the cost of a dissemination barrier over p ranks.
+func (f *Fabric) Barrier(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(ceilLog2(p)) * (f.Latency + 2*f.MsgOverhead)
+}
+
+// Bcast returns the cost of a binomial-tree broadcast of n bytes to p
+// ranks.
+func (f *Fabric) Bcast(p int, n int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(ceilLog2(p)) * f.PointToPoint(n)
+}
+
+// Reduce returns the cost of a binomial-tree reduction of n bytes over
+// p ranks; gamma is the per-byte local combine cost (charged once per
+// tree level).
+func (f *Fabric) Reduce(p int, n int64, gamma float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(ceilLog2(p)) * (f.PointToPoint(n) + gamma*float64(n))
+}
+
+// Allreduce returns the cost of a recursive-doubling allreduce.
+func (f *Fabric) Allreduce(p int, n int64, gamma float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(ceilLog2(p)) * (f.PointToPoint(n) + gamma*float64(n))
+}
+
+// Gather returns the cost of gathering n bytes from each of p ranks to
+// the root (binomial tree; data volume doubles towards the root, so the
+// bandwidth term covers the full (p-1)n bytes at the root's link).
+func (f *Fabric) Gather(p int, n int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	levels := float64(ceilLog2(p))
+	return levels*(f.Latency+2*f.MsgOverhead) + float64(p-1)*float64(n)/f.Bandwidth
+}
+
+// Allgather returns the cost of a ring allgather of n bytes per rank.
+func (f *Fabric) Allgather(p int, n int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * f.PointToPoint(n)
+}
+
+// Alltoall returns the cost of a pairwise-exchange alltoall with n
+// bytes per pair.
+func (f *Fabric) Alltoall(p int, n int64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * f.PointToPoint(n)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]*Fabric{}
+)
+
+// Register adds a fabric to the registry, panicking on duplicates or
+// invalid descriptions (registry is built at init time).
+func Register(f *Fabric) {
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[f.Name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate fabric %q", f.Name))
+	}
+	registry[f.Name] = f
+}
+
+// Lookup returns the fabric registered under name.
+func Lookup(name string) (*Fabric, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("simnet: unknown fabric %q (have %v)", name, Names())
+	}
+	return f, nil
+}
+
+// MustLookup is Lookup for fabrics known to exist.
+func MustLookup(name string) *Fabric {
+	f, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	// Tofu interconnect D (Fugaku): 6.8 GB/s per link x 6 links; the
+	// single-link figure is used since one rank drives one link.
+	Register(&Fabric{
+		Name: "tofud", Label: "Tofu interconnect D",
+		Latency: 0.49e-6, Bandwidth: 6.8e9, MsgOverhead: 0.2e-6,
+		EagerLimit: 32 << 10, HopLatency: 0.08e-6,
+	})
+	// InfiniBand EDR (100 Gb/s).
+	Register(&Fabric{
+		Name: "infiniband", Label: "InfiniBand EDR",
+		Latency: 1.0e-6, Bandwidth: 12.5e9, MsgOverhead: 0.3e-6,
+		EagerLimit: 16 << 10,
+	})
+	// Tofu (K computer): 5 GB/s per link.
+	Register(&Fabric{
+		Name: "tofu1", Label: "Tofu interconnect (K)",
+		Latency: 1.5e-6, Bandwidth: 5.0e9, MsgOverhead: 0.5e-6,
+		EagerLimit: 32 << 10, HopLatency: 0.1e-6,
+	})
+	// Intra-node shared-memory transport: what single-node runs use.
+	// Latency/overhead reflect MPI software costs (matching, copies),
+	// not raw cache-line transfers: intra-node MPI ping-pong is a few
+	// hundred nanoseconds and a 48-rank allreduce several microseconds.
+	Register(&Fabric{
+		Name: "shm", Label: "intra-node shared memory",
+		Latency: 0.3e-6, Bandwidth: 20e9, MsgOverhead: 0.2e-6,
+		EagerLimit: 64 << 10,
+	})
+}

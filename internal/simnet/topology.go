@@ -1,0 +1,77 @@
+package simnet
+
+import "fmt"
+
+// Topology maps node ids to hop counts. The runtime charges
+// Fabric.HopLatency for every hop beyond the first, so a nil topology
+// (every pair one hop) reproduces the flat model.
+type Topology func(a, b int) int
+
+// TorusHops returns the hop distance on a multi-dimensional torus with
+// the given extents, the shape of the Tofu interconnects (Tofu-D is a
+// six-dimensional torus; three of its dimensions are small and fixed).
+// Node ids are laid out dimension-major: id = x0 + d0*(x1 + d1*(x2...)).
+// Ids outside the torus panic: the caller owns the node map.
+func TorusHops(dims ...int) Topology {
+	size := 1
+	for _, d := range dims {
+		if d < 1 {
+			panic(fmt.Sprintf("simnet: torus dimension %d < 1", d))
+		}
+		size *= d
+	}
+	coords := func(id int) []int {
+		if id < 0 || id >= size {
+			panic(fmt.Sprintf("simnet: node %d outside torus of %d nodes", id, size))
+		}
+		out := make([]int, len(dims))
+		for i, d := range dims {
+			out[i] = id % d
+			id /= d
+		}
+		return out
+	}
+	return func(a, b int) int {
+		ca, cb := coords(a), coords(b)
+		hops := 0
+		for i, d := range dims {
+			delta := ca[i] - cb[i]
+			if delta < 0 {
+				delta = -delta
+			}
+			if wrap := d - delta; wrap < delta {
+				delta = wrap
+			}
+			hops += delta
+		}
+		if hops == 0 {
+			return 0
+		}
+		return hops
+	}
+}
+
+// TofuDTopology returns a Tofu-D-shaped torus for n nodes: the fixed
+// 2x3x1 inner dimensions of Tofu-D's (a,b,c) axes combined with an
+// outer ring sized to cover n nodes (n is rounded up to a multiple of
+// 6; out-of-range ids panic).
+func TofuDTopology(n int) Topology {
+	inner := 6 // 2*3*1
+	outer := (n + inner - 1) / inner
+	if outer < 1 {
+		outer = 1
+	}
+	return TorusHops(2, 3, outer)
+}
+
+// FatTreeHops returns the constant-distance topology of a two-level
+// fat-tree (InfiniBand-style): every distinct pair is the same number
+// of hops through the spine.
+func FatTreeHops(hops int) Topology {
+	return func(a, b int) int {
+		if a == b {
+			return 0
+		}
+		return hops
+	}
+}

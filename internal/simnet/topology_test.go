@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusHopsBasics(t *testing.T) {
+	h := TorusHops(4, 4)
+	if h(0, 0) != 0 {
+		t.Error("self distance must be 0")
+	}
+	if h(0, 1) != 1 {
+		t.Errorf("adjacent = %d", h(0, 1))
+	}
+	// Wraparound: node 0 and node 3 in a ring of 4 are 1 hop apart.
+	if h(0, 3) != 1 {
+		t.Errorf("wrap = %d", h(0, 3))
+	}
+	// Diagonal corner: (0,0) to (2,2) is 2+2 = 4 hops.
+	if got := h(0, 2+4*2); got != 4 {
+		t.Errorf("diagonal = %d, want 4", got)
+	}
+}
+
+func TestTorusHopsSymmetryProperty(t *testing.T) {
+	h := TorusHops(3, 4, 2)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%24, int(b)%24
+		return h(x, y) == h(y, x) && h(x, x) == 0 && h(x, y) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusHopsMaxDiameter(t *testing.T) {
+	// Diameter of a (d1,...,dn) torus is sum(floor(di/2)).
+	h := TorusHops(4, 6)
+	want := 2 + 3
+	max := 0
+	for a := 0; a < 24; a++ {
+		for b := 0; b < 24; b++ {
+			if d := h(a, b); d > max {
+				max = d
+			}
+		}
+	}
+	if max != want {
+		t.Errorf("diameter = %d, want %d", max, want)
+	}
+}
+
+func TestTorusHopsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero dimension must panic")
+		}
+	}()
+	TorusHops(0, 4)
+}
+
+func TestTorusHopsOutOfRangePanics(t *testing.T) {
+	h := TorusHops(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range id must panic")
+		}
+	}()
+	h(0, 4)
+}
+
+func TestTofuDTopology(t *testing.T) {
+	h := TofuDTopology(12) // 2x3x2 torus
+	if h(0, 0) != 0 {
+		t.Error("self distance")
+	}
+	// All 12 nodes addressable, symmetric.
+	for a := 0; a < 12; a++ {
+		for b := 0; b < 12; b++ {
+			if h(a, b) != h(b, a) {
+				t.Fatalf("asymmetric at %d,%d", a, b)
+			}
+		}
+	}
+	if TofuDTopology(1)(0, 0) != 0 {
+		t.Error("degenerate topology broken")
+	}
+}
+
+func TestFatTreeHops(t *testing.T) {
+	h := FatTreeHops(3)
+	if h(5, 5) != 0 || h(0, 99) != 3 || h(7, 2) != 3 {
+		t.Error("fat tree distances wrong")
+	}
+}

@@ -1,0 +1,114 @@
+// Package trace records virtual-time event timelines of simulated
+// runs and exports them in the Chrome Trace Event format, so a run can
+// be inspected in chrome://tracing or Perfetto: one track per MPI
+// rank, one slice per kernel charge, message or collective.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one timeline slice on a rank's track, in virtual seconds.
+type Event struct {
+	// Name labels the slice ("wilson-clover-dslash", "allreduce", ...).
+	Name string
+	// Cat groups slices ("kernel", "mpi").
+	Cat string
+	// Rank is the track.
+	Rank int
+	// Start and End are virtual times in seconds.
+	Start, End float64
+}
+
+// Log collects events for one rank. A Log is safe for use by its
+// owning rank only; cross-rank aggregation happens after the run.
+type Log struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped int64
+}
+
+// NewLog returns a log that keeps at most capacity events and counts
+// the overflow.
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{cap: capacity}
+}
+
+// Add appends an event, dropping it if the log is full.
+func (l *Log) Add(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) >= l.cap {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, ev)
+}
+
+// Events returns a copy of the recorded events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Dropped returns how many events overflowed the capacity.
+func (l *Log) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// chromeEvent is the Trace Event Format "complete" event.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChrome merges the logs (one per rank) into a Chrome Trace Event
+// JSON document.
+func WriteChrome(w io.Writer, logs ...*Log) error {
+	var all []chromeEvent
+	for _, l := range logs {
+		if l == nil {
+			continue
+		}
+		for _, ev := range l.Events() {
+			if ev.End < ev.Start {
+				return fmt.Errorf("trace: event %q on rank %d ends before it starts", ev.Name, ev.Rank)
+			}
+			all = append(all, chromeEvent{
+				Name: ev.Name,
+				Cat:  ev.Cat,
+				Ph:   "X",
+				Ts:   ev.Start * 1e6,
+				Dur:  (ev.End - ev.Start) * 1e6,
+				Pid:  0,
+				Tid:  ev.Rank,
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Tid != all[j].Tid {
+			return all[i].Tid < all[j].Tid
+		}
+		return all[i].Ts < all[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{all})
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestLogCapacity(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{Name: "x", Start: float64(i), End: float64(i) + 1})
+	}
+	if len(l.Events()) != 2 {
+		t.Errorf("kept %d events, want 2", len(l.Events()))
+	}
+	if l.Dropped() != 3 {
+		t.Errorf("dropped %d, want 3", l.Dropped())
+	}
+	if NewLog(0) == nil {
+		t.Error("degenerate capacity must still construct")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	l0 := NewLog(10)
+	l0.Add(Event{Name: "k1", Cat: "kernel", Rank: 0, Start: 1e-6, End: 3e-6})
+	l1 := NewLog(10)
+	l1.Add(Event{Name: "allreduce", Cat: "mpi", Rank: 1, Start: 2e-6, End: 5e-6})
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, l0, nil, l1); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "k1" || ev.Ph != "X" || ev.Ts != 1 || ev.Tid != 0 {
+		t.Errorf("event 0 wrong: %+v", ev)
+	}
+	if ev.Dur < 2-1e-9 || ev.Dur > 2+1e-9 {
+		t.Errorf("event 0 duration %v, want ~2us", ev.Dur)
+	}
+}
+
+func TestWriteChromeRejectsBackwardsEvent(t *testing.T) {
+	l := NewLog(4)
+	l.Add(Event{Name: "bad", Start: 2, End: 1})
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, l); err == nil {
+		t.Fatal("backwards event must error")
+	}
+}

@@ -1,0 +1,258 @@
+// Package vtime provides the virtual clocks that time simulated runs.
+//
+// Every simulated execution stream (an MPI rank, an OpenMP thread)
+// carries a Clock. Compute phases advance a clock by an analytically
+// modelled duration; synchronization merges clocks by taking the
+// maximum, the conservative rule of parallel discrete-event simulation.
+// Clocks also accumulate a per-category breakdown so the harness can
+// attribute where virtual time went (compute, memory, MPI, OpenMP
+// overhead), mirroring the "performance analysis" part of the paper.
+package vtime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Category classifies where virtual time is spent.
+type Category int
+
+const (
+	// Compute is time limited by arithmetic throughput.
+	Compute Category = iota
+	// Memory is time limited by cache/memory traffic.
+	Memory
+	// Comm is time spent in MPI communication and waiting.
+	Comm
+	// Runtime is threading overhead: barriers, fork/join, scheduling.
+	Runtime
+	numCategories
+)
+
+// String returns the category name used in reports.
+func (c Category) String() string {
+	switch c {
+	case Compute:
+		return "compute"
+	case Memory:
+		return "memory"
+	case Comm:
+		return "comm"
+	case Runtime:
+		return "runtime"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// Categories lists all categories in report order.
+func Categories() []Category {
+	return []Category{Compute, Memory, Comm, Runtime}
+}
+
+// Clock is a virtual clock with a spend breakdown. The zero value is a
+// clock at time zero with nothing spent. Clocks are not safe for
+// concurrent use; each execution stream owns its clock.
+type Clock struct {
+	now   float64
+	spent [numCategories]float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by d seconds, attributed to cat.
+// Negative durations are a programming error and panic.
+func (c *Clock) Advance(d float64, cat Category) {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: negative advance %g", d))
+	}
+	c.now += d
+	c.spent[cat] += d
+}
+
+// AdvanceTo moves the clock to at least t; the waited time (if any) is
+// attributed to cat. It returns the amount waited.
+func (c *Clock) AdvanceTo(t float64, cat Category) float64 {
+	if t <= c.now {
+		return 0
+	}
+	d := t - c.now
+	c.now = t // exact, avoids rounding drift of now+d at extreme scales
+	c.spent[cat] += d
+	return d
+}
+
+// Spent returns the time attributed to cat so far.
+func (c *Clock) Spent(cat Category) float64 { return c.spent[cat] }
+
+// Breakdown returns a copy of the spend breakdown.
+func (c *Clock) Breakdown() Breakdown {
+	var b Breakdown
+	copy(b[:], c.spent[:])
+	return b
+}
+
+// Reset returns the clock to zero with an empty breakdown.
+func (c *Clock) Reset() { *c = Clock{} }
+
+// Breakdown is a per-category time total, in seconds.
+type Breakdown [numCategories]float64
+
+// Total returns the sum over categories.
+func (b Breakdown) Total() float64 {
+	var s float64
+	for _, v := range b {
+		s += v
+	}
+	return s
+}
+
+// Add returns the element-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	for i := range b {
+		b[i] += o[i]
+	}
+	return b
+}
+
+// Get returns the time for one category.
+func (b Breakdown) Get(cat Category) float64 { return b[cat] }
+
+// String formats the breakdown compactly for logs.
+func (b Breakdown) String() string {
+	s := ""
+	for _, cat := range Categories() {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%s", cat, Format(b[cat]))
+	}
+	return s
+}
+
+// Max merges clocks at a synchronization point: every clock is advanced
+// to the maximum of all clocks, with waiting attributed to cat. It
+// returns the synchronized time. An empty slice returns 0.
+func Max(cat Category, clocks ...*Clock) float64 {
+	var t float64
+	for _, c := range clocks {
+		if c.now > t {
+			t = c.now
+		}
+	}
+	for _, c := range clocks {
+		c.AdvanceTo(t, cat)
+	}
+	return t
+}
+
+// Format renders a duration in seconds the way the harness prints
+// times: engineering units with three significant digits.
+func Format(sec float64) string {
+	switch {
+	case sec == 0:
+		return "0s"
+	case sec < 1e-6:
+		return fmt.Sprintf("%.3gns", sec*1e9)
+	case sec < 1e-3:
+		return fmt.Sprintf("%.3gus", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.3gms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.3gs", sec)
+	}
+}
+
+// Duration converts virtual seconds to a time.Duration for interop with
+// standard tooling. Values beyond ~290 years saturate.
+func Duration(sec float64) time.Duration {
+	const maxSec = float64(1<<63-1) / 1e9
+	if sec >= maxSec {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(sec * 1e9)
+}
+
+// Series collects named samples (e.g. per-rank times) and summarizes
+// them; the harness uses it for table rows.
+type Series struct {
+	name    string
+	samples []float64
+}
+
+// NewSeries creates an empty series with a report name.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the report name.
+func (s *Series) Name() string { return s.name }
+
+// Add appends a sample.
+func (s *Series) Add(v float64) { s.samples = append(s.samples, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Max returns the maximum sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	var m float64
+	for _, v := range s.samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum sample, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0]
+	for _, v := range s.samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var t float64
+	for _, v := range s.samples {
+		t += v
+	}
+	return t / float64(len(s.samples))
+}
+
+// Median returns the median, or 0 for an empty series.
+func (s *Series) Median() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.samples...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	// Halve before adding so the midpoint of two large same-sign
+	// samples cannot overflow.
+	return sorted[n/2-1]/2 + sorted[n/2]/2
+}
+
+// Imbalance returns max/mean - 1, the usual load-imbalance metric, or 0
+// for an empty series.
+func (s *Series) Imbalance() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Max()/m - 1
+}

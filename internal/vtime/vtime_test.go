@@ -1,0 +1,219 @@
+package vtime
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(1.5, Compute)
+	c.Advance(0.5, Memory)
+	if c.Now() != 2.0 {
+		t.Errorf("Now = %g, want 2", c.Now())
+	}
+	if c.Spent(Compute) != 1.5 || c.Spent(Memory) != 0.5 || c.Spent(Comm) != 0 {
+		t.Errorf("breakdown wrong: %v", c.Breakdown())
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance must panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1, Compute)
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(3, Compute)
+	if w := c.AdvanceTo(2, Comm); w != 0 {
+		t.Errorf("AdvanceTo past time waited %g, want 0", w)
+	}
+	if w := c.AdvanceTo(5, Comm); w != 2 {
+		t.Errorf("AdvanceTo waited %g, want 2", w)
+	}
+	if c.Now() != 5 || c.Spent(Comm) != 2 {
+		t.Errorf("clock after AdvanceTo: now=%g comm=%g", c.Now(), c.Spent(Comm))
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(1, Compute)
+	c.Reset()
+	if c.Now() != 0 || c.Breakdown().Total() != 0 {
+		t.Error("Reset did not zero the clock")
+	}
+}
+
+func TestMaxSynchronizes(t *testing.T) {
+	a, b, c := &Clock{}, &Clock{}, &Clock{}
+	a.Advance(1, Compute)
+	b.Advance(4, Compute)
+	c.Advance(2, Compute)
+	sync := Max(Runtime, a, b, c)
+	if sync != 4 {
+		t.Errorf("Max = %g, want 4", sync)
+	}
+	for i, cl := range []*Clock{a, b, c} {
+		if cl.Now() != 4 {
+			t.Errorf("clock %d not advanced to 4: %g", i, cl.Now())
+		}
+	}
+	if a.Spent(Runtime) != 3 || b.Spent(Runtime) != 0 || c.Spent(Runtime) != 2 {
+		t.Errorf("wait attribution wrong: a=%g b=%g c=%g",
+			a.Spent(Runtime), b.Spent(Runtime), c.Spent(Runtime))
+	}
+}
+
+func TestMaxEmpty(t *testing.T) {
+	if got := Max(Runtime); got != 0 {
+		t.Errorf("Max() = %g, want 0", got)
+	}
+}
+
+func TestMaxProperty(t *testing.T) {
+	// After Max, all clocks agree and none moved backwards.
+	f := func(ts []float64) bool {
+		clocks := make([]*Clock, 0, len(ts))
+		for _, v := range ts {
+			c := &Clock{}
+			c.Advance(math.Abs(v), Compute)
+			clocks = append(clocks, c)
+		}
+		before := make([]float64, len(clocks))
+		for i, c := range clocks {
+			before[i] = c.Now()
+		}
+		sync := Max(Comm, clocks...)
+		for i, c := range clocks {
+			if c.Now() != sync || c.Now() < before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var c Clock
+	c.Advance(1, Compute)
+	c.Advance(2, Memory)
+	c.Advance(3, Comm)
+	c.Advance(4, Runtime)
+	b := c.Breakdown()
+	if b.Total() != 10 {
+		t.Errorf("Total = %g, want 10", b.Total())
+	}
+	b2 := b.Add(b)
+	if b2.Total() != 20 || b2.Get(Memory) != 4 {
+		t.Errorf("Add wrong: %v", b2)
+	}
+	s := b.String()
+	for _, want := range []string{"compute=1s", "memory=2s", "comm=3s", "runtime=4s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Compute.String() != "compute" || Category(99).String() == "" {
+		t.Error("Category.String broken")
+	}
+	if len(Categories()) != 4 {
+		t.Errorf("Categories() = %v", Categories())
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{0, "0s"},
+		{1.5e-9, "1.5ns"},
+		{2.5e-6, "2.5us"},
+		{3.25e-3, "3.25ms"},
+		{42, "42s"},
+	}
+	for _, c := range cases {
+		if got := Format(c.sec); got != c.want {
+			t.Errorf("Format(%g) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if Duration(1.5) != 1500*time.Millisecond {
+		t.Errorf("Duration(1.5) = %v", Duration(1.5))
+	}
+	if Duration(1e300) != time.Duration(1<<63-1) {
+		t.Error("Duration should saturate on overflow")
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries("ranks")
+	if s.Name() != "ranks" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 || s.Median() != 0 || s.Imbalance() != 0 {
+		t.Error("empty series stats should be 0")
+	}
+	for _, v := range []float64{4, 1, 3, 2} {
+		s.Add(v)
+	}
+	if s.Len() != 4 || s.Max() != 4 || s.Min() != 1 || s.Mean() != 2.5 || s.Median() != 2.5 {
+		t.Errorf("stats wrong: len=%d max=%g min=%g mean=%g median=%g",
+			s.Len(), s.Max(), s.Min(), s.Mean(), s.Median())
+	}
+	if got := s.Imbalance(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Imbalance = %g, want 0.6", got)
+	}
+	s.Add(5)
+	if s.Median() != 3 {
+		t.Errorf("odd median = %g, want 3", s.Median())
+	}
+}
+
+func TestSeriesMedianProperty(t *testing.T) {
+	// Median lies between min and max and does not mutate sample order.
+	f := func(vals []float64) bool {
+		s := NewSeries("p")
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+			clean = append(clean, v)
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		med := s.Median()
+		if med < s.Min() || med > s.Max() {
+			return false
+		}
+		for i, v := range clean {
+			if s.samples[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
