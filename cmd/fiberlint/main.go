@@ -1,0 +1,143 @@
+// Command fiberlint is fibersim's static-analysis suite. It runs two
+// prongs in one pass:
+//
+//   - four source analyzers (floatcmp, rawkernel, magicconst,
+//     errchecklite) over the module's Go packages, built on go/parser
+//     and go/types only — see internal/lint;
+//   - the kernel-IR verifier (rule kernelir): every registered
+//     miniapp's kernel descriptors, for every data-set size, are
+//     checked for physical plausibility — see loopir.AnalyzeKernels.
+//
+// Usage:
+//
+//	fiberlint [-rules list] [-no-ir] [-v] [packages]
+//
+// where packages defaults to ./... resolved against the enclosing
+// module. Exit status is 1 when any diagnostic is reported, 2 on
+// driver errors. Suppress a finding with a trailing or preceding
+// comment: //fiberlint:ignore <rule> reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fibersim/internal/lint"
+	"fibersim/internal/loopir"
+	"fibersim/internal/miniapps/common"
+
+	// Register the full suite so the IR verifier sees every app.
+	_ "fibersim/internal/miniapps/all"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without os.Exit, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fiberlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule subset (floatcmp,rawkernel,magicconst,errchecklite,kernelir); empty = all")
+	noIR := fs.Bool("no-ir", false, "skip the kernel-IR verifier over the registered miniapps")
+	verbose := fs.Bool("v", false, "report packages analyzed and soft type errors")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	known := map[string]bool{loopir.RuleIR: true}
+	for _, a := range lint.DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+	enabled := map[string]bool{}
+	for _, r := range strings.Split(*rules, ",") {
+		if r = strings.TrimSpace(r); r == "" {
+			continue
+		}
+		// A typo'd rule name must not silently disable the whole gate.
+		if !known[r] {
+			fmt.Fprintf(stderr, "fiberlint: unknown rule %q (known: floatcmp, rawkernel, magicconst, errchecklite, kernelir)\n", r)
+			return 2
+		}
+		enabled[r] = true
+	}
+	on := func(rule string) bool { return len(enabled) == 0 || enabled[rule] }
+
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.DefaultAnalyzers() {
+		if on(a.Name) {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "fiberlint:", err)
+		return 2
+	}
+	root, err := lint.FindRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "fiberlint:", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "fiberlint:", err)
+		return 2
+	}
+
+	var diags []lint.Diagnostic
+	if len(analyzers) > 0 {
+		pkgs, err := mod.Load(patterns...)
+		if err != nil {
+			fmt.Fprintln(stderr, "fiberlint:", err)
+			return 2
+		}
+		if *verbose {
+			for _, p := range pkgs {
+				fmt.Fprintf(stderr, "fiberlint: analyzing %s (%d files)\n", p.Path, len(p.Files))
+				for _, te := range p.TypeErrors {
+					fmt.Fprintf(stderr, "fiberlint: type error (analysis degrades): %v\n", te)
+				}
+			}
+		}
+		diags = lint.Run(pkgs, analyzers)
+	}
+
+	if !*noIR && on(loopir.RuleIR) {
+		irDiags := verifyKernelIR()
+		lint.Sort(irDiags)
+		diags = append(diags, irDiags...)
+	}
+
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "fiberlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// verifyKernelIR runs the semantic pass over every registered
+// miniapp's descriptors at every data-set size.
+func verifyKernelIR() []lint.Diagnostic {
+	var out []lint.Diagnostic
+	sizes := []common.Size{common.SizeTest, common.SizeSmall, common.SizeMedium}
+	for _, name := range common.Names() {
+		app := common.MustLookup(name)
+		for _, size := range sizes {
+			owner := fmt.Sprintf("%s/%s", name, size)
+			out = append(out, loopir.AnalyzeKernels(owner, app.Kernels(size))...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runLint invokes run() the way main does, capturing both streams.
+// The test's working directory is cmd/fiberlint; FindRoot ascends to
+// the module root, and package patterns resolve against that root.
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestBadFixturesFail(t *testing.T) {
+	cases := []struct {
+		rule string
+		dir  string
+	}{
+		{"floatcmp", "./internal/lint/testdata/src/floatcmp_bad"},
+		{"rawkernel", "./internal/lint/testdata/src/rawkernel_bad"},
+		{"magicconst", "./internal/lint/testdata/src/internal/harness/magicconst_bad"},
+		{"errchecklite", "./internal/lint/testdata/src/errcheck_bad"},
+	}
+	loc := regexp.MustCompile(`bad\.go:\d+:\d+: `)
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			code, stdout, stderr := runLint(t, "-no-ir", "-rules", tc.rule, tc.dir)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+			}
+			if !strings.Contains(stdout, tc.rule+": ") {
+				t.Errorf("stdout lacks rule %q:\n%s", tc.rule, stdout)
+			}
+			if !loc.MatchString(stdout) {
+				t.Errorf("stdout lacks file:line:col positions:\n%s", stdout)
+			}
+		})
+	}
+}
+
+func TestGoodFixturePasses(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-no-ir", "./internal/lint/testdata/src/rawkernel_good")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+// TestKernelIROnly drives only the IR verifier: the registered suite
+// must be clean, and no source is loaded at all.
+func TestKernelIROnly(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-rules", "kernelir")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := runLint(t, "-bogus"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestUnknownRuleExitsTwo guards the CI gate: a typo'd -rules value
+// must fail loudly, not silently disable every analyzer.
+func TestUnknownRuleExitsTwo(t *testing.T) {
+	code, _, stderr := runLint(t, "-rules", "floatcomp")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown rule "floatcomp"`) {
+		t.Errorf("stderr lacks unknown-rule message:\n%s", stderr)
+	}
+}

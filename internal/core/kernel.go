@@ -25,7 +25,10 @@
 // pipelining, loop fission).
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // AccessPattern classifies a kernel's dominant memory access shape.
 type AccessPattern int
@@ -122,10 +125,29 @@ type Kernel struct {
 	NonFPFrac float64
 }
 
-// Validate reports descriptor problems.
+// Validate reports descriptor problems. Every float field must be
+// finite: NaN compares false against any bound, so the range checks
+// are written to reject it rather than silently pass.
 func (k Kernel) Validate() error {
 	if k.Name == "" {
 		return fmt.Errorf("core: kernel has no name")
+	}
+	for _, c := range []struct {
+		v    float64
+		what string
+	}{
+		{k.FlopsPerIter, "FlopsPerIter"},
+		{k.FMAFrac, "FMAFrac"},
+		{k.LoadBytesPerIter, "LoadBytesPerIter"},
+		{k.StoreBytesPerIter, "StoreBytesPerIter"},
+		{k.VectorizableFrac, "VectorizableFrac"},
+		{k.AutoVecFrac, "AutoVecFrac"},
+		{k.DepChainPenalty, "DepChainPenalty"},
+		{k.NonFPFrac, "NonFPFrac"},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("core: kernel %s: %s = %g is not finite", k.Name, c.what, c.v)
+		}
 	}
 	inUnit := func(v float64, what string) error {
 		if v < 0 || v > 1 {
@@ -160,6 +182,20 @@ func (k Kernel) Validate() error {
 		return fmt.Errorf("core: kernel %s: negative working set", k.Name)
 	}
 	return nil
+}
+
+// MustKernel validates a literal descriptor at construction time and
+// panics on a bad one: miniapp kernel constructors run at well-defined
+// places (registration, Kernels()), where a malformed descriptor is a
+// programming error exactly like a malformed catalogue machine. The
+// rawkernel analyzer requires every core.Kernel literal outside
+// internal/loopir to be covered by this or by an explicit Validate
+// call.
+func MustKernel(k Kernel) Kernel {
+	if err := k.Validate(); err != nil {
+		panic(err)
+	}
+	return k
 }
 
 // BytesPerIter returns total memory traffic per iteration.

@@ -34,12 +34,12 @@ func FigMultiNode(o Options) (*Table, error) {
 		mdl := core.NewModel(m)
 		// One CMG per rank, 4 ranks per node.
 		cores := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
-		kern := core.Kernel{
+		kern := core.MustKernel(core.Kernel{
 			Name: "proxy-stencil", FlopsPerIter: 60, FMAFrac: 0.7,
 			LoadBytesPerIter: 96, StoreBytesPerIter: 24,
 			VectorizableFrac: 0.95, AutoVecFrac: 0.9,
 			Pattern: core.PatternStream, WorkingSetBytes: 1 << 28,
-		}
+		})
 		cfg := mpi.Config{
 			Ranks:        4 * n,
 			RanksPerNode: 4,

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -86,7 +87,7 @@ func TableScorecard(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var minGain float64 = 1e9
+		minGain := math.Inf(1)
 		for _, app := range []string{"mvmc", "modylas"} {
 			cell, err := tab.Cell(app, "speedup")
 			if err != nil {

@@ -37,14 +37,15 @@ func (t *Table) Render(w io.Writer) error {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	// tabwriter buffers: write errors surface at the checked Flush below.
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t")) //fiberlint:ignore errchecklite reported by Flush
 	sep := make([]string, len(t.Columns))
 	for i, c := range t.Columns {
 		sep[i] = strings.Repeat("-", len(c))
 	}
-	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	fmt.Fprintln(tw, strings.Join(sep, "\t")) //fiberlint:ignore errchecklite reported by Flush
 	for _, row := range t.Rows {
-		fmt.Fprintln(tw, strings.Join(row, "\t"))
+		fmt.Fprintln(tw, strings.Join(row, "\t")) //fiberlint:ignore errchecklite reported by Flush
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// internalScope is where discarded errors are forbidden: the simulator
+// proper. Commands and examples print and exit as they please.
+const internalScope = "internal/"
+
+// ErrCheckLite returns the errcheck-lite analyzer: inside internal/...
+// a call whose results include an error may not be used as a bare
+// statement. Assigning the error to _ is the explicit, greppable way
+// to discard one on purpose.
+func ErrCheckLite() *Analyzer {
+	return &Analyzer{
+		Name: "errchecklite",
+		Doc:  "flags call statements in internal/... that silently discard an error result",
+		Run:  runErrCheckLite,
+	}
+}
+
+func runErrCheckLite(p *Package) []Diagnostic {
+	if !strings.Contains(p.Path, internalScope) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if returnsError(p.Info, call) {
+				out = append(out, p.diag(call.Pos(), "errchecklite",
+					"result of %s includes an error that is discarded; handle it or assign to _ explicitly",
+					types.ExprString(call.Fun)))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether any result of the call is of type
+// error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp returns the floatcmp analyzer: raw ==/!= between
+// floating-point expressions is flagged outside _test.go files (test
+// helpers compare with tolerances and exact values deliberately).
+// Comparing against the exact constant zero is allowed — zero is the
+// well-defined "unset" sentinel throughout the model (unset times,
+// zero traffic) and guards divisions.
+func FloatCmp() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "flags ==/!= on floating-point expressions (tolerances belong in helpers)",
+		Run:  runFloatCmp,
+	}
+}
+
+func runFloatCmp(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+				return true
+			}
+			if isExactZero(p.Info, be.X) || isExactZero(p.Info, be.Y) {
+				return true
+			}
+			out = append(out, p.diag(be.OpPos, "floatcmp",
+				"floating-point %s comparison; compare with a tolerance (or against exact zero)", be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether t's underlying type is a float or complex.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to
+// zero.
+func isExactZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(tv.Value)) == 0 &&
+			constant.Sign(constant.Imag(tv.Value)) == 0
+	}
+	return false
+}

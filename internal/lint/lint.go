@@ -1,0 +1,177 @@
+// Package lint is fibersim's static-analysis driver: a stdlib-only
+// (go/parser, go/ast, go/types) analyzer framework that enforces
+// simulator-specific invariants over the module's source, plus the
+// shared diagnostic type through which the loopir kernel-IR verifier
+// reports, so `fiberlint` covers Go source and kernel descriptors in
+// one run.
+//
+// The paper's findings hinge on derived kernel properties (vectorized
+// fraction, dependency-chain penalty, bytes/flop balance) staying
+// internally consistent as the codebase grows; these analyzers are the
+// enforcement mechanism. The rules:
+//
+//   - floatcmp:   no raw ==/!= on floating-point expressions outside
+//     _test.go files (comparisons against the exact-zero sentinel are
+//     allowed: zero is a well-defined "unset/guard" value).
+//   - rawkernel:  a core.Kernel composite literal outside
+//     internal/loopir must share a function with a Validate() or
+//     core.MustKernel call — descriptors may not bypass validation.
+//   - magicconst: hardware-scale numbers (bandwidths, frequencies,
+//     machine descriptions) may only live in internal/arch, not inline
+//     in miniapps or the harness.
+//   - errchecklite: no discarded error returns in internal/... .
+//
+// A diagnostic is suppressed with a comment on the offending line or
+// the line above:
+//
+//	//fiberlint:ignore <rule>[,<rule>...] reason
+//
+// where <rule> may be "all".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, from either a source analyzer (File is a
+// real path and Line/Col are set) or the kernel-IR verifier (File is a
+// logical locus like "ir:ffb/ebe-matvec" and Line is 0).
+type Diagnostic struct {
+	// File is the file path or logical locus.
+	File string
+	// Line and Col locate the finding within File (0 when not a file).
+	Line, Col int
+	// Rule names the analyzer that produced the finding.
+	Rule string
+	// Msg explains the finding.
+	Msg string
+}
+
+// String renders the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	if d.Line > 0 {
+		return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s: %s", d.File, d.Rule, d.Msg)
+}
+
+// Analyzer is one named source rule.
+type Analyzer struct {
+	// Name is the rule key used in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one type-checked package.
+	Run func(p *Package) []Diagnostic
+}
+
+// DefaultAnalyzers returns the full rule set in reporting order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{FloatCmp(), RawKernel(), MagicConst(), ErrCheckLite()}
+}
+
+// Run applies the analyzers to every package, drops suppressed
+// findings, and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		sup := p.suppressions()
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if !sup.covers(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// Sort orders diagnostics by file, line, column and rule.
+func Sort(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "//fiberlint:ignore"
+
+// suppression records which rules are ignored on which lines.
+type suppression map[string]map[int]bool // rule -> set of suppressed lines
+
+func (s suppression) covers(d Diagnostic) bool {
+	if d.Line == 0 {
+		return false
+	}
+	for _, rule := range []string{d.Rule, "all"} {
+		if lines := s[rule]; lines != nil && lines[d.Line] {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions scans the package's comments for ignore directives. A
+// directive suppresses the named rules on its own line and on the line
+// below, so it works both as a trailing comment and on a line of its
+// own above the finding.
+func (p *Package) suppressions() suppression {
+	s := suppression{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				rules, _, _ := strings.Cut(rest, " ")
+				line := p.Fset.Position(c.Pos()).Line
+				for _, rule := range strings.Split(rules, ",") {
+					rule = strings.TrimSpace(rule)
+					if rule == "" {
+						continue
+					}
+					if s[rule] == nil {
+						s[rule] = map[int]bool{}
+					}
+					s[rule][line] = true
+					s[rule][line+1] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// diag builds a Diagnostic at a source position.
+func (p *Package) diag(pos token.Pos, rule, format string, args ...any) Diagnostic {
+	at := p.Fset.Position(pos)
+	return Diagnostic{
+		File: at.Filename, Line: at.Line, Col: at.Column,
+		Rule: rule, Msg: fmt.Sprintf(format, args...),
+	}
+}
+
+// IsTestFile reports whether f came from a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}

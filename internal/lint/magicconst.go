@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"strings"
+)
+
+// archPkgSuffix identifies the package owning hardware descriptions.
+const archPkgSuffix = "internal/arch"
+
+// magicScopes are the package subtrees where inline hardware numbers
+// are forbidden — the miniapps and the experiment harness, which must
+// take machine parameters from the arch catalogue.
+var magicScopes = []string{"internal/miniapps", "internal/harness"}
+
+// hwMagnitude is the threshold above which a float constant looks
+// like a hardware rate (bandwidths and clock frequencies are >= 1e9
+// in base units of bytes/s and Hz; no legitimate model quantity in
+// the suite reaches it). Only float-typed constants are screened:
+// large integer constants are PRNG multipliers, bit masks and magic
+// numbers, never machine rates.
+const hwMagnitude = 1e9
+
+// MagicConst returns the magicconst analyzer: inside internal/miniapps
+// and internal/harness it flags (a) composite literals of
+// arch.Machine/Core/Domain, (b) assignments to fields of those types,
+// and (c) numeric constants >= 1e9 — except as a division denominator,
+// which is unit conversion (x/1e9 -> GB/s or GF/s), not a hardware
+// parameter. Hardware numbers belong in the internal/arch catalogue.
+func MagicConst() *Analyzer {
+	return &Analyzer{
+		Name: "magicconst",
+		Doc:  "flags inline hardware numbers/descriptions outside internal/arch",
+		Run:  runMagicConst,
+	}
+}
+
+func runMagicConst(p *Package) []Diagnostic {
+	inScope := false
+	for _, s := range magicScopes {
+		if strings.Contains(p.Path, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope || strings.HasSuffix(p.Path, archPkgSuffix) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name, ok := archTypeName(p.Info.TypeOf(n)); ok {
+					out = append(out, p.diag(n.Pos(), "magicconst",
+						"arch.%s constructed inline; hardware descriptions belong in the internal/arch catalogue", name))
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if name, ok := archTypeName(p.Info.TypeOf(sel.X)); ok {
+						out = append(out, p.diag(lhs.Pos(), "magicconst",
+							"assignment to arch.%s field; hardware parameters may only be set in internal/arch", name))
+					}
+				}
+			case ast.Expr:
+				if d, ok := p.hwConstant(n, stack); ok {
+					out = append(out, d)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// archTypeName reports whether t is (a pointer to) one of the arch
+// hardware-description types, returning its name.
+func archTypeName(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), archPkgSuffix) {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Machine", "Core", "Domain":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// hwConstant flags e if it is a maximal float-typed constant
+// expression of hardware magnitude that is not a unit-conversion
+// denominator.
+func (p *Package) hwConstant(e ast.Expr, stack []ast.Node) (Diagnostic, bool) {
+	v, ok := constValue(p.Info, e)
+	if !ok || math.Abs(v) < hwMagnitude || !isFloat(p.Info.TypeOf(e)) {
+		return Diagnostic{}, false
+	}
+	// Only report the outermost constant expression (256*1e9 is one
+	// finding, not three). A constant parent — including a parenthesis,
+	// which is itself a constant expression and gets its own visit —
+	// means e is an inner operand.
+	var parent ast.Node
+	if len(stack) >= 2 {
+		parent = stack[len(stack)-2]
+	}
+	if pe, ok := parent.(ast.Expr); ok {
+		if _, constParent := constValue(p.Info, pe); constParent {
+			return Diagnostic{}, false
+		}
+	}
+	if be, ok := parent.(*ast.BinaryExpr); ok && be.Op == token.QUO && be.Y == e {
+		return Diagnostic{}, false // x / 1e9: unit conversion
+	}
+	return p.diag(e.Pos(), "magicconst",
+		"hardware-scale constant %g inline; machine rates belong in the internal/arch catalogue", v), true
+}
+
+// constValue extracts a numeric constant value from an expression.
+func constValue(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// kernelPkgSuffix identifies the package defining the Kernel type.
+const kernelPkgSuffix = "internal/core"
+
+// loopirPkgSuffix is the one package allowed to build raw kernels: its
+// whole purpose is deriving (and validating) descriptors.
+const loopirPkgSuffix = "internal/loopir"
+
+// RawKernel returns the rawkernel analyzer: a core.Kernel composite
+// literal outside internal/loopir must be reachable from a Validate()
+// (or core.MustKernel) call in the same enclosing function, so miniapp
+// descriptors cannot bypass validation. Test files are exempt — their
+// literals are fixtures, and the model re-validates on Charge.
+func RawKernel() *Analyzer {
+	return &Analyzer{
+		Name: "rawkernel",
+		Doc:  "flags core.Kernel literals not covered by a Validate()/MustKernel call in the same function",
+		Run:  runRawKernel,
+	}
+}
+
+func runRawKernel(p *Package) []Diagnostic {
+	if strings.HasSuffix(p.Path, loopirPkgSuffix) {
+		return nil
+	}
+	var out []Diagnostic
+	// validated memoizes, per enclosing function node, whether its body
+	// contains a validating call.
+	validated := map[ast.Node]bool{}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isKernelType(p.Info.TypeOf(lit)) {
+				return true
+			}
+			fn := enclosingFunc(stack)
+			if fn == nil {
+				out = append(out, p.diag(lit.Pos(), "rawkernel",
+					"package-level core.Kernel literal bypasses validation; build it in a function that calls Validate()"))
+				return true
+			}
+			if _, ok := validated[fn]; !ok {
+				validated[fn] = hasValidatingCall(fn)
+			}
+			if !validated[fn] {
+				out = append(out, p.diag(lit.Pos(), "rawkernel",
+					"core.Kernel literal not covered by a Validate() or core.MustKernel call in this function"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isKernelType reports whether t (or its element/pointer base) is
+// core.Kernel.
+func isKernelType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kernel" || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), kernelPkgSuffix)
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the stack (excluding the current node).
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// hasValidatingCall reports whether the function subtree contains a
+// call to a Validate method or to MustKernel.
+func hasValidatingCall(fn ast.Node) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Validate" || fun.Sel.Name == "MustKernel" {
+				found = true
+			}
+		case *ast.Ident:
+			if fun.Name == "Validate" || fun.Name == "MustKernel" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+// Package fixture is the errchecklite positive fixture. Its fake
+// import path places it under internal/, where discarding errors is
+// forbidden.
+package fixture
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func bad() {
+	mayFail() // want errchecklite
+	pair()    // want errchecklite
+}

@@ -1,0 +1,21 @@
+// Package fixture is the errchecklite negative fixture: handled
+// errors, explicit discards and error-free calls.
+package fixture
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 1 }
+
+func good() error {
+	_ = mayFail()
+	_, _ = pair()
+	pure()
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return mayFail()
+}

@@ -1,0 +1,27 @@
+// Package fixture is a floatcmp test fixture: every line carrying a
+// "want" marker must be flagged, every other line must not.
+package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+func neq(a float32) bool {
+	return a != 1.5 // want floatcmp
+}
+
+func viaExpr(a, b, c float64) bool {
+	return a+b == c*2 // want floatcmp
+}
+
+func cplx(a, b complex128) bool {
+	return a == b // want floatcmp
+}
+
+func okZeroGuard(a float64) bool { return a == 0 }
+
+func okZeroFloat(a float64) bool { return a != 0.0 }
+
+func okInts(a, b int) bool { return a == b }
+
+func okOrdered(a, b float64) bool { return a < b }

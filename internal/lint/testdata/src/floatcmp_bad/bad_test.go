@@ -1,0 +1,6 @@
+package fixture
+
+// Test files are exempt: exact comparisons are how tests pin expected
+// values. Nothing here may be flagged.
+
+func exactInTest(a, b float64) bool { return a == b }

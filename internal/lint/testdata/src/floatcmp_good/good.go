@@ -1,0 +1,17 @@
+// Package fixture is the floatcmp negative fixture: tolerance
+// helpers, zero guards and integer comparisons produce no findings.
+package fixture
+
+const tol = 1e-9
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func unset(t float64) bool { return t == 0 }
+
+func count(n int) bool { return n == 48 }

@@ -1,0 +1,28 @@
+// Package fixture is the magicconst positive fixture. Its fake import
+// path places it under internal/harness, where hardware numbers are
+// forbidden.
+package fixture
+
+import "fibersim/internal/arch"
+
+// badRate smells like a memory bandwidth.
+var badRate = 256e9 // want magicconst
+
+// badProduct folds to 512e9; only the outermost expression reports.
+var badProduct = 2 * 256e9 // want magicconst
+
+func adHocMachine() *arch.Machine {
+	return &arch.Machine{ // want magicconst
+		Name: "adhoc",
+	}
+}
+
+func adHocDomain() arch.Domain {
+	return arch.Domain{ // want magicconst
+		MemBandwidth: 256e9, // want magicconst
+	}
+}
+
+func retune(m *arch.Machine) {
+	m.Core.FreqHz = 2.5e9 // want magicconst magicconst
+}

@@ -1,0 +1,20 @@
+// Package fixture is the magicconst negative fixture: catalogue
+// lookups, unit conversions and PRNG-scale integer constants are all
+// legitimate.
+package fixture
+
+import "fibersim/internal/arch"
+
+func fromCatalogue() *arch.Machine { return arch.MustLookup("a64fx") }
+
+// gflops is a unit conversion, not a hardware parameter.
+func gflops(flops, seconds float64) float64 { return flops / seconds / 1e9 }
+
+// parenthesized denominators are conversions too.
+func unit(x float64) float64 { return x / (1 << 53) }
+
+// mix is a PRNG multiplier: integer-typed, exempt.
+func mix(h uint64) uint64 { return h * 0x9E3779B97F4A7C15 }
+
+// small quantities are never hardware rates.
+var workingSet = int64(1 << 28)

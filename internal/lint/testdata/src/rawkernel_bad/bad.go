@@ -1,0 +1,31 @@
+// Package fixture is the rawkernel positive fixture: descriptors
+// built without validation in reach.
+package fixture
+
+import "fibersim/internal/core"
+
+// pkgLevel has no enclosing function at all.
+var pkgLevel = core.Kernel{Name: "pkg", VectorizableFrac: 1, AutoVecFrac: 1} // want rawkernel
+
+func raw() core.Kernel {
+	return core.Kernel{ // want rawkernel
+		Name:             "raw",
+		VectorizableFrac: 1,
+		AutoVecFrac:      1,
+	}
+}
+
+func rawSlice() []core.Kernel {
+	return []core.Kernel{
+		{Name: "a", VectorizableFrac: 1}, // want rawkernel
+		{Name: "b", VectorizableFrac: 1}, // want rawkernel
+	}
+}
+
+func rawInClosure() func() core.Kernel {
+	// The Validate call must be in the literal's own function; this one
+	// validates nothing.
+	return func() core.Kernel {
+		return core.Kernel{Name: "c"} // want rawkernel
+	}
+}

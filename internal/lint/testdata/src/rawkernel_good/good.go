@@ -1,0 +1,29 @@
+// Package fixture is the rawkernel negative fixture: every descriptor
+// is covered by MustKernel or an explicit Validate call.
+package fixture
+
+import "fibersim/internal/core"
+
+func must() core.Kernel {
+	return core.MustKernel(core.Kernel{
+		Name:             "must",
+		VectorizableFrac: 1,
+		AutoVecFrac:      0.5,
+	})
+}
+
+func explicit() (core.Kernel, error) {
+	k := core.Kernel{Name: "explicit", VectorizableFrac: 1}
+	return k, k.Validate()
+}
+
+func loopValidated() []core.Kernel {
+	ks := []core.Kernel{
+		{Name: "a", VectorizableFrac: 1},
+		{Name: "b", VectorizableFrac: 1},
+	}
+	for i := range ks {
+		ks[i] = core.MustKernel(ks[i])
+	}
+	return ks
+}

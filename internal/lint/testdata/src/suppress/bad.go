@@ -1,0 +1,25 @@
+// Package fixture exercises the //fiberlint:ignore directive: only
+// the unsuppressed comparison may report.
+package fixture
+
+func trailing(a, b float64) bool {
+	return a == b //fiberlint:ignore floatcmp bit-exact on purpose
+}
+
+func preceding(a, b float64) bool {
+	//fiberlint:ignore floatcmp bit-exact on purpose
+	return a == b
+}
+
+func all(a, b float64) bool {
+	return a == b //fiberlint:ignore all noisy line
+}
+
+func wrongRule(a, b float64) bool {
+	//fiberlint:ignore rawkernel directive names a different rule
+	return a == b // want floatcmp
+}
+
+func unsuppressed(a, b float64) bool {
+	return a == b // want floatcmp
+}

@@ -1,0 +1,163 @@
+package loopir
+
+import (
+	"fmt"
+	"math"
+
+	"fibersim/internal/core"
+	"fibersim/internal/lint"
+)
+
+// RuleIR is the rule name under which kernel-IR findings report, so
+// fiberlint output and suppress documentation treat the semantic pass
+// like any other analyzer.
+const RuleIR = "kernelir"
+
+// maxDepChainPenalty bounds the dependency-chain penalty: the loopir
+// derivation caps at 3 and the stall model saturates shortly above it;
+// anything larger means a descriptor typo, not a longer chain.
+const maxDepChainPenalty = 4
+
+// maxIntensity returns the roofline-sane upper bound on arithmetic
+// intensity (flops per byte of sub-register traffic) for a declared
+// access pattern. The suite's kernels sit near or below 1.5 flops/B
+// (the paper's memory-bound premise); even a register-blocked DGEMM
+// stays two orders of magnitude under the stream cap. Irregular
+// patterns get tighter caps: a gather- or pointer-chasing kernel
+// claiming high intensity has mislabelled either its traffic or its
+// pattern.
+func maxIntensity(p core.AccessPattern) float64 {
+	switch p {
+	case core.PatternStrided:
+		return 50
+	case core.PatternGather:
+		return 20
+	case core.PatternRandom:
+		return 10
+	default:
+		return 100
+	}
+}
+
+// AnalyzeKernel checks one kernel descriptor for physical
+// plausibility, reporting every violation (not just the first, unlike
+// Validate) through the shared lint diagnostic type. The owner string
+// names the context, e.g. "ffb/small".
+func AnalyzeKernel(owner string, k core.Kernel) []lint.Diagnostic {
+	locus := fmt.Sprintf("ir:%s/%s", owner, k.Name)
+	var out []lint.Diagnostic
+	bad := func(format string, args ...any) {
+		out = append(out, lint.Diagnostic{File: locus, Rule: RuleIR, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if k.Name == "" {
+		locus = fmt.Sprintf("ir:%s/(unnamed)", owner)
+		bad("kernel has no name")
+	}
+
+	fields := []struct {
+		v    float64
+		name string
+		unit bool // must lie in [0,1]
+	}{
+		{k.FlopsPerIter, "FlopsPerIter", false},
+		{k.FMAFrac, "FMAFrac", true},
+		{k.LoadBytesPerIter, "LoadBytesPerIter", false},
+		{k.StoreBytesPerIter, "StoreBytesPerIter", false},
+		{k.VectorizableFrac, "VectorizableFrac", true},
+		{k.AutoVecFrac, "AutoVecFrac", true},
+		{k.DepChainPenalty, "DepChainPenalty", false},
+		{k.NonFPFrac, "NonFPFrac", true},
+	}
+	finite := true
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			bad("%s = %g is not finite", f.name, f.v)
+			finite = false
+			continue
+		}
+		if f.unit {
+			if f.v < 0 || f.v > 1 {
+				bad("%s = %g outside [0,1]", f.name, f.v)
+			}
+		} else if f.v < 0 {
+			bad("%s = %g is negative", f.name, f.v)
+		}
+	}
+	if !finite {
+		return out // derived quantities below would just cascade
+	}
+
+	if k.AutoVecFrac > k.VectorizableFrac {
+		bad("AutoVecFrac %g exceeds VectorizableFrac %g: the as-is build cannot beat the tuned one",
+			k.AutoVecFrac, k.VectorizableFrac)
+	}
+	if k.DepChainPenalty > maxDepChainPenalty {
+		bad("DepChainPenalty %g exceeds %d: tighter chains than any recurrence in the suite",
+			k.DepChainPenalty, maxDepChainPenalty)
+	}
+
+	bytes := k.BytesPerIter()
+	if bytes > 0 {
+		if ai, limit := k.ArithmeticIntensity(), maxIntensity(k.Pattern); ai > limit {
+			bad("arithmetic intensity %.3g flops/B exceeds the %s-pattern plausibility cap %g",
+				ai, k.Pattern, limit)
+		}
+		if k.WorkingSetBytes == 0 {
+			bad("kernel moves %g B/iter but declares no working set; the model cannot pick a cache level", bytes)
+		} else if float64(k.WorkingSetBytes) < bytes {
+			bad("working set %d B is smaller than one iteration's traffic (%g B)", k.WorkingSetBytes, bytes)
+		}
+	} else if k.FlopsPerIter > 0 {
+		bad("kernel computes %g flops/iter with zero memory traffic; even register-resident kernels stream operands",
+			k.FlopsPerIter)
+	} else if k.WorkingSetBytes > 0 {
+		bad("kernel declares a %d B working set but neither flops nor traffic", k.WorkingSetBytes)
+	}
+	if k.WorkingSetBytes < 0 {
+		bad("working set %d B is negative", k.WorkingSetBytes)
+	}
+	return out
+}
+
+// AnalyzeKernels checks a kernel set as a unit: each descriptor
+// individually, plus cross-kernel invariants (names must be unique —
+// profiles and traces key on them).
+func AnalyzeKernels(owner string, ks []core.Kernel) []lint.Diagnostic {
+	var out []lint.Diagnostic
+	seen := map[string]bool{}
+	for _, k := range ks {
+		out = append(out, AnalyzeKernel(owner, k)...)
+		if k.Name != "" && seen[k.Name] {
+			out = append(out, lint.Diagnostic{
+				File: fmt.Sprintf("ir:%s/%s", owner, k.Name), Rule: RuleIR,
+				Msg: "duplicate kernel name within one app; profiles key on names",
+			})
+		}
+		seen[k.Name] = true
+	}
+	return out
+}
+
+// AnalyzeLoop checks a loop description and the kernel derived from
+// it. Structural errors (Validate failures) report first; if the loop
+// derives, the kernel gets the full plausibility pass.
+func AnalyzeLoop(owner string, l Loop) []lint.Diagnostic {
+	locus := fmt.Sprintf("ir:%s/%s", owner, l.Name)
+	if l.Name == "" {
+		locus = fmt.Sprintf("ir:%s/(unnamed)", owner)
+	}
+	var out []lint.Diagnostic
+	if err := l.Validate(); err != nil {
+		return append(out, lint.Diagnostic{File: locus, Rule: RuleIR, Msg: err.Error()})
+	}
+	if len(l.Ops) == 0 && len(l.Accesses) == 0 {
+		out = append(out, lint.Diagnostic{File: locus, Rule: RuleIR,
+			Msg: "loop has neither operations nor accesses; it models no work"})
+	}
+	k, err := l.Kernel()
+	if err != nil {
+		return append(out, lint.Diagnostic{File: locus, Rule: RuleIR, Msg: err.Error()})
+	}
+	return append(out, AnalyzeKernel(owner, k)...)
+}

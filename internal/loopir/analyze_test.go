@@ -1,0 +1,182 @@
+package loopir
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fibersim/internal/core"
+	"fibersim/internal/lint"
+	"fibersim/internal/miniapps/common"
+)
+
+// goodKernel is a plausible memory-bound descriptor the analyzer must
+// accept untouched.
+func goodKernel() core.Kernel {
+	return core.Kernel{
+		Name:              "good",
+		FlopsPerIter:      2,
+		FMAFrac:           1,
+		LoadBytesPerIter:  16,
+		StoreBytesPerIter: 8,
+		VectorizableFrac:  0.9,
+		AutoVecFrac:       0.5,
+		DepChainPenalty:   1,
+		Pattern:           core.PatternStream,
+		WorkingSetBytes:   1 << 20,
+	}
+}
+
+func TestAnalyzeKernelAcceptsGood(t *testing.T) {
+	if ds := AnalyzeKernel("test/case", goodKernel()); len(ds) != 0 {
+		t.Fatalf("good kernel flagged: %v", ds)
+	}
+}
+
+// TestAnalyzeKernelRejectsBad mutates the good kernel one implausible
+// way at a time and checks both that a finding appears and that its
+// message names the right problem.
+func TestAnalyzeKernelRejectsBad(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*core.Kernel)
+		wantMsg string
+	}{
+		{"nan flops", func(k *core.Kernel) { k.FlopsPerIter = math.NaN() }, "not finite"},
+		{"inf load bytes", func(k *core.Kernel) { k.LoadBytesPerIter = math.Inf(1) }, "not finite"},
+		{"negative flops", func(k *core.Kernel) { k.FlopsPerIter = -1 }, "is negative"},
+		{"fma frac above one", func(k *core.Kernel) { k.FMAFrac = 1.5 }, "outside [0,1]"},
+		{"autovec beats tuned", func(k *core.Kernel) { k.AutoVecFrac = 0.95 }, "exceeds VectorizableFrac"},
+		{"dep chain too deep", func(k *core.Kernel) { k.DepChainPenalty = 5 }, "DepChainPenalty"},
+		{"stream intensity breach", func(k *core.Kernel) {
+			k.FlopsPerIter, k.LoadBytesPerIter, k.StoreBytesPerIter = 1000, 8, 0
+		}, "plausibility cap"},
+		{"gather intensity breach", func(k *core.Kernel) {
+			k.Pattern, k.FlopsPerIter, k.LoadBytesPerIter, k.StoreBytesPerIter = core.PatternGather, 200, 8, 0
+		}, "plausibility cap"},
+		{"working set below one iteration", func(k *core.Kernel) { k.WorkingSetBytes = 8 }, "smaller than one iteration"},
+		{"traffic without working set", func(k *core.Kernel) { k.WorkingSetBytes = 0 }, "declares no working set"},
+		{"flops without traffic", func(k *core.Kernel) {
+			k.LoadBytesPerIter, k.StoreBytesPerIter = 0, 0
+		}, "zero memory traffic"},
+		{"working set without work", func(k *core.Kernel) {
+			k.FlopsPerIter, k.LoadBytesPerIter, k.StoreBytesPerIter = 0, 0, 0
+		}, "neither flops nor traffic"},
+		{"negative working set", func(k *core.Kernel) { k.WorkingSetBytes = -1 }, "is negative"},
+		{"unnamed", func(k *core.Kernel) { k.Name = "" }, "no name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := goodKernel()
+			tc.mutate(&k)
+			ds := AnalyzeKernel("test/case", k)
+			if len(ds) == 0 {
+				t.Fatalf("implausible kernel produced no findings")
+			}
+			found := false
+			for _, d := range ds {
+				if d.Rule != RuleIR {
+					t.Errorf("rule %q, want %q", d.Rule, RuleIR)
+				}
+				if !strings.HasPrefix(d.File, "ir:test/case/") {
+					t.Errorf("locus %q lacks ir:test/case/ prefix", d.File)
+				}
+				if strings.Contains(d.Msg, tc.wantMsg) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no finding mentions %q; got %v", tc.wantMsg, ds)
+			}
+		})
+	}
+}
+
+// TestAnalyzeKernelNonFiniteStopsCascade pins the early return: a NaN
+// field must not drown the report in derived-quantity noise.
+func TestAnalyzeKernelNonFiniteStopsCascade(t *testing.T) {
+	k := goodKernel()
+	k.FlopsPerIter = math.NaN()
+	ds := AnalyzeKernel("test/case", k)
+	if len(ds) != 1 {
+		t.Fatalf("want exactly the finiteness finding, got %v", ds)
+	}
+}
+
+func TestAnalyzeKernelsDuplicateNames(t *testing.T) {
+	a, b := goodKernel(), goodKernel()
+	a.Name, b.Name = "dup", "dup"
+	ds := AnalyzeKernels("test/case", []core.Kernel{a, b})
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "duplicate kernel name") {
+		t.Fatalf("want one duplicate-name finding, got %v", ds)
+	}
+}
+
+func TestAnalyzeLoop(t *testing.T) {
+	hasMsg := func(ds []lint.Diagnostic, sub string) bool {
+		for _, d := range ds {
+			if strings.Contains(d.Msg, sub) {
+				return true
+			}
+		}
+		return false
+	}
+
+	if ds := AnalyzeLoop("test", Loop{}); !hasMsg(ds, "no name") {
+		t.Errorf("unnamed loop: want a no-name finding, got %v", ds)
+	}
+	if ds := AnalyzeLoop("test", Loop{Name: "empty"}); !hasMsg(ds, "models no work") {
+		t.Errorf("vacuous loop: want a no-work finding, got %v", ds)
+	}
+
+	axpy := Loop{
+		Name: "axpy",
+		Ops:  []Op{{OpFMA, 1}},
+		Accesses: []Access{
+			{Bytes: 16, Stride: StrideUnit},
+			{Bytes: 8, Stride: StrideUnit, Store: true},
+		},
+		WorkingSetBytes: 1 << 20,
+	}
+	if ds := AnalyzeLoop("test", axpy); len(ds) != 0 {
+		t.Errorf("axpy loop flagged: %v", ds)
+	}
+}
+
+// TestRegisteredSuitePassesIR is the cross-check fiberlint relies on:
+// every registered miniapp's descriptors, at every size, must clear
+// the plausibility pass with zero findings.
+func TestRegisteredSuitePassesIR(t *testing.T) {
+	sizes := []common.Size{common.SizeTest, common.SizeSmall, common.SizeMedium}
+	for _, name := range common.Names() {
+		app := common.MustLookup(name)
+		for _, size := range sizes {
+			owner := name + "/" + size.String()
+			for _, d := range AnalyzeKernels(owner, app.Kernels(size)) {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+}
+
+// TestKindStrings pins the names diagnostics interpolate.
+func TestKindStrings(t *testing.T) {
+	ops := map[OpKind]string{
+		OpAdd: "add", OpMul: "mul", OpFMA: "fma", OpDiv: "div",
+		OpSqrt: "sqrt", OpInt: "int", OpCmp: "cmp", OpKind(99): "op(99)",
+	}
+	for k, want := range ops {
+		if k.String() != want {
+			t.Errorf("OpKind %d: got %q, want %q", int(k), k.String(), want)
+		}
+	}
+	strides := map[StrideClass]string{
+		StrideUnit: "unit", StrideConst: "const", StrideIndexed: "indexed",
+		StrideRandom: "random", StrideClass(99): "stride(99)",
+	}
+	for s, want := range strides {
+		if s.String() != want {
+			t.Errorf("StrideClass %d: got %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package loopir
 
 import (
 	"fmt"
+	"math"
 
 	"fibersim/internal/core"
 )
@@ -39,6 +40,29 @@ const (
 	OpCmp
 )
 
+// String returns the operation name, so diagnostics and test failures
+// read "fma", not "2".
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpMul:
+		return "mul"
+	case OpFMA:
+		return "fma"
+	case OpDiv:
+		return "div"
+	case OpSqrt:
+		return "sqrt"
+	case OpInt:
+		return "int"
+	case OpCmp:
+		return "cmp"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
 // Op is a per-iteration operation count.
 type Op struct {
 	Kind  OpKind
@@ -58,6 +82,22 @@ const (
 	// StrideRandom is data-dependent pointer-chasing.
 	StrideRandom
 )
+
+// String returns the stride-class name.
+func (s StrideClass) String() string {
+	switch s {
+	case StrideUnit:
+		return "unit"
+	case StrideConst:
+		return "const"
+	case StrideIndexed:
+		return "indexed"
+	case StrideRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("stride(%d)", int(s))
+	}
+}
 
 // Access is a per-iteration memory access.
 type Access struct {
@@ -98,13 +138,15 @@ func (l Loop) Validate() error {
 		return fmt.Errorf("loopir: loop has no name")
 	}
 	for _, o := range l.Ops {
-		if o.Count < 0 {
-			return fmt.Errorf("loopir: loop %s has negative op count", l.Name)
+		// NaN fails every ordered comparison, so test non-negativity in a
+		// form NaN cannot slip through.
+		if !(o.Count >= 0) || math.IsInf(o.Count, 0) {
+			return fmt.Errorf("loopir: loop %s has non-finite or negative %s count %g", l.Name, o.Kind, o.Count)
 		}
 	}
 	for _, a := range l.Accesses {
-		if a.Bytes < 0 {
-			return fmt.Errorf("loopir: loop %s has negative access bytes", l.Name)
+		if !(a.Bytes >= 0) || math.IsInf(a.Bytes, 0) {
+			return fmt.Errorf("loopir: loop %s has non-finite or negative access bytes %g", l.Name, a.Bytes)
 		}
 	}
 	if l.Conditionals < 0 || l.Calls < 0 {

@@ -51,7 +51,7 @@ const Tol = 1e-10
 // chains (the su3 multiplies pipeline well).
 func dslashKernel(localVol int, size common.Size) core.Kernel {
 	localVol *= int(common.WorkingSetScale(size))
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "wilson-clover-dslash",
 		FlopsPerIter:      FlopsPerSite + CloverFlopsPerSite,
 		FMAFrac:           0.9,
@@ -62,14 +62,14 @@ func dslashKernel(localVol int, size common.Size) core.Kernel {
 		DepChainPenalty:   0.4,
 		Pattern:           core.PatternStrided,
 		WorkingSetBytes:   int64(localVol) * (192 + 4*144),
-	}
+	})
 }
 
 // linalgKernel covers the BiCGStab vector operations (axpy, dots):
 // streaming, bandwidth bound.
 func linalgKernel(localVol int, size common.Size) core.Kernel {
 	localVol *= int(common.WorkingSetScale(size))
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "bicgstab-linalg",
 		FlopsPerIter:      8 * spinorLen, // complex axpy per element
 		FMAFrac:           1,
@@ -79,7 +79,7 @@ func linalgKernel(localVol int, size common.Size) core.Kernel {
 		AutoVecFrac:       1,
 		Pattern:           core.PatternStream,
 		WorkingSetBytes:   int64(localVol) * 16 * spinorLen * 3,
-	}
+	})
 }
 
 // Kernels implements common.App.

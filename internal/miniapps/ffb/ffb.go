@@ -140,7 +140,7 @@ func elementLaplacian(h float64) [8][8]float64 {
 
 func ebeKernel(elements int, size common.Size) core.Kernel {
 	elements *= int(common.WorkingSetScale(size))
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "ebe-matvec",
 		FlopsPerIter:      128, // 8x8 dense matvec per element
 		FMAFrac:           0.9,
@@ -151,12 +151,12 @@ func ebeKernel(elements int, size common.Size) core.Kernel {
 		DepChainPenalty:   0.8,            // scatter dependencies
 		Pattern:           core.PatternGather,
 		WorkingSetBytes:   int64(elements) * 100,
-	}
+	})
 }
 
 func cgKernel(nodes int, size common.Size) core.Kernel {
 	nodes *= int(common.WorkingSetScale(size))
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "cg-linalg",
 		FlopsPerIter:      4,
 		FMAFrac:           1,
@@ -166,7 +166,7 @@ func cgKernel(nodes int, size common.Size) core.Kernel {
 		AutoVecFrac:       1,
 		Pattern:           core.PatternStream,
 		WorkingSetBytes:   int64(nodes) * 8 * 6,
-	}
+	})
 }
 
 // App is the FFB miniapp.

@@ -85,7 +85,7 @@ func newState(g *Grid) *state {
 
 func advDiffKernel(localVol int, size common.Size) core.Kernel {
 	localVol *= int(common.WorkingSetScale(size))
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "adv-diff",
 		FlopsPerIter:      90, // 3 components x (upwind advection + 7pt diffusion)
 		FMAFrac:           0.6,
@@ -96,12 +96,12 @@ func advDiffKernel(localVol int, size common.Size) core.Kernel {
 		DepChainPenalty:   0.3,
 		Pattern:           core.PatternStream,
 		WorkingSetBytes:   int64(localVol) * 10 * 8,
-	}
+	})
 }
 
 func sorKernel(localVol int, size common.Size) core.Kernel {
 	localVol *= int(common.WorkingSetScale(size))
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "sor2sma",
 		FlopsPerIter:      14, // 7-pt stencil + relaxation
 		FMAFrac:           0.7,
@@ -112,12 +112,12 @@ func sorKernel(localVol int, size common.Size) core.Kernel {
 		DepChainPenalty:   0.2,
 		Pattern:           core.PatternStrided, // red-black stride-2 access
 		WorkingSetBytes:   int64(localVol) * 10 * 8,
-	}
+	})
 }
 
 func divKernel(localVol int, size common.Size) core.Kernel {
 	localVol *= int(common.WorkingSetScale(size))
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "divergence",
 		FlopsPerIter:      9,
 		FMAFrac:           0.5,
@@ -127,7 +127,7 @@ func divKernel(localVol int, size common.Size) core.Kernel {
 		AutoVecFrac:       0.95,
 		Pattern:           core.PatternStream,
 		WorkingSetBytes:   int64(localVol) * 10 * 8,
-	}
+	})
 }
 
 // App is the FFVC miniapp.

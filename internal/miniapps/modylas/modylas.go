@@ -337,7 +337,7 @@ func abs(x int) int {
 // kernels
 
 func nearKernel(n int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "p2p-near",
 		FlopsPerIter:      45, // LJ + Coulomb per pair
 		FMAFrac:           0.5,
@@ -348,11 +348,11 @@ func nearKernel(n int) core.Kernel {
 		DepChainPenalty:   0.9,  // rsqrt chains
 		Pattern:           core.PatternGather,
 		WorkingSetBytes:   int64(n) * 56,
-	}
+	})
 }
 
 func farKernel(n int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "m2p-far",
 		FlopsPerIter:      80, // monopole+dipole+quadrupole evaluation
 		FMAFrac:           0.6,
@@ -363,11 +363,11 @@ func farKernel(n int) core.Kernel {
 		DepChainPenalty:   0.6,
 		Pattern:           core.PatternStrided,
 		WorkingSetBytes:   int64(n) * 56,
-	}
+	})
 }
 
 func verletKernel(n int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "verlet-integrate",
 		FlopsPerIter:      18,
 		FMAFrac:           1,
@@ -377,7 +377,7 @@ func verletKernel(n int) core.Kernel {
 		AutoVecFrac:       0.95,
 		Pattern:           core.PatternStream,
 		WorkingSetBytes:   int64(n) * 72,
-	}
+	})
 }
 
 // App is the MODYLAS miniapp.

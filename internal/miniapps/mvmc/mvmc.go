@@ -267,7 +267,7 @@ func (w *Walker) Sweep() int {
 // kernels
 
 func ratioKernel(n int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "det-ratio",
 		FlopsPerIter:      2, // one MAC of the dot product
 		FMAFrac:           1,
@@ -278,11 +278,11 @@ func ratioKernel(n int) core.Kernel {
 		DepChainPenalty:   2.0,  // serial accumulation chain
 		Pattern:           core.PatternStrided,
 		WorkingSetBytes:   int64(n * n * 8),
-	}
+	})
 }
 
 func smUpdateKernel(n int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "sherman-morrison",
 		FlopsPerIter:      2, // one MAC of the rank-1 update
 		FMAFrac:           1,
@@ -293,11 +293,11 @@ func smUpdateKernel(n int) core.Kernel {
 		DepChainPenalty:   1.6,
 		Pattern:           core.PatternStrided,
 		WorkingSetBytes:   int64(n * n * 8),
-	}
+	})
 }
 
 func rebuildKernel(n int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "inverse-rebuild",
 		FlopsPerIter:      2,
 		FMAFrac:           1,
@@ -308,7 +308,7 @@ func rebuildKernel(n int) core.Kernel {
 		DepChainPenalty:   1.0,
 		Pattern:           core.PatternStream,
 		WorkingSetBytes:   int64(2 * n * n * 8),
-	}
+	})
 }
 
 // App is the mVMC miniapp.

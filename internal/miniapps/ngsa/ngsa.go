@@ -246,7 +246,7 @@ func Align(idx *Index, ref []byte, read []byte) (AlignResult, int) {
 // kernels
 
 func swKernel(reads int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "smith-waterman",
 		FlopsPerIter:      6, // ops per DP cell (integer adds/max)
 		FMAFrac:           0,
@@ -258,11 +258,11 @@ func swKernel(reads int) core.Kernel {
 		NonFPFrac:         0.7,
 		Pattern:           core.PatternStrided,
 		WorkingSetBytes:   int64(reads) * readLen,
-	}
+	})
 }
 
 func seedKernel(reads int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:             "kmer-seed",
 		FlopsPerIter:     4, // hash + probe ops
 		FMAFrac:          0,
@@ -273,11 +273,11 @@ func seedKernel(reads int) core.Kernel {
 		NonFPFrac:        0.9,
 		Pattern:          core.PatternRandom,
 		WorkingSetBytes:  int64(reads) * 64,
-	}
+	})
 }
 
 func pileupKernel(g int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "pileup",
 		FlopsPerIter:      2,
 		LoadBytesPerIter:  16,
@@ -287,7 +287,7 @@ func pileupKernel(g int) core.Kernel {
 		NonFPFrac:         0.6,
 		Pattern:           core.PatternRandom,
 		WorkingSetBytes:   int64(g) * 4 * 8,
-	}
+	})
 }
 
 // App is the NGS Analyzer miniapp.

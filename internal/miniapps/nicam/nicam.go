@@ -83,7 +83,7 @@ func newState(g *Grid) *state {
 // three conserved fields.
 func fluxKernel(cells int, size common.Size) core.Kernel {
 	cells *= int(common.WorkingSetScale(size))
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "sw-flux",
 		FlopsPerIter:      140, // four conserved fields incl. tracer
 		FMAFrac:           0.55,
@@ -94,7 +94,7 @@ func fluxKernel(cells int, size common.Size) core.Kernel {
 		DepChainPenalty:   0.3,
 		Pattern:           core.PatternStream,
 		WorkingSetBytes:   int64(cells) * 6 * 8,
-	}
+	})
 }
 
 // App is the NICAM miniapp.

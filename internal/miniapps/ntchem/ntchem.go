@@ -114,7 +114,7 @@ func (p *Problem) blockRows(team *omp.Team, sch omp.Schedule, r0, r1 int) []floa
 // kernels
 
 func dgemmKernel(nov, naux int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "ri-dgemm",
 		FlopsPerIter:      2, // one MAC
 		FMAFrac:           1,
@@ -125,11 +125,11 @@ func dgemmKernel(nov, naux int) core.Kernel {
 		DepChainPenalty:   0.1,
 		Pattern:           core.PatternStream,
 		WorkingSetBytes:   int64(64 * nov * 8), // aux-block slice of B
-	}
+	})
 }
 
 func pairEnergyKernel(nov int) core.Kernel {
-	return core.Kernel{
+	return core.MustKernel(core.Kernel{
 		Name:              "mp2-pair-energy",
 		FlopsPerIter:      7, // 2 mul, 1 sub-denominator path, division amortized
 		FMAFrac:           0.4,
@@ -140,7 +140,7 @@ func pairEnergyKernel(nov int) core.Kernel {
 		DepChainPenalty:   0.5, // the division chain
 		Pattern:           core.PatternStrided,
 		WorkingSetBytes:   int64(nov * 8),
-	}
+	})
 }
 
 // App is the NTChem miniapp.

@@ -46,7 +46,7 @@ const reps = 10
 // arrays.
 func kernels(n int) []core.Kernel {
 	ws := int64(3 * 8 * n)
-	return []core.Kernel{
+	ks := []core.Kernel{
 		// Stores are counted at 8 B: STREAM builds avoid write-allocate
 		// traffic (XFILL on A64FX, non-temporal stores on x86).
 		{
@@ -74,6 +74,10 @@ func kernels(n int) []core.Kernel {
 			Pattern: core.PatternStream, WorkingSetBytes: ws,
 		},
 	}
+	for i := range ks {
+		ks[i] = core.MustKernel(ks[i])
+	}
+	return ks
 }
 
 // Kernels implements common.App.
