@@ -1,5 +1,7 @@
 // Command fiberbench runs one experiment of the paper and prints the
-// regenerated table or figure.
+// regenerated table or figure, or — with -app — runs a single
+// instrumented configuration and emits its observability artefacts
+// (run manifest, bottleneck report, metrics exposition, timeline).
 //
 // Usage:
 //
@@ -8,18 +10,28 @@
 //	fiberbench -exp F5 -apps ccsqcd,mvmc
 //	fiberbench -exp T3 -csv            # machine-readable output
 //
+//	fiberbench -app stream -size test -manifest run.json -report
+//	fiberbench -app ccsqcd -procs 4 -threads 12 -trace run.trace.json
+//	fiberbench -app mvmc -metrics -        # Prometheus text to stdout
+//
 // Experiment ids map to the paper artefacts; run `fiberinfo
-// -experiments` for the index.
+// -experiments` for the index. Single-run mode exits non-zero when the
+// app's verification fails, so CI can gate on it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"fibersim/internal/arch"
 	"fibersim/internal/harness"
+	_ "fibersim/internal/miniapps/all"
 	"fibersim/internal/miniapps/common"
+	"fibersim/internal/obs"
+	"fibersim/internal/trace"
 )
 
 func main() {
@@ -29,12 +41,36 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of an aligned table")
 	chart := flag.String("chart", "", "additionally draw an ASCII bar chart of this column")
+
+	// Single-run mode.
+	appName := flag.String("app", "", "run ONE miniapp instead of an experiment")
+	machine := flag.String("machine", "a64fx", "single run: target machine")
+	procs := flag.Int("procs", 0, "single run: MPI ranks (0 = machine default decomposition)")
+	threads := flag.Int("threads", 0, "single run: OpenMP threads per rank")
+	stride := flag.Int("stride", 0, "single run: node-level thread stride")
+	compiler := flag.String("compiler", "as-is", "single run: compiler config (as-is, nosimd, simd, sched, tuned)")
+	manifest := flag.String("manifest", "", "single run: write the run manifest JSON to this file (- for stdout)")
+	report := flag.Bool("report", false, "single run: print the bottleneck report")
+	topK := flag.Int("topk", 10, "single run: kernels shown in the report")
+	metrics := flag.String("metrics", "", "single run: write Prometheus text exposition to this file (- for stdout)")
+	traceFile := flag.String("trace", "", "single run: write a chrome://tracing timeline to this file")
 	flag.Parse()
 
 	sz, err := common.ParseSize(*size)
 	if err != nil {
 		fatal(err)
 	}
+
+	if *appName != "" {
+		runSingle(singleOpts{
+			app: *appName, machine: *machine, size: sz,
+			procs: *procs, threads: *threads, stride: *stride,
+			compiler: *compiler, manifest: *manifest, report: *report,
+			topK: *topK, metrics: *metrics, traceFile: *traceFile,
+		})
+		return
+	}
+
 	opt := harness.Options{Size: sz}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
@@ -76,6 +112,105 @@ func main() {
 			}
 		}
 	}
+}
+
+type singleOpts struct {
+	app, machine       string
+	size               common.Size
+	procs, threads     int
+	stride             int
+	compiler           string
+	manifest           string
+	report             bool
+	topK               int
+	metrics, traceFile string
+}
+
+// runSingle executes one fully instrumented configuration and emits
+// the requested observability artefacts.
+func runSingle(o singleOpts) {
+	app, err := common.Lookup(o.app)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := arch.Lookup(o.machine)
+	if err != nil {
+		fatal(err)
+	}
+	cc, err := harness.ParseCompiler(o.compiler)
+	if err != nil {
+		fatal(err)
+	}
+	if o.procs == 0 && o.threads == 0 {
+		// Default decomposition: one rank per NUMA domain.
+		o.procs = len(m.Domains)
+		o.threads = m.TotalCores() / o.procs
+	}
+
+	rec := obs.NewRecorder()
+	rc := common.RunConfig{
+		Machine: m, Procs: o.procs, Threads: o.threads,
+		NodeStride: o.stride, Compiler: cc, Size: o.size,
+		Recorder: rec,
+	}
+	if o.traceFile != "" {
+		rc.TraceCapacity = 1 << 16
+	}
+	rec.SetMeta(app.Name(), rc.Normalized().String())
+
+	res, err := app.Run(rc)
+	if err != nil {
+		fatal(err)
+	}
+	doc := common.BuildManifest(res, rec)
+
+	if o.manifest != "" {
+		if err := writeTo(o.manifest, doc.Encode); err != nil {
+			fatal(err)
+		}
+	}
+	if o.metrics != "" {
+		if err := writeTo(o.metrics, rec.Registry().WritePrometheus); err != nil {
+			fatal(err)
+		}
+	}
+	if o.traceFile != "" {
+		if res.Traces == nil {
+			fatal(fmt.Errorf("app %s produced no trace", app.Name()))
+		}
+		if err := writeTo(o.traceFile, func(w io.Writer) error {
+			return trace.WriteChrome(w, res.Traces...)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if o.report {
+		if err := obs.WriteReport(os.Stdout, doc, o.topK); err != nil {
+			fatal(err)
+		}
+	} else if o.manifest != "-" && o.metrics != "-" {
+		fmt.Printf("%s %s: time=%.6gs gflops=%.1f verified=%v\n",
+			app.Name(), rc.String(), res.Time, res.GFlops(), res.Verified)
+	}
+	if !res.Verified {
+		fatal(fmt.Errorf("%s verification FAILED (check=%g)", app.Name(), res.Check))
+	}
+}
+
+// writeTo writes via emit to path, with "-" meaning stdout.
+func writeTo(path string, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,11 +1,12 @@
 // Command fiberinfo lists the machine catalogue, the miniapp suite and
-// the available experiments.
+// the available experiments, and validates run manifests.
 //
 // Usage:
 //
-//	fiberinfo -machines        # Table 1
-//	fiberinfo -apps            # Table 2 (kernel descriptors)
-//	fiberinfo -experiments     # the table/figure index
+//	fiberinfo -machines                   # Table 1
+//	fiberinfo -apps                       # Table 2 (kernel descriptors)
+//	fiberinfo -experiments                # the table/figure index
+//	fiberinfo -validate-manifest run.json # schema + invariant check
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"fibersim/internal/harness"
 	"fibersim/internal/miniapps/common"
+	"fibersim/internal/obs"
 	"fibersim/internal/power"
 )
 
@@ -24,7 +26,22 @@ func main() {
 	exps := flag.Bool("experiments", false, "list the reproducible tables and figures")
 	pw := flag.Bool("power", false, "print the power profiles and A64FX operating modes")
 	size := flag.String("size", "small", "data set for kernel descriptors: test, small, medium")
+	validate := flag.String("validate-manifest", "", "parse and validate a run manifest, exiting non-zero on failure")
 	flag.Parse()
+
+	if *validate != "" {
+		m, err := obs.ReadManifestFile(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid manifest: %s on %s (%dx%d), verified=%v, %d kernels\n",
+			*validate, m.App, m.Config.Machine, m.Config.Procs, m.Config.Threads,
+			m.Verified, len(m.Profile.Kernels))
+		if !m.Verified {
+			fatal(fmt.Errorf("%s: run did NOT verify (check=%g)", *validate, m.Check))
+		}
+		return
+	}
 
 	if !*machines && !*apps && !*exps && !*pw {
 		*machines, *apps, *exps, *pw = true, true, true, true

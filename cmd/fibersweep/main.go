@@ -1,95 +1,132 @@
-// Command fibersweep runs a free-form configuration sweep of one
-// miniapp: every decomposition, stride, allocation and compiler
+// Command fibersweep runs a free-form configuration sweep of one or
+// more miniapps: every decomposition, stride, allocation and compiler
 // configuration requested, one result row per run. It is the tool for
 // exploring beyond the paper's fixed figures.
 //
 // Usage:
 //
 //	fibersweep -app ccsqcd -size small
-//	fibersweep -app mvmc -machines a64fx,skylake -compilers as-is,tuned
+//	fibersweep -app mvmc,stream -machines a64fx,skylake -compilers as-is,tuned
+//	fibersweep -app stream -trace sweep.trace.json -trace-config a64fx:4x12
+//	fibersweep -app stream -manifest runs/        # one manifest per run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fibersim/internal/arch"
-	"fibersim/internal/core"
 	"fibersim/internal/harness"
 	_ "fibersim/internal/miniapps/all"
 	"fibersim/internal/miniapps/common"
+	"fibersim/internal/obs"
 	"fibersim/internal/trace"
 	"fibersim/internal/vtime"
 )
 
 func main() {
-	appName := flag.String("app", "stream", "miniapp to sweep")
+	appNames := flag.String("app", "stream", "comma-separated miniapps to sweep")
 	size := flag.String("size", "small", "data set: test, small, medium")
 	machines := flag.String("machines", "a64fx", "comma-separated machine list")
 	compilers := flag.String("compilers", "as-is", "comma-separated compiler configs: as-is, nosimd, simd, sched, tuned")
 	stride := flag.Int("stride", 0, "node-level thread stride (0 = compact block placement)")
-	traceFile := flag.String("trace", "", "write a chrome://tracing timeline of the FIRST configuration to this file")
+	traceFile := flag.String("trace", "", "write a chrome://tracing timeline of ONE configuration to this file (see -trace-app/-trace-config)")
+	traceApp := flag.String("trace-app", "", "app to trace (default: the first swept)")
+	traceConfig := flag.String("trace-config", "", `configuration to trace: "4x12", "machine:4x12" or "machine:4x12:compiler" (default: the first)`)
+	manifestDir := flag.String("manifest", "", "write one run-manifest JSON per configuration into this directory")
 	csv := flag.Bool("csv", false, "emit CSV")
 	flag.Parse()
 
-	app, err := common.Lookup(*appName)
-	if err != nil {
-		fatal(err)
-	}
 	sz, err := common.ParseSize(*size)
 	if err != nil {
 		fatal(err)
 	}
+	sel, err := parseTraceSelector(*traceApp, *traceConfig)
+	if err != nil {
+		fatal(err)
+	}
+	var apps []common.App
+	for _, n := range strings.Split(*appNames, ",") {
+		app, err := common.Lookup(strings.TrimSpace(n))
+		if err != nil {
+			fatal(err)
+		}
+		apps = append(apps, app)
+	}
+	if *manifestDir != "" {
+		if err := os.MkdirAll(*manifestDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	t := &harness.Table{
 		ID:    "sweep",
-		Title: fmt.Sprintf("%s (%s): configuration sweep", app.Name(), sz),
-		Columns: []string{"machine", "decomp", "compiler", "time", "Gflop/s",
+		Title: fmt.Sprintf("%s (%s): configuration sweep", *appNames, sz),
+		Columns: []string{"app", "machine", "decomp", "compiler", "time", "Gflop/s",
 			"figure", "unit", "verified", "comm%"},
 	}
 
 	traced := false
-	for _, mn := range strings.Split(*machines, ",") {
-		m, err := arch.Lookup(strings.TrimSpace(mn))
-		if err != nil {
-			fatal(err)
-		}
-		for _, d := range decompsFor(m) {
-			for _, cn := range strings.Split(*compilers, ",") {
-				cc, err := parseCompiler(strings.TrimSpace(cn))
-				if err != nil {
-					fatal(err)
-				}
-				rc := common.RunConfig{
-					Machine: m, Procs: d[0], Threads: d[1],
-					Compiler: cc, Size: sz, NodeStride: *stride,
-				}
-				if *traceFile != "" && !traced {
-					traced = true
-					if err := writeTrace(app, rc, *traceFile); err != nil {
+	for _, app := range apps {
+		for _, mn := range strings.Split(*machines, ",") {
+			m, err := arch.Lookup(strings.TrimSpace(mn))
+			if err != nil {
+				fatal(err)
+			}
+			for _, d := range decompsFor(m) {
+				for _, cn := range strings.Split(*compilers, ",") {
+					cc, err := harness.ParseCompiler(strings.TrimSpace(cn))
+					if err != nil {
 						fatal(err)
 					}
+					rc := common.RunConfig{
+						Machine: m, Procs: d[0], Threads: d[1],
+						Compiler: cc, Size: sz, NodeStride: *stride,
+					}
+					if *traceFile != "" && !traced && sel.matches(app.Name(), m.Name, d, cn) {
+						traced = true
+						if err := writeTrace(app, rc, *traceFile); err != nil {
+							fatal(err)
+						}
+					}
+					var rec *obs.Recorder
+					if *manifestDir != "" {
+						rec = obs.NewRecorder()
+						rec.SetMeta(app.Name(), rc.String())
+						rc.Recorder = rec
+					}
+					res, err := app.Run(rc)
+					if err != nil {
+						t.AddRow(app.Name(), m.Name, fmt.Sprintf("%dx%d", d[0], d[1]), cc.String(),
+							"error: "+err.Error(), "", "", "", "", "")
+						continue
+					}
+					if rec != nil {
+						path := filepath.Join(*manifestDir, fmt.Sprintf("%s-%s-%dx%d-%s.json",
+							app.Name(), m.Name, d[0], d[1], sanitize(cc.String())))
+						if err := common.BuildManifest(res, rec).WriteFile(path); err != nil {
+							fatal(err)
+						}
+					}
+					t.AddRow(app.Name(), m.Name,
+						fmt.Sprintf("%dx%d", d[0], d[1]),
+						cc.String(),
+						vtime.Format(res.Time),
+						fmt.Sprintf("%.1f", res.GFlops()),
+						fmt.Sprintf("%.3g", res.Figure),
+						res.FigureUnit,
+						fmt.Sprint(res.Verified),
+						fmt.Sprintf("%.0f%%", res.Breakdown.Get(vtime.Comm)/res.Time*100),
+					)
 				}
-				res, err := app.Run(rc)
-				if err != nil {
-					t.AddRow(m.Name, fmt.Sprintf("%dx%d", d[0], d[1]), cc.String(),
-						"error: "+err.Error(), "", "", "", "", "")
-					continue
-				}
-				t.AddRow(m.Name,
-					fmt.Sprintf("%dx%d", d[0], d[1]),
-					cc.String(),
-					vtime.Format(res.Time),
-					fmt.Sprintf("%.1f", res.GFlops()),
-					fmt.Sprintf("%.3g", res.Figure),
-					res.FigureUnit,
-					fmt.Sprint(res.Verified),
-					fmt.Sprintf("%.0f%%", res.Breakdown.Get(vtime.Comm)/res.Time*100),
-				)
 			}
 		}
+	}
+	if *traceFile != "" && !traced {
+		fatal(fmt.Errorf("no swept configuration matched -trace-app=%q -trace-config=%q", *traceApp, *traceConfig))
 	}
 
 	if *csv {
@@ -101,6 +138,65 @@ func main() {
 	if err := t.Render(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// traceSelector picks which swept configuration gets the timeline; an
+// empty field is a wildcard, so the zero selector matches the first
+// configuration (the historical behaviour, now explicit).
+type traceSelector struct {
+	app, machine, decomp, compiler string
+}
+
+// parseTraceSelector parses -trace-app/-trace-config. The config
+// grammar is "DECOMP", "MACHINE:DECOMP" or "MACHINE:DECOMP:COMPILER"
+// with DECOMP of the form "4x12".
+func parseTraceSelector(app, config string) (traceSelector, error) {
+	sel := traceSelector{app: app}
+	if config == "" {
+		return sel, nil
+	}
+	parts := strings.Split(config, ":")
+	switch len(parts) {
+	case 1:
+		sel.decomp = parts[0]
+	case 2:
+		sel.machine, sel.decomp = parts[0], parts[1]
+	case 3:
+		sel.machine, sel.decomp, sel.compiler = parts[0], parts[1], parts[2]
+	default:
+		return sel, fmt.Errorf(`fibersweep: -trace-config %q: want "4x12", "machine:4x12" or "machine:4x12:compiler"`, config)
+	}
+	if sel.decomp != "" && !strings.Contains(sel.decomp, "x") {
+		return sel, fmt.Errorf("fibersweep: -trace-config decomposition %q: want the form 4x12", sel.decomp)
+	}
+	return sel, nil
+}
+
+func (s traceSelector) matches(app, machine string, d [2]int, compiler string) bool {
+	if s.app != "" && s.app != app {
+		return false
+	}
+	if s.machine != "" && s.machine != machine {
+		return false
+	}
+	if s.decomp != "" && s.decomp != fmt.Sprintf("%dx%d", d[0], d[1]) {
+		return false
+	}
+	if s.compiler != "" && s.compiler != compiler {
+		return false
+	}
+	return true
+}
+
+// sanitize makes a compiler-config string safe as a filename fragment.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', ' ', ':':
+			return '_'
+		}
+		return r
+	}, s)
 }
 
 // decompsFor returns the decomposition grid for a machine: powers of
@@ -117,23 +213,6 @@ func decompsFor(m *arch.Machine) [][2]int {
 		out = append(out, [2]int{total, 1})
 	}
 	return out
-}
-
-// parseCompiler maps a sweep name to a configuration.
-func parseCompiler(name string) (core.CompilerConfig, error) {
-	switch name {
-	case "as-is", "asis":
-		return core.AsIs(), nil
-	case "nosimd":
-		return core.CompilerConfig{SIMD: core.SIMDOff}, nil
-	case "simd":
-		return core.CompilerConfig{SIMD: core.SIMDEnhanced}, nil
-	case "sched":
-		return core.CompilerConfig{SIMD: core.SIMDAuto, SoftwarePipelining: true, LoopFission: true}, nil
-	case "tuned":
-		return core.Tuned(), nil
-	}
-	return core.CompilerConfig{}, fmt.Errorf("fibersweep: unknown compiler config %q", name)
 }
 
 // writeTrace reruns one configuration with tracing enabled and dumps

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"fibersim/internal/arch"
-	"fibersim/internal/core"
+	"fibersim/internal/harness"
 )
 
 func TestDecompsFor(t *testing.T) {
@@ -33,21 +33,58 @@ func TestDecompsFor(t *testing.T) {
 	}
 }
 
-func TestParseCompiler(t *testing.T) {
-	cases := map[string]core.CompilerConfig{
-		"as-is":  core.AsIs(),
-		"nosimd": {SIMD: core.SIMDOff},
-		"simd":   {SIMD: core.SIMDEnhanced},
-		"sched":  {SIMD: core.SIMDAuto, SoftwarePipelining: true, LoopFission: true},
-		"tuned":  core.Tuned(),
-	}
-	for name, want := range cases {
-		got, err := parseCompiler(name)
-		if err != nil || got != want {
-			t.Errorf("parseCompiler(%q) = %+v, %v", name, got, err)
+func TestParseCompilerNames(t *testing.T) {
+	for _, name := range []string{"as-is", "nosimd", "simd", "sched", "tuned"} {
+		if _, err := harness.ParseCompiler(name); err != nil {
+			t.Errorf("ParseCompiler(%q): %v", name, err)
 		}
 	}
-	if _, err := parseCompiler("O3"); err == nil {
+	if _, err := harness.ParseCompiler("O3"); err == nil {
 		t.Error("unknown config must fail")
+	}
+}
+
+func TestParseTraceSelector(t *testing.T) {
+	cases := []struct {
+		app, config string
+		wantErr     bool
+		sel         traceSelector
+	}{
+		{"", "", false, traceSelector{}},
+		{"stream", "", false, traceSelector{app: "stream"}},
+		{"", "4x12", false, traceSelector{decomp: "4x12"}},
+		{"", "a64fx:4x12", false, traceSelector{machine: "a64fx", decomp: "4x12"}},
+		{"", "a64fx:4x12:tuned", false, traceSelector{machine: "a64fx", decomp: "4x12", compiler: "tuned"}},
+		{"", "a:b:c:d", true, traceSelector{}},
+		{"", "nodecomp", true, traceSelector{}},
+	}
+	for _, tc := range cases {
+		sel, err := parseTraceSelector(tc.app, tc.config)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseTraceSelector(%q, %q): want error", tc.app, tc.config)
+			}
+			continue
+		}
+		if err != nil || sel != tc.sel {
+			t.Errorf("parseTraceSelector(%q, %q) = %+v, %v; want %+v",
+				tc.app, tc.config, sel, err, tc.sel)
+		}
+	}
+}
+
+func TestTraceSelectorMatches(t *testing.T) {
+	sel := traceSelector{app: "stream", machine: "a64fx", decomp: "4x12", compiler: "tuned"}
+	if !sel.matches("stream", "a64fx", [2]int{4, 12}, "tuned") {
+		t.Error("exact selector must match")
+	}
+	if sel.matches("mvmc", "a64fx", [2]int{4, 12}, "tuned") {
+		t.Error("wrong app must not match")
+	}
+	if sel.matches("stream", "a64fx", [2]int{2, 24}, "tuned") {
+		t.Error("wrong decomposition must not match")
+	}
+	if !(traceSelector{}).matches("anything", "skylake", [2]int{1, 1}, "as-is") {
+		t.Error("zero selector is a wildcard")
 	}
 }

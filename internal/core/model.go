@@ -239,13 +239,22 @@ func (mdl *Model) memoryTime(k Kernel, iters float64, ex Exec) (float64, int) {
 	return maxT, level
 }
 
-// domainsSpanned counts the NUMA domains the rank's threads cover.
+// domainsSpanned counts the NUMA domains the rank's threads cover. A
+// machine has a handful of domains (A64FX: 4 CMGs), so a bitset keeps
+// the charge hot path allocation-free.
 func domainsSpanned(ex Exec, m *arch.Machine) int {
-	seen := map[int]bool{}
+	var seen uint64
+	n := 0
 	for _, c := range ex.ThreadCores {
-		seen[m.DomainOf(c)] = true
+		d := m.DomainOf(c)
+		if d < 64 {
+			if bit := uint64(1) << d; seen&bit == 0 {
+				seen |= bit
+				n++
+			}
+		}
 	}
-	return len(seen)
+	return n
 }
 
 // threadsInDomain returns how many threads load domain d: the global

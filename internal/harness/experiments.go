@@ -484,3 +484,21 @@ func TableBestConfig(o Options) (*Table, error) {
 func (t *Table) SortRowsByFirstColumn() {
 	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i][0] < t.Rows[j][0] })
 }
+
+// ParseCompiler maps a CLI compiler-config name to a configuration;
+// the names match the paper's tuning steps.
+func ParseCompiler(name string) (core.CompilerConfig, error) {
+	switch name {
+	case "as-is", "asis":
+		return core.AsIs(), nil
+	case "nosimd":
+		return core.CompilerConfig{SIMD: core.SIMDOff}, nil
+	case "simd":
+		return core.CompilerConfig{SIMD: core.SIMDEnhanced}, nil
+	case "sched":
+		return core.CompilerConfig{SIMD: core.SIMDAuto, SoftwarePipelining: true, LoopFission: true}, nil
+	case "tuned":
+		return core.Tuned(), nil
+	}
+	return core.CompilerConfig{}, fmt.Errorf("harness: unknown compiler config %q", name)
+}

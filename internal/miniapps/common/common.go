@@ -14,6 +14,7 @@ import (
 	"fibersim/internal/arch"
 	"fibersim/internal/core"
 	"fibersim/internal/mpi"
+	"fibersim/internal/obs"
 	"fibersim/internal/omp"
 	"fibersim/internal/trace"
 	"fibersim/internal/vtime"
@@ -102,6 +103,10 @@ type RunConfig struct {
 	// TraceCapacity, when positive, records a per-rank timeline of
 	// kernel charges and MPI operations (see internal/trace).
 	TraceCapacity int
+	// Recorder, when non-nil, collects the run's profiling spans
+	// (kernel attributions, MPI op/peer traffic, OMP overheads); see
+	// internal/obs. Nil disables recording at zero cost.
+	Recorder *obs.Recorder
 }
 
 // Normalized returns the config with defaults applied (machine, 1x1
@@ -164,6 +169,11 @@ type Result struct {
 	Kernels map[string]KernelStats
 	// Traces holds per-rank timelines when the run was traced.
 	Traces []*trace.Log
+	// Comm profiles the MPI communication (messages, bytes,
+	// per-collective counts and payloads).
+	Comm mpi.CommStats
+	// TraceDropped counts timeline events lost at trace capacity.
+	TraceDropped int64
 }
 
 // KernelStats accumulates the charges of one kernel.
@@ -263,6 +273,7 @@ type Env struct {
 	Cfg RunConfig
 
 	prof map[string]KernelStats // per-rank kernel profile
+	rec  *obs.Recorder          // run recorder, nil when profiling is off
 }
 
 // Rank returns the MPI rank.
@@ -283,8 +294,16 @@ func (e *Env) Charge(k core.Kernel, iters float64) error {
 		return err
 	}
 	e.Comm.Trace(k.Name, "kernel", start, e.Comm.Clock().Now())
-	e.Record(k.Name, iters, est.Total, est.Flops)
+	e.RecordEstimate(k.Name, iters, est)
 	return nil
+}
+
+// RecordEstimate accumulates one externally computed estimate into the
+// rank profile and, when the run is being recorded, into the profiling
+// recorder with its ECM-style resource attribution.
+func (e *Env) RecordEstimate(name string, iters float64, est core.Estimate) {
+	e.Record(name, iters, est.Total, est.Flops)
+	e.rec.KernelCharge(e.Comm.Rank(), name, iters, est.Flops, obs.Attribute(est))
 }
 
 // Record accumulates one externally computed charge into the rank
@@ -353,11 +372,13 @@ func Launch(cfg RunConfig, body func(env *Env) error) (*RunStats, error) {
 	res, err := mpi.Run(mpi.Config{
 		Ranks: cfg.Procs, Fabric: fabric, PairScale: pairScale,
 		TraceCapacity: cfg.TraceCapacity,
+		Recorder:      cfg.Recorder,
 	}, func(c *mpi.Comm) error {
 		team, err := omp.NewTeam(cfg.Machine, pl.ThreadCore[c.Rank()], c.Clock(), omp.DefaultOverheads())
 		if err != nil {
 			return err
 		}
+		team.Observe(cfg.Recorder, c.Rank())
 		env := &Env{
 			Comm:  c,
 			Team:  team,
@@ -370,12 +391,18 @@ func Launch(cfg RunConfig, body func(env *Env) error) (*RunStats, error) {
 			},
 			Cfg:  cfg,
 			prof: map[string]KernelStats{},
+			rec:  cfg.Recorder,
 		}
 		profiles[c.Rank()] = env.prof
 		return body(env)
 	})
 	if res == nil {
 		return nil, err
+	}
+	for i, l := range res.Traces {
+		if l != nil {
+			cfg.Recorder.TraceDrops(i, l.Dropped())
+		}
 	}
 	agg := map[string]KernelStats{}
 	for _, p := range profiles {
@@ -393,13 +420,65 @@ func Launch(cfg RunConfig, body func(env *Env) error) (*RunStats, error) {
 
 // FinishResult assembles the common fields of a Result from a run.
 func FinishResult(app string, cfg RunConfig, res *RunStats) Result {
+	var dropped int64
+	for _, l := range res.Result.Traces {
+		if l != nil {
+			dropped += l.Dropped()
+		}
+	}
 	return Result{
-		App:       app,
-		Config:    cfg.withDefaults(),
-		Time:      res.MaxTime(),
-		Breakdown: res.Breakdown(),
-		RankTimes: res.Series(),
-		Kernels:   res.Kernels,
-		Traces:    res.Result.Traces,
+		App:          app,
+		Config:       cfg.withDefaults(),
+		Time:         res.MaxTime(),
+		Breakdown:    res.Breakdown(),
+		RankTimes:    res.Series(),
+		Kernels:      res.Kernels,
+		Traces:       res.Result.Traces,
+		Comm:         res.Result.Comm,
+		TraceDropped: dropped,
+	}
+}
+
+// BuildManifest folds a finished result and the run's recorder into
+// the per-run manifest document.
+func BuildManifest(res Result, rec *obs.Recorder) *obs.Manifest {
+	cfg := res.Config.withDefaults()
+	breakdown := map[string]float64{}
+	for _, cat := range vtime.Categories() {
+		breakdown[cat.String()] = res.Breakdown.Get(cat)
+	}
+	comm := obs.CommSummary{Sends: res.Comm.Sends, SendBytes: res.Comm.SendBytes}
+	if len(res.Comm.Collectives) > 0 {
+		comm.Collectives = map[string]obs.CollectiveStat{}
+		for name, n := range res.Comm.Collectives {
+			comm.Collectives[name] = obs.CollectiveStat{
+				Count: n, Bytes: res.Comm.CollectiveBytes[name],
+			}
+		}
+	}
+	return &obs.Manifest{
+		Schema: obs.ManifestSchema,
+		App:    res.App,
+		Config: obs.RunInfo{
+			Machine:    cfg.Machine.Name,
+			Procs:      cfg.Procs,
+			Threads:    cfg.Threads,
+			NodeStride: cfg.NodeStride,
+			Alloc:      cfg.Alloc.String(),
+			Bind:       cfg.Bind.String(),
+			Compiler:   cfg.Compiler.String(),
+			Size:       cfg.Size.String(),
+			Seed:       cfg.Seed,
+		},
+		Verified:     res.Verified,
+		Check:        res.Check,
+		TimeSeconds:  res.Time,
+		GFlops:       res.GFlops(),
+		Figure:       res.Figure,
+		FigureUnit:   res.FigureUnit,
+		Breakdown:    breakdown,
+		Profile:      rec.Profile(),
+		Comm:         comm,
+		TraceDropped: res.TraceDropped,
 	}
 }

@@ -381,7 +381,7 @@ func (a App) Run(cfg common.RunConfig) (common.Result, error) {
 			if err != nil {
 				return err
 			}
-			env.Record(k.Name, iters, est.Total, est.Flops)
+			env.RecordEstimate(k.Name, iters, est)
 			return nil
 		}
 

@@ -47,17 +47,22 @@ func (w *World) phaserFor(commID string, size int) *phaser {
 }
 
 // rendezvous runs one collective round. op is the operation signature
-// (name plus shape); value is this rank's contribution; combine runs on
+// (name plus shape); bytes is this rank's payload contribution (for
+// accounting only); value is this rank's contribution; combine runs on
 // the last arriver with all entries (sorted by rank) and returns the
 // shared result; cost returns the collective's virtual cost given the
 // synchronized start time. The returned value is combine's result.
-func (c *Comm) rendezvous(op string, value any,
+func (c *Comm) rendezvous(op string, bytes int64, value any,
 	combine func(entries []phaserEntry) (any, error),
 	cost func() float64) (any, error) {
 
-	c.world.stats.countCollective(op)
+	c.world.stats.countCollective(op, bytes)
 	traceStart := c.Clock().Now()
-	defer func() { c.Trace(op, "mpi", traceStart, c.Clock().Now()) }()
+	defer func() {
+		end := c.Clock().Now()
+		c.Trace(op, "mpi", traceStart, end)
+		c.world.rec.MPIOp(c.global(c.rank), collectiveName(op), -1, bytes, end-traceStart)
+	}()
 	ph := c.world.phaserFor(c.id, len(c.group))
 	ph.mu.Lock()
 	gen := ph.cur
@@ -117,7 +122,7 @@ func (c *Comm) rendezvous(op string, value any,
 // synchronizes their virtual clocks.
 func (c *Comm) Barrier() error {
 	f := c.world.collectiveFabric(c.group)
-	_, err := c.rendezvous("barrier", nil,
+	_, err := c.rendezvous("barrier", 0, nil,
 		func([]phaserEntry) (any, error) { return nil, nil },
 		func() float64 { return f.Barrier(len(c.group)) })
 	return err
@@ -131,7 +136,7 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 	}
 	f := c.world.collectiveFabric(c.group)
 	var n int64
-	res, err := c.rendezvous(fmt.Sprintf("bcast/root=%d", root), data,
+	res, err := c.rendezvous(fmt.Sprintf("bcast/root=%d", root), float64Bytes(len(data)), data,
 		func(entries []phaserEntry) (any, error) {
 			buf, _ := entries[root].value.([]float64)
 			if buf == nil {
@@ -179,7 +184,7 @@ func (c *Comm) Reduce(root int, op Op, data []float64) ([]float64, error) {
 	}
 	f := c.world.collectiveFabric(c.group)
 	n := float64Bytes(len(data))
-	res, err := c.rendezvous(fmt.Sprintf("reduce/%s/root=%d/n=%d", op, root, len(data)), data,
+	res, err := c.rendezvous(fmt.Sprintf("reduce/%s/root=%d/n=%d", op, root, len(data)), n, data,
 		func(entries []phaserEntry) (any, error) { return reduceEntries(op, entries) },
 		func() float64 { return f.Reduce(len(c.group), n, c.world.cfg.ReduceGamma) })
 	if err != nil {
@@ -196,7 +201,7 @@ func (c *Comm) Reduce(root int, op Op, data []float64) ([]float64, error) {
 func (c *Comm) Allreduce(op Op, data []float64) ([]float64, error) {
 	f := c.world.collectiveFabric(c.group)
 	n := float64Bytes(len(data))
-	res, err := c.rendezvous(fmt.Sprintf("allreduce/%s/n=%d", op, len(data)), data,
+	res, err := c.rendezvous(fmt.Sprintf("allreduce/%s/n=%d", op, len(data)), n, data,
 		func(entries []phaserEntry) (any, error) { return reduceEntries(op, entries) },
 		func() float64 { return f.Allreduce(len(c.group), n, c.world.cfg.ReduceGamma) })
 	if err != nil {
@@ -223,7 +228,7 @@ func (c *Comm) Gather(root int, data []float64) ([][]float64, error) {
 	}
 	f := c.world.collectiveFabric(c.group)
 	n := float64Bytes(len(data))
-	res, err := c.rendezvous(fmt.Sprintf("gather/root=%d", root), data,
+	res, err := c.rendezvous(fmt.Sprintf("gather/root=%d", root), n, data,
 		func(entries []phaserEntry) (any, error) {
 			out := make([][]float64, len(entries))
 			for i, e := range entries {
@@ -246,7 +251,7 @@ func (c *Comm) Gather(root int, data []float64) ([][]float64, error) {
 func (c *Comm) Allgather(data []float64) ([][]float64, error) {
 	f := c.world.collectiveFabric(c.group)
 	n := float64Bytes(len(data))
-	res, err := c.rendezvous("allgather", data,
+	res, err := c.rendezvous("allgather", n, data,
 		func(entries []phaserEntry) (any, error) {
 			out := make([][]float64, len(entries))
 			for i, e := range entries {
@@ -274,14 +279,16 @@ func (c *Comm) Alltoall(chunks [][]float64) ([][]float64, error) {
 	if len(chunks) != p {
 		return nil, fmt.Errorf("mpi: alltoall needs %d chunks, got %d", p, len(chunks))
 	}
-	var maxChunk int64
+	var maxChunk, total int64
 	for _, ch := range chunks {
-		if b := float64Bytes(len(ch)); b > maxChunk {
+		b := float64Bytes(len(ch))
+		total += b
+		if b > maxChunk {
 			maxChunk = b
 		}
 	}
 	f := c.world.collectiveFabric(c.group)
-	res, err := c.rendezvous("alltoall", chunks,
+	res, err := c.rendezvous("alltoall", total, chunks,
 		func(entries []phaserEntry) (any, error) {
 			// matrix[src][dst]
 			matrix := make([][][]float64, p)
@@ -313,8 +320,12 @@ func (c *Comm) Scatter(root int, chunks [][]float64) ([]float64, error) {
 		return nil, err
 	}
 	f := c.world.collectiveFabric(c.group)
+	var sendTotal int64
+	for _, ch := range chunks {
+		sendTotal += float64Bytes(len(ch))
+	}
 	var maxChunk int64
-	res, err := c.rendezvous(fmt.Sprintf("scatter/root=%d", root), chunks,
+	res, err := c.rendezvous(fmt.Sprintf("scatter/root=%d", root), sendTotal, chunks,
 		func(entries []phaserEntry) (any, error) {
 			v, _ := entries[root].value.([][]float64)
 			if len(v) != len(c.group) {
@@ -347,7 +358,7 @@ func (c *Comm) ReduceScatter(op Op, data []float64) ([]float64, error) {
 	}
 	f := c.world.collectiveFabric(c.group)
 	n := float64Bytes(len(data))
-	res, err := c.rendezvous(fmt.Sprintf("reducescatter/%s/n=%d", op, len(data)), data,
+	res, err := c.rendezvous(fmt.Sprintf("reducescatter/%s/n=%d", op, len(data)), n, data,
 		func(entries []phaserEntry) (any, error) { return reduceEntries(op, entries) },
 		func() float64 { return f.Reduce(p, n, c.world.cfg.ReduceGamma) })
 	if err != nil {
@@ -363,7 +374,7 @@ func (c *Comm) ReduceScatter(op Op, data []float64) ([]float64, error) {
 // rank). Every rank of c must call Split.
 func (c *Comm) Split(color, key int) (*Comm, error) {
 	type ck struct{ color, key, rank int }
-	res, err := c.rendezvous("split", ck{color, key, c.rank},
+	res, err := c.rendezvous("split", 0, ck{color, key, c.rank},
 		func(entries []phaserEntry) (any, error) {
 			all := make([]ck, len(entries))
 			for i, e := range entries {

@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"fibersim/internal/obs"
 	"fibersim/internal/simnet"
 	"fibersim/internal/trace"
 	"fibersim/internal/vtime"
@@ -121,6 +123,9 @@ type Config struct {
 	// events per rank (kernel charges via Comm.Trace, MPI operations
 	// automatically); Result.Traces carries the logs.
 	TraceCapacity int
+	// Recorder, when non-nil, receives per-op/per-peer communication
+	// spans (bytes moved, virtual wait time) from every rank.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +155,7 @@ type message struct {
 	bytes    int64
 	avail    float64 // virtual time at which the payload is available
 	seq      uint64  // arrival order for AnySource fairness
+	flow     uint64  // world-unique message id, links send/recv trace slices
 }
 
 // mailbox holds posted-but-unreceived messages for one rank.
@@ -204,6 +210,8 @@ type World struct {
 	phMu   sync.Mutex
 	stats  *statCounters
 	traces []*trace.Log // per rank, nil when tracing is off
+	rec    *obs.Recorder
+	msgID  atomic.Uint64 // flow ids; 0 is reserved for "no flow"
 }
 
 // fabricFor returns the transport between two global ranks.
@@ -319,6 +327,7 @@ func Run(cfg Config, body func(*Comm) error) (*Result, error) {
 		clocks: make([]*vtime.Clock, cfg.Ranks),
 		phaser: map[string]*phaser{},
 		stats:  newStatCounters(),
+		rec:    cfg.Recorder,
 	}
 	if cfg.TraceCapacity > 0 {
 		w.traces = make([]*trace.Log, cfg.Ranks)
@@ -392,11 +401,20 @@ func (c *Comm) Advance(d float64, cat vtime.Category) { c.Clock().Advance(d, cat
 // Trace records a timeline event on the caller's track (no-op when
 // tracing is off). Start and end are virtual times.
 func (c *Comm) Trace(name, cat string, start, end float64) {
+	c.traceFlow(name, cat, start, end, 0, trace.FlowNone)
+}
+
+// traceFlow is Trace with a flow-arrow endpoint attached.
+func (c *Comm) traceFlow(name, cat string, start, end float64, flow uint64, kind trace.FlowPhase) {
 	g := c.global(c.rank)
 	if c.world.traces == nil || c.world.traces[g] == nil {
 		return
 	}
-	c.world.traces[g].Add(trace.Event{Name: name, Cat: cat, Rank: g, Start: start, End: end})
+	c.world.traces[g].Add(trace.Event{
+		Name: name, Cat: cat, Rank: g,
+		Start: start, End: end,
+		Flow: flow, FlowKind: kind,
+	})
 }
 
 // global translates a communicator rank to a global rank.
@@ -411,6 +429,24 @@ func (c *Comm) checkPeer(r int) error {
 
 func float64Bytes(n int) int64 { return int64(n) * 8 }
 
+// post finalizes and delivers a point-to-point message: it charges the
+// sender's overhead, stamps the flow id and availability time, counts
+// the send, traces the send slice (the FlowOut end of the message
+// arrow) and records the operation span.
+func (c *Comm) post(dst int, m *message) {
+	gsrc, gdst := c.global(c.rank), c.global(dst)
+	f := c.world.fabricFor(gsrc, gdst)
+	clk := c.Clock()
+	t0 := clk.Now()
+	clk.Advance(f.SendOverhead(), vtime.Comm)
+	m.flow = c.world.msgID.Add(1)
+	m.avail = clk.Now() + f.PointToPoint(m.bytes)*c.world.pairScale(gsrc, gdst) + c.world.hopExtra(gsrc, gdst)
+	c.world.stats.countSend(m.bytes)
+	c.traceFlow("send", "mpi", t0, clk.Now(), m.flow, trace.FlowOut)
+	c.world.rec.MPIOp(gsrc, "send", gdst, m.bytes, clk.Now()-t0)
+	c.world.boxes[gdst].post(m)
+}
+
 // Send delivers a copy of data to dst with the given tag. It is eager:
 // the sender only pays the send overhead and continues. Sending to
 // ProcNull is a free no-op.
@@ -421,19 +457,12 @@ func (c *Comm) Send(dst, tag int, data []float64) error {
 	if err := c.checkPeer(dst); err != nil {
 		return err
 	}
-	f := c.world.fabricFor(c.global(c.rank), c.global(dst))
-	clk := c.Clock()
-	clk.Advance(f.SendOverhead(), vtime.Comm)
-	m := &message{
+	c.post(dst, &message{
 		src:   c.rank,
 		tag:   tag,
 		data:  append([]float64(nil), data...),
 		bytes: float64Bytes(len(data)),
-	}
-	gsrc, gdst := c.global(c.rank), c.global(dst)
-	m.avail = clk.Now() + f.PointToPoint(m.bytes)*c.world.pairScale(gsrc, gdst) + c.world.hopExtra(gsrc, gdst)
-	c.world.stats.countSend(m.bytes)
-	c.world.boxes[gdst].post(m)
+	})
 	return nil
 }
 
@@ -445,19 +474,12 @@ func (c *Comm) SendBytes(dst, tag int, data []byte) error {
 	if err := c.checkPeer(dst); err != nil {
 		return err
 	}
-	f := c.world.fabricFor(c.global(c.rank), c.global(dst))
-	clk := c.Clock()
-	clk.Advance(f.SendOverhead(), vtime.Comm)
-	m := &message{
+	c.post(dst, &message{
 		src:   c.rank,
 		tag:   tag,
 		raw:   append([]byte(nil), data...),
 		bytes: int64(len(data)),
-	}
-	gsrc, gdst := c.global(c.rank), c.global(dst)
-	m.avail = clk.Now() + f.PointToPoint(m.bytes)*c.world.pairScale(gsrc, gdst) + c.world.hopExtra(gsrc, gdst)
-	c.world.stats.countSend(m.bytes)
-	c.world.boxes[gdst].post(m)
+	})
 	return nil
 }
 
@@ -481,7 +503,9 @@ func (c *Comm) recvMessage(src, tag int) (*message, error) {
 		m, wait := box.take(src, tag)
 		if m != nil {
 			c.Clock().AdvanceTo(m.avail, vtime.Comm)
-			c.Trace("recv", "mpi", t0, c.Clock().Now())
+			end := c.Clock().Now()
+			c.traceFlow("recv", "mpi", t0, end, m.flow, trace.FlowIn)
+			c.world.rec.MPIOp(c.global(c.rank), "recv", c.global(m.src), m.bytes, end-t0)
 			return m, nil
 		}
 		select {

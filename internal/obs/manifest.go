@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// ManifestSchema identifies the manifest document layout; bump on any
+// incompatible change so downstream triage tooling can dispatch.
+const ManifestSchema = "fibersim/run-manifest/v1"
+
+// RunInfo captures the experiment knobs of one run, rendered as the
+// stable strings the catalogue and config parsers accept.
+type RunInfo struct {
+	Machine    string `json:"machine"`
+	Procs      int    `json:"procs"`
+	Threads    int    `json:"threads"`
+	NodeStride int    `json:"node_stride,omitempty"`
+	Alloc      string `json:"alloc"`
+	Bind       string `json:"bind"`
+	Compiler   string `json:"compiler"`
+	Size       string `json:"size"`
+	Seed       int64  `json:"seed"`
+}
+
+// CollectiveStat is one collective's entry count and byte total.
+type CollectiveStat struct {
+	Count int64 `json:"count"`
+	Bytes int64 `json:"bytes"`
+}
+
+// CommSummary mirrors the MPI runtime's CommStats in a
+// dependency-free form.
+type CommSummary struct {
+	Sends       int64                     `json:"sends"`
+	SendBytes   int64                     `json:"send_bytes"`
+	Collectives map[string]CollectiveStat `json:"collectives,omitempty"`
+}
+
+// Manifest is the one-JSON-document-per-run evidence record: what ran,
+// whether it verified, where the virtual time went and what the
+// communication volume was. It is the machine-readable substrate for
+// benchmark trajectories, regression triage and bottleneck hunting.
+type Manifest struct {
+	Schema string `json:"schema"`
+	// App is the miniapp registry key.
+	App    string  `json:"app"`
+	Config RunInfo `json:"config"`
+	// Verified reports the app's internal correctness check; Check is
+	// the inspected number (residual, energy drift, recall, ...).
+	Verified bool    `json:"verified"`
+	Check    float64 `json:"check"`
+	// TimeSeconds is the virtual makespan.
+	TimeSeconds float64 `json:"time_seconds"`
+	GFlops      float64 `json:"gflops"`
+	Figure      float64 `json:"figure,omitempty"`
+	FigureUnit  string  `json:"figure_unit,omitempty"`
+	// Breakdown attributes the slowest rank's time to the clock
+	// categories (compute, memory, comm, runtime).
+	Breakdown map[string]float64 `json:"breakdown"`
+	// Profile is the recorder's folded kernel/comm/OMP evidence.
+	Profile Profile `json:"profile"`
+	// Comm is the MPI runtime's op/byte accounting.
+	Comm CommSummary `json:"comm"`
+	// TraceDropped counts timeline events lost at trace capacity.
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+}
+
+// Validate checks the structural invariants downstream tooling relies
+// on: schema identity, a consistent configuration, and per-kernel
+// attributions that sum to the kernel's recorded time within 1e-9
+// relative error.
+func (m *Manifest) Validate() error {
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("obs: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.App == "" {
+		return fmt.Errorf("obs: manifest has no app")
+	}
+	if m.Config.Procs < 1 || m.Config.Threads < 1 {
+		return fmt.Errorf("obs: manifest config %dx%d invalid", m.Config.Procs, m.Config.Threads)
+	}
+	if m.TimeSeconds < 0 || math.IsNaN(m.TimeSeconds) || math.IsInf(m.TimeSeconds, 0) {
+		return fmt.Errorf("obs: manifest time %g invalid", m.TimeSeconds)
+	}
+	for _, k := range m.Profile.Kernels {
+		sum := k.Attribution.Total()
+		if relErr(sum, k.Seconds) > 1e-9 {
+			return fmt.Errorf("obs: kernel %q attribution sums to %g, recorded %g",
+				k.Kernel, sum, k.Seconds)
+		}
+		if k.Calls < 1 {
+			return fmt.Errorf("obs: kernel %q has %d calls", k.Kernel, k.Calls)
+		}
+	}
+	return nil
+}
+
+// relErr returns |a-b| / max(|a|,|b|,1e-300).
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	den := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1e-300)
+	return d / den
+}
+
+// Encode writes the manifest as indented JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		_ = f.Close() // the encode error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// ParseManifest decodes and validates one manifest document.
+func ParseManifest(r io.Reader) (*Manifest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: manifest decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ReadManifestFile parses the manifest at path.
+func ReadManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseManifest(f)
+}

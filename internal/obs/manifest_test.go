@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		Schema: ManifestSchema,
+		App:    "stream",
+		Config: RunInfo{
+			Machine: "a64fx", Procs: 4, Threads: 12,
+			Alloc: "block", Bind: "stride1",
+			Compiler: "as-is", Size: "test", Seed: 20210901,
+		},
+		Verified:    true,
+		Check:       1e-12,
+		TimeSeconds: 0.25,
+		GFlops:      123.4,
+		Figure:      800,
+		FigureUnit:  "GB/s (triad)",
+		Breakdown:   map[string]float64{"compute": 0.05, "memory": 0.15, "comm": 0.04, "runtime": 0.01},
+		Profile: Profile{
+			Kernels: []KernelProfile{{
+				Kernel: "triad", Calls: 40, Iters: 4e6, Flops: 8e6,
+				Seconds:     4e-3,
+				Attribution: Attribution{Compute: 1e-3, Mem: 3e-3},
+				Dominant:    "mem", Category: "memory",
+			}},
+			Comm: CommProfile{
+				Ops:         map[string]CommOp{"allreduce": {Count: 40, Bytes: 320, WaitSeconds: 1e-4}},
+				WaitSeconds: 1e-4,
+			},
+			OMP: OMPProfile{Regions: 160, BarrierSeconds: 2e-5, ImbalanceSeconds: 3e-6},
+		},
+		Comm: CommSummary{
+			Sends: 0, SendBytes: 0,
+			Collectives: map[string]CollectiveStat{"allreduce": {Count: 40, Bytes: 320}},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != m.App || got.Config != m.Config || got.TimeSeconds != m.TimeSeconds {
+		t.Errorf("round trip drifted: %+v", got)
+	}
+	if len(got.Profile.Kernels) != 1 || got.Profile.Kernels[0] != m.Profile.Kernels[0] {
+		t.Errorf("kernel profile drifted: %+v", got.Profile.Kernels)
+	}
+	if got.Comm.Collectives["allreduce"] != (CollectiveStat{Count: 40, Bytes: 320}) {
+		t.Errorf("comm summary drifted: %+v", got.Comm)
+	}
+	if got.Breakdown["memory"] != 0.15 {
+		t.Errorf("breakdown drifted: %v", got.Breakdown)
+	}
+}
+
+func TestManifestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := sampleManifest().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Verified || got.App != "stream" {
+		t.Errorf("file round trip drifted: %+v", got)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+		want   string
+	}{
+		{"wrong schema", func(m *Manifest) { m.Schema = "v0" }, "schema"},
+		{"no app", func(m *Manifest) { m.App = "" }, "no app"},
+		{"bad config", func(m *Manifest) { m.Config.Procs = 0 }, "invalid"},
+		{"attribution mismatch", func(m *Manifest) {
+			m.Profile.Kernels[0].Seconds *= 1.001
+		}, "attribution"},
+		{"zero calls", func(m *Manifest) { m.Profile.Kernels[0].Calls = 0 }, "calls"},
+	}
+	for _, tc := range cases {
+		m := sampleManifest()
+		tc.mutate(m)
+		err := m.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if err := sampleManifest().Validate(); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+}
+
+func TestParseManifestRejectsUnknownFields(t *testing.T) {
+	doc := `{"schema":"` + ManifestSchema + `","app":"x","unknown_field":1}`
+	if _, err := ParseManifest(strings.NewReader(doc)); err == nil {
+		t.Error("unknown fields must be rejected (schema stability)")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, sampleManifest(), 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"stream on a64fx", "4x12", "triad", "memory", "mem",
+		"verification ok", "allreduce=40", "regions=160",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// topK truncation.
+	m := sampleManifest()
+	m.Profile.Kernels = append(m.Profile.Kernels, KernelProfile{
+		Kernel: "tail", Calls: 1, Seconds: 1e-9,
+		Attribution: Attribution{Compute: 1e-9}, Dominant: "compute", Category: "compute",
+	})
+	buf.Reset()
+	if err := WriteReport(&buf, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "tail") {
+		t.Error("topK=1 must hide the tail kernel")
+	}
+}

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Recorder collects the profiling spans of one run. The instrumented
+// runtimes call it from every rank concurrently; all methods are safe
+// for concurrent use and are no-ops on a nil receiver, so a disabled
+// recorder costs nothing on the hot paths.
+type Recorder struct {
+	mu      sync.Mutex
+	kernels map[string]*kernelAcc
+	ops     map[string]*opAcc
+	peers   map[peerKey]*peerAcc
+	omp     OMPProfile
+	dropped int64
+
+	reg *Registry // lazily created metrics registry
+	app string
+	run string
+}
+
+type kernelAcc struct {
+	calls        int64
+	iters, flops float64
+	attr         Attribution
+}
+
+type opAcc struct {
+	count int64
+	bytes int64
+	wait  float64
+}
+
+type peerKey struct{ src, dst int }
+
+type peerAcc struct {
+	count int64
+	bytes int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		kernels: map[string]*kernelAcc{},
+		ops:     map[string]*opAcc{},
+		peers:   map[peerKey]*peerAcc{},
+		reg:     NewRegistry(),
+	}
+}
+
+// Enabled reports whether the recorder is collecting (non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetMeta attaches the run/app identity used as metric labels.
+func (r *Recorder) SetMeta(app, run string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.app, r.run = app, run
+	r.mu.Unlock()
+}
+
+// Registry returns the recorder's metrics registry for exposition.
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// metaLabels returns the base label set; callers hold r.mu.
+func (r *Recorder) metaLabels(extra Labels) Labels {
+	l := Labels{}
+	if r.app != "" {
+		l["app"] = r.app
+	}
+	if r.run != "" {
+		l["run"] = r.run
+	}
+	for k, v := range extra {
+		l[k] = v
+	}
+	return l
+}
+
+// KernelCharge records one modelled kernel invocation on one rank with
+// its ECM-style time attribution.
+func (r *Recorder) KernelCharge(rank int, kernel string, iters, flops float64, attr Attribution) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	acc, ok := r.kernels[kernel]
+	if !ok {
+		acc = &kernelAcc{}
+		r.kernels[kernel] = acc
+	}
+	acc.calls++
+	acc.iters += iters
+	acc.flops += flops
+	acc.attr = acc.attr.Add(attr)
+	labels := r.metaLabels(Labels{"kernel": kernel, "rank": fmt.Sprint(rank)})
+	r.mu.Unlock()
+
+	r.reg.Counter("fibersim_kernel_calls_total",
+		"modelled kernel charges", labels).Inc()
+	for _, res := range Resources() {
+		if v := attr.Get(res); v > 0 {
+			rl := Labels{"resource": res.String()}
+			for k, lv := range labels {
+				rl[k] = lv
+			}
+			r.reg.Counter("fibersim_kernel_seconds_total",
+				"virtual kernel time by bounding resource", rl).Add(v)
+		}
+	}
+	r.reg.Histogram("fibersim_kernel_charge_seconds",
+		"virtual duration of one kernel charge", nil, labels).Observe(attr.Total())
+}
+
+// MPIOp records one MPI operation on one rank: op is the operation
+// name ("send", "recv", "allreduce", ...), peer the remote rank (-1
+// for collectives), bytes the payload and wait the virtual time the
+// rank spent in the operation.
+func (r *Recorder) MPIOp(rank int, op string, peer int, bytes int64, wait float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	acc, ok := r.ops[op]
+	if !ok {
+		acc = &opAcc{}
+		r.ops[op] = acc
+	}
+	acc.count++
+	acc.bytes += bytes
+	acc.wait += wait
+	if peer >= 0 && bytes > 0 {
+		k := peerKey{src: rank, dst: peer}
+		if op == "recv" {
+			k = peerKey{src: peer, dst: rank}
+		}
+		p, ok := r.peers[k]
+		if !ok {
+			p = &peerAcc{}
+			r.peers[k] = p
+		}
+		// Sends carry the flow accounting; recv updates only the wait
+		// (counted in ops) so a message is not double-counted per peer.
+		if op != "recv" {
+			p.count++
+			p.bytes += bytes
+		}
+	}
+	labels := r.metaLabels(Labels{"op": op, "rank": fmt.Sprint(rank)})
+	r.mu.Unlock()
+
+	r.reg.Counter("fibersim_mpi_ops_total", "MPI operations", labels).Inc()
+	if bytes > 0 {
+		r.reg.Counter("fibersim_mpi_bytes_total", "MPI payload bytes", labels).Add(float64(bytes))
+	}
+	if wait > 0 {
+		r.reg.Counter("fibersim_mpi_wait_seconds_total",
+			"virtual time spent inside MPI operations", labels).Add(wait)
+	}
+}
+
+// OMPRegion records one parallel region (or explicit barrier) on one
+// rank: overhead is the fork/join/barrier cost, imbalance the time the
+// critical path exceeded the mean thread busy time.
+func (r *Recorder) OMPRegion(rank int, overhead, imbalance float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.omp.Regions++
+	r.omp.BarrierSeconds += overhead
+	r.omp.ImbalanceSeconds += imbalance
+	labels := r.metaLabels(Labels{"rank": fmt.Sprint(rank)})
+	r.mu.Unlock()
+
+	if overhead > 0 {
+		r.reg.Counter("fibersim_omp_barrier_seconds_total",
+			"fork/join and barrier overhead", labels).Add(overhead)
+	}
+	if imbalance > 0 {
+		r.reg.Counter("fibersim_omp_imbalance_seconds_total",
+			"critical-path excess over mean thread busy time", labels).Add(imbalance)
+	}
+}
+
+// TraceDrops records how many timeline events a rank's trace log
+// dropped at capacity.
+func (r *Recorder) TraceDrops(rank int, dropped int64) {
+	if r == nil || dropped == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.dropped += dropped
+	labels := r.metaLabels(Labels{"rank": fmt.Sprint(rank)})
+	r.mu.Unlock()
+	r.reg.Counter("fibersim_trace_dropped_total",
+		"timeline events dropped at trace capacity", labels).Add(float64(dropped))
+}
+
+// KernelProfile is the folded charge history of one kernel.
+type KernelProfile struct {
+	Kernel  string  `json:"kernel"`
+	Calls   int64   `json:"calls"`
+	Iters   float64 `json:"iters"`
+	Flops   float64 `json:"flops"`
+	Seconds float64 `json:"seconds"`
+	// Attribution splits Seconds across the bounding resources.
+	Attribution Attribution `json:"attribution"`
+	// Dominant is the largest attribution bucket ("compute", "stall",
+	// "l1", "l2", "mem").
+	Dominant string `json:"dominant"`
+	// Category is the analyzer-compatible two-way classification
+	// ("compute" or "memory").
+	Category string `json:"category"`
+}
+
+// CommOp is the folded history of one MPI operation kind.
+type CommOp struct {
+	Count       int64   `json:"count"`
+	Bytes       int64   `json:"bytes"`
+	WaitSeconds float64 `json:"wait_seconds"`
+}
+
+// PeerFlow is the folded point-to-point traffic between two ranks.
+type PeerFlow struct {
+	Src   int   `json:"src"`
+	Dst   int   `json:"dst"`
+	Count int64 `json:"count"`
+	Bytes int64 `json:"bytes"`
+}
+
+// CommProfile is the communication side of a Profile.
+type CommProfile struct {
+	// Ops keys per-operation totals by operation name.
+	Ops map[string]CommOp `json:"ops,omitempty"`
+	// Peers lists point-to-point flows, ordered by (src, dst).
+	Peers []PeerFlow `json:"peers,omitempty"`
+	// WaitSeconds sums the virtual time spent in all MPI operations.
+	WaitSeconds float64 `json:"wait_seconds"`
+}
+
+// OMPProfile is the threading-runtime side of a Profile.
+type OMPProfile struct {
+	Regions          int64   `json:"regions"`
+	BarrierSeconds   float64 `json:"barrier_seconds"`
+	ImbalanceSeconds float64 `json:"imbalance_seconds"`
+}
+
+// Profile is the folded observability record of one run.
+type Profile struct {
+	// Kernels is ordered by time, largest first (ties by name).
+	Kernels []KernelProfile `json:"kernels,omitempty"`
+	Comm    CommProfile     `json:"comm"`
+	OMP     OMPProfile      `json:"omp"`
+	// TraceDropped counts timeline events lost at trace capacity.
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+}
+
+// KernelSeconds sums the attributed kernel time across all kernels.
+func (p Profile) KernelSeconds() float64 {
+	var t float64
+	for _, k := range p.Kernels {
+		t += k.Seconds
+	}
+	return t
+}
+
+// Kernel returns the profile entry for one kernel name.
+func (p Profile) Kernel(name string) (KernelProfile, bool) {
+	for _, k := range p.Kernels {
+		if k.Kernel == name {
+			return k, true
+		}
+	}
+	return KernelProfile{}, false
+}
+
+// Profile folds the recorded spans into a Profile snapshot. A nil
+// recorder returns an empty profile.
+func (r *Recorder) Profile() Profile {
+	if r == nil {
+		return Profile{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var p Profile
+	for name, acc := range r.kernels {
+		p.Kernels = append(p.Kernels, KernelProfile{
+			Kernel:      name,
+			Calls:       acc.calls,
+			Iters:       acc.iters,
+			Flops:       acc.flops,
+			Seconds:     acc.attr.Total(),
+			Attribution: acc.attr,
+			Dominant:    acc.attr.Dominant().String(),
+			Category:    acc.attr.Category().String(),
+		})
+	}
+	sort.Slice(p.Kernels, func(i, j int) bool {
+		//fiberlint:ignore floatcmp exact tie-break keeps the ordering deterministic
+		if p.Kernels[i].Seconds != p.Kernels[j].Seconds {
+			return p.Kernels[i].Seconds > p.Kernels[j].Seconds
+		}
+		return p.Kernels[i].Kernel < p.Kernels[j].Kernel
+	})
+
+	if len(r.ops) > 0 {
+		p.Comm.Ops = make(map[string]CommOp, len(r.ops))
+		for op, acc := range r.ops {
+			p.Comm.Ops[op] = CommOp{Count: acc.count, Bytes: acc.bytes, WaitSeconds: acc.wait}
+			p.Comm.WaitSeconds += acc.wait
+		}
+	}
+	for k, acc := range r.peers {
+		p.Comm.Peers = append(p.Comm.Peers, PeerFlow{
+			Src: k.src, Dst: k.dst, Count: acc.count, Bytes: acc.bytes,
+		})
+	}
+	sort.Slice(p.Comm.Peers, func(i, j int) bool {
+		if p.Comm.Peers[i].Src != p.Comm.Peers[j].Src {
+			return p.Comm.Peers[i].Src < p.Comm.Peers[j].Src
+		}
+		return p.Comm.Peers[i].Dst < p.Comm.Peers[j].Dst
+	})
+
+	p.OMP = r.omp
+	p.TraceDropped = r.dropped
+	return p
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fibersim/internal/vtime"
+)
+
+// WriteReport renders the bottleneck report of one manifest: the top-k
+// kernels by time with their dominant resource and the ECM-style
+// attribution shares, followed by the communication and threading
+// overheads. topK <= 0 reports every kernel.
+func WriteReport(w io.Writer, m *Manifest, topK int) error {
+	cfg := m.Config
+	place := fmt.Sprintf("%dx%d", cfg.Procs, cfg.Threads)
+	if cfg.NodeStride > 0 {
+		place += fmt.Sprintf(" stride%d", cfg.NodeStride)
+	}
+	if _, err := fmt.Fprintf(w, "== %s on %s (%s, %s, %s) ==\n",
+		m.App, cfg.Machine, place, cfg.Compiler, cfg.Size); err != nil {
+		return err
+	}
+	status := "FAILED"
+	if m.Verified {
+		status = "ok"
+	}
+	if _, err := fmt.Fprintf(w, "virtual time %s   %.1f Gflop/s   verification %s (check=%g)\n",
+		vtime.Format(m.TimeSeconds), m.GFlops, status, m.Check); err != nil {
+		return err
+	}
+
+	kernels := m.Profile.Kernels
+	if topK > 0 && topK < len(kernels) {
+		kernels = kernels[:topK]
+	}
+	total := m.Profile.KernelSeconds()
+	if len(kernels) > 0 {
+		rows := [][]string{{"kernel", "calls", "time", "share", "bound", "dominant",
+			"compute", "stall", "l1", "l2", "mem"}}
+		for _, k := range kernels {
+			row := []string{
+				k.Kernel,
+				fmt.Sprint(k.Calls),
+				vtime.Format(k.Seconds),
+				pct(k.Seconds, total),
+				k.Category,
+				k.Dominant,
+			}
+			for _, res := range Resources() {
+				row = append(row, pct(k.Attribution.Get(res), k.Seconds))
+			}
+			rows = append(rows, row)
+		}
+		if err := writeAligned(w, rows); err != nil {
+			return err
+		}
+	} else if _, err := fmt.Fprintln(w, "(no kernel charges recorded — run with a recorder attached)"); err != nil {
+		return err
+	}
+
+	comm := m.Profile.Comm
+	if _, err := fmt.Fprintf(w, "mpi: sends=%d (%s) wait=%s", m.Comm.Sends,
+		fmtBytes(m.Comm.SendBytes), vtime.Format(comm.WaitSeconds)); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(m.Comm.Collectives))
+	for n := range m.Comm.Collectives {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cs := m.Comm.Collectives[n]
+		if _, err := fmt.Fprintf(w, "  %s=%d (%s)", n, cs.Count, fmtBytes(cs.Bytes)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "omp: regions=%d barrier=%s imbalance=%s\n",
+		m.Profile.OMP.Regions,
+		vtime.Format(m.Profile.OMP.BarrierSeconds),
+		vtime.Format(m.Profile.OMP.ImbalanceSeconds))
+	return err
+}
+
+// pct renders part/whole as a percentage, "-" when the whole is zero.
+func pct(part, whole float64) string {
+	if whole <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", part/whole*100)
+}
+
+// fmtBytes renders a byte count in engineering units.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// writeAligned renders rows as a space-aligned table.
+func writeAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				_, _ = b.WriteString("  ") // strings.Builder never fails
+			}
+			_, _ = b.WriteString(cell)
+			_, _ = b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"fibersim/internal/arch"
+	"fibersim/internal/obs"
 	"fibersim/internal/vtime"
 )
 
@@ -107,6 +108,9 @@ type Team struct {
 	critMu      sync.Mutex   // serializes Critical sections
 	critPending atomic.Int64 // critical entries awaiting cost flush
 	singleDone  atomic.Bool  // Single arbitration for the current region
+
+	rec     *obs.Recorder // nil when profiling is off
+	recRank int           // owning rank, labels the recorded spans
 }
 
 // NewTeam creates a team whose thread t is bound to cores[t] of m,
@@ -153,6 +157,14 @@ func (t *Team) DomainsSpanned() int { return t.domains }
 
 // Clock returns the owning rank's clock.
 func (t *Team) Clock() *vtime.Clock { return t.clock }
+
+// Observe attaches a profiling recorder: every parallel region and
+// explicit barrier reports its fork/join overhead and load imbalance
+// as the given rank. A nil recorder turns observation off.
+func (t *Team) Observe(r *obs.Recorder, rank int) {
+	t.rec = r
+	t.recRank = rank
+}
 
 // regionOverhead returns the fork+join cost of one parallel region.
 func (t *Team) regionOverhead() float64 {
@@ -334,6 +346,13 @@ func (t *Team) ParallelFor(s Schedule, n int, body Body, cost CostFn) *Stats {
 	st.Elapsed = maxT + st.Overhead
 	t.clock.Advance(maxT, vtime.Compute)
 	t.clock.Advance(st.Overhead, vtime.Runtime)
+	if t.rec != nil {
+		var busy float64
+		for _, v := range st.ThreadTime {
+			busy += v
+		}
+		t.rec.OMPRegion(t.recRank, st.Overhead, maxT-busy/float64(k))
+	}
 	return st
 }
 
@@ -445,5 +464,7 @@ func (t *Team) Barrier() {
 		return
 	}
 	levels := math.Ceil(math.Log2(float64(n)))
-	t.clock.Advance(t.over.Join*levels*t.domainFactor(), vtime.Runtime)
+	cost := t.over.Join * levels * t.domainFactor()
+	t.clock.Advance(cost, vtime.Runtime)
+	t.rec.OMPRegion(t.recRank, cost, 0)
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"fibersim/internal/arch"
+	"fibersim/internal/obs"
 	"fibersim/internal/vtime"
 )
 
@@ -353,4 +354,37 @@ func TestChunksForUnknownKindPanics(t *testing.T) {
 		}
 	}()
 	chunksFor(Schedule{Kind: ScheduleKind(9)}, 10, 2)
+}
+
+func TestObserveRecordsRegions(t *testing.T) {
+	tm := team(t, coresRange(4, 1))
+	rec := obs.NewRecorder()
+	tm.Observe(rec, 3)
+
+	// Imbalanced static loop: iteration 0 is 10x the rest.
+	tm.ParallelFor(Schedule{Kind: Static}, 8, nil, func(i int) float64 {
+		if i == 0 {
+			return 10e-6
+		}
+		return 1e-6
+	})
+	tm.Barrier()
+
+	p := rec.Profile()
+	if p.OMP.Regions != 2 {
+		t.Errorf("regions = %d, want 2 (loop + barrier)", p.OMP.Regions)
+	}
+	if p.OMP.BarrierSeconds <= 0 {
+		t.Errorf("barrier seconds = %g, want > 0", p.OMP.BarrierSeconds)
+	}
+	if p.OMP.ImbalanceSeconds <= 0 {
+		t.Errorf("imbalance seconds = %g, want > 0", p.OMP.ImbalanceSeconds)
+	}
+}
+
+func TestObserveNilRecorderIsSafe(t *testing.T) {
+	tm := team(t, coresRange(2, 1))
+	tm.Observe(nil, 0)
+	tm.ParallelFor(Schedule{Kind: Static}, 4, nil, nil)
+	tm.Barrier()
 }

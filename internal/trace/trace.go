@@ -1,7 +1,9 @@
 // Package trace records virtual-time event timelines of simulated
 // runs and exports them in the Chrome Trace Event format, so a run can
-// be inspected in chrome://tracing or Perfetto: one track per MPI
-// rank, one slice per kernel charge, message or collective.
+// be inspected in chrome://tracing or Perfetto: one named track per
+// MPI rank, one slice per kernel charge, message or collective, flow
+// arrows linking sends to their receives, and a counter track for
+// events dropped at capacity.
 package trace
 
 import (
@@ -10,6 +12,18 @@ import (
 	"io"
 	"sort"
 	"sync"
+)
+
+// FlowPhase marks an event as one end of a message flow arrow.
+type FlowPhase int
+
+const (
+	// FlowNone is an ordinary slice.
+	FlowNone FlowPhase = iota
+	// FlowOut marks the producing end (a send slice).
+	FlowOut
+	// FlowIn marks the consuming end (the matching recv slice).
+	FlowIn
 )
 
 // Event is one timeline slice on a rank's track, in virtual seconds.
@@ -22,6 +36,10 @@ type Event struct {
 	Rank int
 	// Start and End are virtual times in seconds.
 	Start, End float64
+	// Flow, when non-zero, is the message id linking a send slice to
+	// its receive slice; FlowKind says which end this slice is.
+	Flow     uint64
+	FlowKind FlowPhase
 }
 
 // Log collects events for one rank. A Log is safe for use by its
@@ -67,21 +85,39 @@ func (l *Log) Dropped() int64 {
 	return l.dropped
 }
 
-// chromeEvent is the Trace Event Format "complete" event.
+// chromeEvent is the Trace Event Format event. Ph "X" is a complete
+// slice; "M" metadata, "s"/"f" flow endpoints, "C" a counter sample.
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds, X only
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"` // flow binding
+	BP   string         `json:"bp,omitempty"` // "e": bind flow to enclosing slice
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // WriteChrome merges the logs (one per rank) into a Chrome Trace Event
-// JSON document.
+// JSON document: named rank tracks (process_name/thread_name
+// metadata), the event slices, s/f flow arrows linking send slices to
+// their matching recv slices, and a "dropped events" counter per rank
+// when the log overflowed.
 func WriteChrome(w io.Writer, logs ...*Log) error {
 	var all []chromeEvent
+	var meta []chromeEvent
+	var maxTs float64
+	ranks := map[int]bool{}
+
+	meta = append(meta, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "fibersim"},
+	})
+
+	flowSeen := map[uint64][2]bool{} // id -> {out seen, in seen}
+	flowIDs := map[string]uint64{}   // rendered id -> raw id, for pruning
 	for _, l := range logs {
 		if l == nil {
 			continue
@@ -90,7 +126,8 @@ func WriteChrome(w io.Writer, logs ...*Log) error {
 			if ev.End < ev.Start {
 				return fmt.Errorf("trace: event %q on rank %d ends before it starts", ev.Name, ev.Rank)
 			}
-			all = append(all, chromeEvent{
+			ranks[ev.Rank] = true
+			ce := chromeEvent{
 				Name: ev.Name,
 				Cat:  ev.Cat,
 				Ph:   "X",
@@ -98,15 +135,80 @@ func WriteChrome(w io.Writer, logs ...*Log) error {
 				Dur:  (ev.End - ev.Start) * 1e6,
 				Pid:  0,
 				Tid:  ev.Rank,
+			}
+			all = append(all, ce)
+			if end := ev.End * 1e6; end > maxTs {
+				maxTs = end
+			}
+			if ev.Flow != 0 && ev.FlowKind != FlowNone {
+				fe := chromeEvent{
+					Name: "msg", Cat: "msg", Pid: 0, Tid: ev.Rank,
+					ID: fmt.Sprintf("0x%x", ev.Flow),
+				}
+				flowIDs[fe.ID] = ev.Flow
+				seen := flowSeen[ev.Flow]
+				switch ev.FlowKind {
+				case FlowOut:
+					fe.Ph, fe.Ts = "s", ev.Start*1e6
+					seen[0] = true
+				case FlowIn:
+					// Bind to the end of the enclosing recv slice, where
+					// the payload became available.
+					fe.Ph, fe.Ts, fe.BP = "f", ev.End*1e6, "e"
+					seen[1] = true
+				}
+				flowSeen[ev.Flow] = seen
+				all = append(all, fe)
+			}
+		}
+	}
+
+	// Drop half-open arrows (send traced, recv dropped at capacity or
+	// vice versa): Perfetto renders dangling flow ends confusingly.
+	complete := all[:0]
+	for _, ce := range all {
+		if ce.Ph == "s" || ce.Ph == "f" {
+			if seen := flowSeen[flowIDs[ce.ID]]; !seen[0] || !seen[1] {
+				continue
+			}
+		}
+		complete = append(complete, ce)
+	}
+	all = complete
+
+	rankList := make([]int, 0, len(ranks))
+	for r := range ranks {
+		rankList = append(rankList, r)
+	}
+	sort.Ints(rankList)
+	for _, r := range rankList {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+
+	// One counter sample per rank at the end of the timeline so the
+	// dropped-event total shows as its own track.
+	for i, l := range logs {
+		if l == nil {
+			continue
+		}
+		if d := l.Dropped(); d > 0 {
+			all = append(all, chromeEvent{
+				Name: "dropped events", Ph: "C", Ts: maxTs, Pid: 0, Tid: i,
+				Args: map[string]any{"dropped": d},
 			})
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
+
+	sort.SliceStable(all, func(i, j int) bool {
 		if all[i].Tid != all[j].Tid {
 			return all[i].Tid < all[j].Tid
 		}
 		return all[i].Ts < all[j].Ts
 	})
+	all = append(meta, all...)
 	enc := json.NewEncoder(w)
 	return enc.Encode(struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`

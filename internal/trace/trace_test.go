@@ -22,6 +22,31 @@ func TestLogCapacity(t *testing.T) {
 	}
 }
 
+// chromeDoc decodes a written trace for assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		ID   string         `json:"id"`
+		BP   string         `json:"bp"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func decodeChrome(t *testing.T, buf *bytes.Buffer) chromeDoc {
+	t.Helper()
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
 func TestWriteChrome(t *testing.T) {
 	l0 := NewLog(10)
 	l0.Add(Event{Name: "k1", Cat: "kernel", Rank: 0, Start: 1e-6, End: 3e-6})
@@ -31,27 +56,106 @@ func TestWriteChrome(t *testing.T) {
 	if err := WriteChrome(&buf, l0, nil, l1); err != nil {
 		t.Fatal(err)
 	}
-	var doc struct {
-		TraceEvents []struct {
-			Name string  `json:"name"`
-			Ph   string  `json:"ph"`
-			Ts   float64 `json:"ts"`
-			Dur  float64 `json:"dur"`
-			Tid  int     `json:"tid"`
-		} `json:"traceEvents"`
+	doc := decodeChrome(t, &buf)
+
+	var slices, metas int
+	threadNames := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Name == "k1" {
+				if ev.Ts != 1 || ev.Tid != 0 {
+					t.Errorf("k1 slice wrong: %+v", ev)
+				}
+				if ev.Dur < 2-1e-9 || ev.Dur > 2+1e-9 {
+					t.Errorf("k1 duration %v, want ~2us", ev.Dur)
+				}
+			}
+		case "M":
+			metas++
+			if ev.Name == "thread_name" {
+				threadNames[ev.Tid], _ = ev.Args["name"].(string)
+			}
+			if ev.Name == "process_name" && ev.Args["name"] != "fibersim" {
+				t.Errorf("process_name = %v", ev.Args)
+			}
+		}
 	}
-	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+	if slices != 2 {
+		t.Errorf("got %d slices, want 2", slices)
+	}
+	if metas != 3 { // process_name + 2 thread names
+		t.Errorf("got %d metadata events, want 3", metas)
+	}
+	if threadNames[0] != "rank 0" || threadNames[1] != "rank 1" {
+		t.Errorf("thread names = %v", threadNames)
+	}
+}
+
+func TestWriteChromeFlows(t *testing.T) {
+	send := NewLog(10)
+	send.Add(Event{Name: "send", Cat: "mpi", Rank: 0, Start: 1e-6, End: 2e-6,
+		Flow: 42, FlowKind: FlowOut})
+	recv := NewLog(10)
+	recv.Add(Event{Name: "recv", Cat: "mpi", Rank: 1, Start: 1e-6, End: 4e-6,
+		Flow: 42, FlowKind: FlowIn})
+	// A half-open flow (its recv was dropped) must be pruned.
+	send.Add(Event{Name: "send", Cat: "mpi", Rank: 0, Start: 5e-6, End: 6e-6,
+		Flow: 43, FlowKind: FlowOut})
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, send, recv); err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.TraceEvents) != 2 {
-		t.Fatalf("got %d events", len(doc.TraceEvents))
+	doc := decodeChrome(t, &buf)
+	var s, f int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			s++
+			if ev.ID != "0x2a" || ev.Tid != 0 || ev.Ts != 1 {
+				t.Errorf("flow start wrong: %+v", ev)
+			}
+		case "f":
+			f++
+			if ev.ID != "0x2a" || ev.Tid != 1 || ev.BP != "e" || ev.Ts != 4 {
+				t.Errorf("flow finish wrong: %+v", ev)
+			}
+		}
 	}
-	ev := doc.TraceEvents[0]
-	if ev.Name != "k1" || ev.Ph != "X" || ev.Ts != 1 || ev.Tid != 0 {
-		t.Errorf("event 0 wrong: %+v", ev)
+	if s != 1 || f != 1 {
+		t.Errorf("got %d starts / %d finishes, want 1/1 (half-open pruned)", s, f)
 	}
-	if ev.Dur < 2-1e-9 || ev.Dur > 2+1e-9 {
-		t.Errorf("event 0 duration %v, want ~2us", ev.Dur)
+}
+
+// TestWriteChromeDropCounter pins the drop accounting at capacity: the
+// overflow count surfaces as a counter track sample.
+func TestWriteChromeDropCounter(t *testing.T) {
+	l := NewLog(1)
+	l.Add(Event{Name: "kept", Cat: "kernel", Rank: 0, Start: 0, End: 1e-6})
+	for i := 0; i < 4; i++ {
+		l.Add(Event{Name: "lost", Cat: "kernel", Rank: 0, Start: 0, End: 1e-6})
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeChrome(t, &buf)
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" && ev.Name == "dropped events" {
+			found = true
+			if v, _ := ev.Args["dropped"].(float64); v != 4 {
+				t.Errorf("dropped counter = %v, want 4", ev.Args)
+			}
+			if ev.Ts != 1 { // at the end of the timeline (us)
+				t.Errorf("counter ts = %v", ev.Ts)
+			}
+		}
+	}
+	if !found {
+		t.Error("no dropped-events counter emitted")
 	}
 }
 
