@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"fibersim/internal/arch"
+	"fibersim/internal/fault"
 	"fibersim/internal/harness"
 	_ "fibersim/internal/miniapps/all"
 	"fibersim/internal/miniapps/common"
@@ -54,6 +55,7 @@ func main() {
 	topK := flag.Int("topk", 10, "single run: kernels shown in the report")
 	metrics := flag.String("metrics", "", "single run: write Prometheus text exposition to this file (- for stdout)")
 	traceFile := flag.String("trace", "", "single run: write a chrome://tracing timeline to this file")
+	faultSpec := flag.String("fault", "", `single run: fault schedule, e.g. "seed=7,straggler=0:1.5,noise=200us:20us,crash=1:2ms" (see internal/fault)`)
 	flag.Parse()
 
 	sz, err := common.ParseSize(*size)
@@ -67,8 +69,12 @@ func main() {
 			procs: *procs, threads: *threads, stride: *stride,
 			compiler: *compiler, manifest: *manifest, report: *report,
 			topK: *topK, metrics: *metrics, traceFile: *traceFile,
+			fault: *faultSpec,
 		})
 		return
+	}
+	if *faultSpec != "" {
+		fatal(fmt.Errorf("-fault applies to single-run mode only (use with -app; sweeps take it via fibersweep)"))
 	}
 
 	opt := harness.Options{Size: sz}
@@ -124,6 +130,7 @@ type singleOpts struct {
 	report             bool
 	topK               int
 	metrics, traceFile string
+	fault              string
 }
 
 // runSingle executes one fully instrumented configuration and emits
@@ -141,6 +148,10 @@ func runSingle(o singleOpts) {
 	if err != nil {
 		fatal(err)
 	}
+	sched, err := fault.ParseSchedule(o.fault)
+	if err != nil {
+		fatal(err)
+	}
 	if o.procs == 0 && o.threads == 0 {
 		// Default decomposition: one rank per NUMA domain.
 		o.procs = len(m.Domains)
@@ -151,7 +162,7 @@ func runSingle(o singleOpts) {
 	rc := common.RunConfig{
 		Machine: m, Procs: o.procs, Threads: o.threads,
 		NodeStride: o.stride, Compiler: cc, Size: o.size,
-		Recorder: rec,
+		Recorder: rec, Fault: sched,
 	}
 	if o.traceFile != "" {
 		rc.TraceCapacity = 1 << 16

@@ -1,8 +1,8 @@
 // Command fiberlint is fibersim's static-analysis suite. It runs two
 // prongs in one pass:
 //
-//   - four source analyzers (floatcmp, rawkernel, magicconst,
-//     errchecklite) over the module's Go packages, built on go/parser
+//   - five source analyzers (floatcmp, rawkernel, magicconst,
+//     errchecklite, barepanic) over the module's Go packages, built on go/parser
 //     and go/types only — see internal/lint;
 //   - the kernel-IR verifier (rule kernelir): every registered
 //     miniapp's kernel descriptors, for every data-set size, are
@@ -41,7 +41,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fiberlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	rules := fs.String("rules", "", "comma-separated rule subset (floatcmp,rawkernel,magicconst,errchecklite,kernelir); empty = all")
+	rules := fs.String("rules", "", "comma-separated rule subset (floatcmp,rawkernel,magicconst,errchecklite,barepanic,kernelir); empty = all")
 	noIR := fs.Bool("no-ir", false, "skip the kernel-IR verifier over the registered miniapps")
 	verbose := fs.Bool("v", false, "report packages analyzed and soft type errors")
 	if err := fs.Parse(args); err != nil {
@@ -63,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		// A typo'd rule name must not silently disable the whole gate.
 		if !known[r] {
-			fmt.Fprintf(stderr, "fiberlint: unknown rule %q (known: floatcmp, rawkernel, magicconst, errchecklite, kernelir)\n", r)
+			fmt.Fprintf(stderr, "fiberlint: unknown rule %q (known: floatcmp, rawkernel, magicconst, errchecklite, barepanic, kernelir)\n", r)
 			return 2
 		}
 		enabled[r] = true

@@ -9,16 +9,23 @@
 //	fibersweep -app mvmc,stream -machines a64fx,skylake -compilers as-is,tuned
 //	fibersweep -app stream -trace sweep.trace.json -trace-config a64fx:4x12
 //	fibersweep -app stream -manifest runs/        # one manifest per run
+//	fibersweep -app stream -fault "straggler=0:1.5,noise=200us:20us"
+//	fibersweep -app mvmc -resume sweep.state     # crash-safe, restartable
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"fibersim/internal/arch"
+	"fibersim/internal/fault"
 	"fibersim/internal/harness"
 	_ "fibersim/internal/miniapps/all"
 	"fibersim/internal/miniapps/common"
@@ -38,6 +45,10 @@ func main() {
 	traceConfig := flag.String("trace-config", "", `configuration to trace: "4x12", "machine:4x12" or "machine:4x12:compiler" (default: the first)`)
 	manifestDir := flag.String("manifest", "", "write one run-manifest JSON per configuration into this directory")
 	csv := flag.Bool("csv", false, "emit CSV")
+	faultSpec := flag.String("fault", "", `fault schedule applied to every run, e.g. "seed=7,straggler=0:1.5,noise=200us:20us" (see internal/fault)`)
+	resumePath := flag.String("resume", "", "checkpoint file: configurations already recorded there are replayed, not rerun; new rows are appended as they finish")
+	retries := flag.Int("retries", 0, "retry a failed run up to N times with doubling backoff before recording the error")
+	maxRuns := flag.Int("max-runs", 0, "stop after N fresh (non-resumed) runs; exits 3 if configurations remain")
 	flag.Parse()
 
 	sz, err := common.ParseSize(*size)
@@ -48,6 +59,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sched, err := fault.ParseSchedule(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	state, err := loadState(*resumePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer state.Close()
 	var apps []common.App
 	for _, n := range strings.Split(*appNames, ",") {
 		app, err := common.Lookup(strings.TrimSpace(n))
@@ -70,6 +90,8 @@ func main() {
 	}
 
 	traced := false
+	freshRuns, truncated := 0, false
+sweep:
 	for _, app := range apps {
 		for _, mn := range strings.Split(*machines, ",") {
 			m, err := arch.Lookup(strings.TrimSpace(mn))
@@ -85,6 +107,7 @@ func main() {
 					rc := common.RunConfig{
 						Machine: m, Procs: d[0], Threads: d[1],
 						Compiler: cc, Size: sz, NodeStride: *stride,
+						Fault: sched,
 					}
 					if *traceFile != "" && !traced && sel.matches(app.Name(), m.Name, d, cn) {
 						traced = true
@@ -92,35 +115,50 @@ func main() {
 							fatal(err)
 						}
 					}
+					key := fmt.Sprintf("%s|%s|%dx%d|%s", app.Name(), m.Name, d[0], d[1], cc.String())
+					if cells, ok := state.done[key]; ok {
+						t.AddRow(cells...)
+						continue
+					}
+					if *maxRuns > 0 && freshRuns >= *maxRuns {
+						truncated = true
+						break sweep
+					}
 					var rec *obs.Recorder
 					if *manifestDir != "" {
 						rec = obs.NewRecorder()
 						rec.SetMeta(app.Name(), rc.String())
 						rc.Recorder = rec
 					}
-					res, err := app.Run(rc)
+					res, err := runOne(app, rc, *retries)
+					freshRuns++
+					var cells []string
 					if err != nil {
-						t.AddRow(app.Name(), m.Name, fmt.Sprintf("%dx%d", d[0], d[1]), cc.String(),
-							"error: "+err.Error(), "", "", "", "", "")
-						continue
-					}
-					if rec != nil {
-						path := filepath.Join(*manifestDir, fmt.Sprintf("%s-%s-%dx%d-%s.json",
-							app.Name(), m.Name, d[0], d[1], sanitize(cc.String())))
-						if err := common.BuildManifest(res, rec).WriteFile(path); err != nil {
-							fatal(err)
+						cells = []string{app.Name(), m.Name, fmt.Sprintf("%dx%d", d[0], d[1]), cc.String(),
+							"error: " + err.Error(), "", "", "", "", ""}
+					} else {
+						if rec != nil {
+							path := filepath.Join(*manifestDir, fmt.Sprintf("%s-%s-%dx%d-%s.json",
+								app.Name(), m.Name, d[0], d[1], sanitize(cc.String())))
+							if err := common.BuildManifest(res, rec).WriteFile(path); err != nil {
+								fatal(err)
+							}
+						}
+						cells = []string{app.Name(), m.Name,
+							fmt.Sprintf("%dx%d", d[0], d[1]),
+							cc.String(),
+							vtime.Format(res.Time),
+							fmt.Sprintf("%.1f", res.GFlops()),
+							fmt.Sprintf("%.3g", res.Figure),
+							res.FigureUnit,
+							fmt.Sprint(res.Verified),
+							fmt.Sprintf("%.0f%%", res.Breakdown.Get(vtime.Comm)/res.Time*100),
 						}
 					}
-					t.AddRow(app.Name(), m.Name,
-						fmt.Sprintf("%dx%d", d[0], d[1]),
-						cc.String(),
-						vtime.Format(res.Time),
-						fmt.Sprintf("%.1f", res.GFlops()),
-						fmt.Sprintf("%.3g", res.Figure),
-						res.FigureUnit,
-						fmt.Sprint(res.Verified),
-						fmt.Sprintf("%.0f%%", res.Breakdown.Get(vtime.Comm)/res.Time*100),
-					)
+					t.AddRow(cells...)
+					if err := state.record(key, cells); err != nil {
+						fatal(err)
+					}
 				}
 			}
 		}
@@ -133,10 +171,138 @@ func main() {
 		if err := t.CSV(os.Stdout); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	if err := t.Render(os.Stdout); err != nil {
+	} else if err := t.Render(os.Stdout); err != nil {
 		fatal(err)
+	}
+	if truncated {
+		fmt.Fprintf(os.Stderr, "fibersweep: stopped after %d runs (-max-runs); resume with -resume %s\n",
+			freshRuns, *resumePath)
+		state.Close()
+		os.Exit(3)
+	}
+}
+
+// runOne executes one configuration, converting panics into errors and
+// retrying failures with doubling backoff (100 ms, 200 ms, ...). The
+// simulator is deterministic, so retries mostly matter for runs that
+// touch the environment (manifest/trace I/O) — but they also keep a
+// sweep alive across transient resource exhaustion.
+func runOne(app common.App, rc common.RunConfig, retries int) (common.Result, error) {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		res, err := runOnce(app, rc)
+		if err == nil || attempt >= retries {
+			return res, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// runOnce is one guarded attempt: a panicking miniapp produces an error
+// row, not a dead sweep.
+func runOnce(app common.App, rc common.RunConfig) (res common.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return app.Run(rc)
+}
+
+// sweepState is the -resume checkpoint: one JSON line per finished
+// configuration, holding the key and the fully formatted row cells.
+// Replaying cells (rather than rerunning) makes a resumed sweep's
+// output byte-identical to an uninterrupted one, and an append-only
+// file survives kill -9 — at worst the final, partially written line
+// is dropped and that one configuration reruns.
+type sweepState struct {
+	f    *os.File
+	done map[string][]string
+}
+
+type stateLine struct {
+	Key   string   `json:"key"`
+	Cells []string `json:"cells"`
+}
+
+// loadState opens (creating if absent) the checkpoint at path and
+// replays its rows. An empty path disables checkpointing. record writes
+// each line plus its newline in one call, so a newline-terminated line
+// is complete; an unterminated tail is the signature of a mid-write
+// kill and is truncated away (that configuration simply reruns). A
+// malformed line that IS newline-terminated means the file is not a
+// fibersweep checkpoint, which is an error, not data loss.
+func loadState(path string) (*sweepState, error) {
+	s := &sweepState{done: map[string][]string{}}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	good, start, lineno := 0, 0, 0
+	for {
+		end := bytes.IndexByte(data[start:], '\n')
+		if end < 0 {
+			break // torn tail from a mid-write kill
+		}
+		lineno++
+		line := strings.TrimSpace(string(data[start : start+end]))
+		start += end + 1
+		if line != "" {
+			var sl stateLine
+			if err := json.Unmarshal([]byte(line), &sl); err != nil || sl.Key == "" {
+				f.Close()
+				return nil, fmt.Errorf("fibersweep: %s:%d: not a fibersweep checkpoint line: %q", path, lineno, line)
+			}
+			s.done[sl.Key] = sl.Cells
+		}
+		good = start
+	}
+	if good < len(data) {
+		fmt.Fprintf(os.Stderr, "fibersweep: %s: dropping torn final line (%d bytes) from an interrupted run\n",
+			path, len(data)-good)
+	}
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	return s, nil
+}
+
+// record checkpoints one finished configuration, fsyncing so the row
+// survives an immediate kill.
+func (s *sweepState) record(key string, cells []string) error {
+	s.done[key] = cells
+	if s.f == nil {
+		return nil
+	}
+	b, err := json.Marshal(stateLine{Key: key, Cells: cells})
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+func (s *sweepState) Close() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
 	}
 }
 

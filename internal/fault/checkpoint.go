@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckpointPolicy is the Daly checkpoint/restart cost model: given a
+// per-checkpoint write cost, a restart cost and a node MTBF, it
+// predicts the expected time-to-solution of a workload with and
+// without periodic checkpointing. It generalises ccsqcd's concrete
+// gauge-field dump into a policy engine the resilience experiment can
+// sweep over MTBF.
+type CheckpointPolicy struct {
+	// Interval is the compute time between checkpoints (s); use
+	// OptimalInterval to derive Daly's near-optimal value.
+	Interval float64
+	// WriteCost is the time to write one checkpoint (delta, s).
+	WriteCost float64
+	// RestartCost is the time to load the last checkpoint after a
+	// failure (R, s).
+	RestartCost float64
+	// MTBF is the mean time between failures of the whole allocation
+	// (M, s); +Inf models a failure-free machine.
+	MTBF float64
+}
+
+// Validate reports structural problems with a policy.
+func (p CheckpointPolicy) Validate() error {
+	if math.IsNaN(p.Interval) || p.Interval <= 0 {
+		return fmt.Errorf("fault: checkpoint interval %g invalid", p.Interval)
+	}
+	if !finite(p.WriteCost) || p.WriteCost < 0 {
+		return fmt.Errorf("fault: checkpoint write cost %g invalid", p.WriteCost)
+	}
+	if !finite(p.RestartCost) || p.RestartCost < 0 {
+		return fmt.Errorf("fault: checkpoint restart cost %g invalid", p.RestartCost)
+	}
+	if math.IsNaN(p.MTBF) || p.MTBF <= 0 {
+		return fmt.Errorf("fault: MTBF %g invalid", p.MTBF)
+	}
+	return nil
+}
+
+// OptimalInterval returns Daly's first-order optimal checkpoint
+// interval sqrt(2*delta*M) - delta for write cost delta and MTBF M,
+// floored at delta (an interval shorter than the write cost would
+// checkpoint continuously). An infinite MTBF returns +Inf: never
+// checkpoint on a failure-free machine.
+func OptimalInterval(writeCost, mtbf float64) float64 {
+	if math.IsInf(mtbf, 1) {
+		return math.Inf(1)
+	}
+	tau := math.Sqrt(2*writeCost*mtbf) - writeCost
+	return math.Max(tau, writeCost)
+}
+
+// ExpectedRuntime returns the expected wall time to complete work
+// seconds of computation under the policy, using Daly's higher-order
+// model:
+//
+//	T = M * exp(R/M) * (exp((tau+delta)/M) - 1) * W/tau
+//
+// with tau the interval, delta the write cost, R the restart cost and
+// M the MTBF. In the failure-free limit (M -> Inf) this reduces to
+// W + (W/tau)*delta: the work plus pure checkpoint overhead.
+func (p CheckpointPolicy) ExpectedRuntime(work float64) float64 {
+	if work <= 0 {
+		return 0
+	}
+	tau, delta := p.Interval, p.WriteCost
+	if math.IsInf(tau, 1) {
+		tau, delta = work, 0 // never checkpoint: one segment, no write cost
+	} else {
+		tau = math.Min(tau, work) // no point checkpointing past the end
+	}
+	segments := work / tau
+	if math.IsInf(p.MTBF, 1) {
+		return work + segments*delta
+	}
+	m := p.MTBF
+	return m * math.Exp(p.RestartCost/m) * (math.Exp((tau+delta)/m) - 1) * segments
+}
+
+// ExpectedRuntimeNoCheckpoint returns the expected wall time to finish
+// work seconds of computation with no checkpointing at all: a failure
+// restarts the run from the beginning (tau = W, delta = 0 in Daly's
+// model, plus the restart cost per failure).
+func ExpectedRuntimeNoCheckpoint(work, restartCost, mtbf float64) float64 {
+	p := CheckpointPolicy{Interval: work, WriteCost: 0, RestartCost: restartCost, MTBF: mtbf}
+	return p.ExpectedRuntime(work)
+}

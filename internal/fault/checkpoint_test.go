@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptimalInterval(t *testing.T) {
+	// Daly: tau = sqrt(2*delta*M) - delta.
+	delta, mtbf := 10.0, 3600.0
+	want := math.Sqrt(2*delta*mtbf) - delta
+	if got := OptimalInterval(delta, mtbf); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("OptimalInterval = %g, want %g", got, want)
+	}
+	// Floor at delta when MTBF is pathologically short.
+	if got := OptimalInterval(10, 1); got != 10 {
+		t.Fatalf("OptimalInterval floor = %g, want 10", got)
+	}
+	// Failure-free machines never checkpoint.
+	if got := OptimalInterval(10, math.Inf(1)); !math.IsInf(got, 1) {
+		t.Fatalf("OptimalInterval(inf MTBF) = %g, want +Inf", got)
+	}
+}
+
+func TestExpectedRuntimeFailureFreeLimit(t *testing.T) {
+	// M -> Inf reduces to W + (W/tau)*delta.
+	p := CheckpointPolicy{Interval: 100, WriteCost: 5, RestartCost: 20, MTBF: math.Inf(1)}
+	work := 1000.0
+	want := work + (work/100)*5
+	if got := p.ExpectedRuntime(work); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedRuntime(inf MTBF) = %g, want %g", got, want)
+	}
+	// With an infinite interval too, the run is just the work.
+	p.Interval = math.Inf(1)
+	if got := p.ExpectedRuntime(work); got != work {
+		t.Fatalf("ExpectedRuntime(inf MTBF, inf tau) = %g, want %g", got, work)
+	}
+}
+
+func TestExpectedRuntimeOrdering(t *testing.T) {
+	// For a failure-prone machine, Daly's optimal interval must beat
+	// both no checkpointing and a far-too-eager interval.
+	work, delta, restart, mtbf := 10000.0, 10.0, 20.0, 2000.0
+	opt := CheckpointPolicy{
+		Interval: OptimalInterval(delta, mtbf), WriteCost: delta, RestartCost: restart, MTBF: mtbf,
+	}
+	eager := opt
+	eager.Interval = delta // checkpoint as often as physically possible
+	tOpt := opt.ExpectedRuntime(work)
+	tNone := ExpectedRuntimeNoCheckpoint(work, restart, mtbf)
+	tEager := eager.ExpectedRuntime(work)
+	if tOpt <= work {
+		t.Fatalf("optimal runtime %g not above pure work %g", tOpt, work)
+	}
+	if tOpt >= tNone {
+		t.Fatalf("optimal checkpointing (%g) not better than none (%g) at MTBF=%g", tOpt, tNone, mtbf)
+	}
+	if tOpt >= tEager {
+		t.Fatalf("optimal checkpointing (%g) not better than eager (%g)", tOpt, tEager)
+	}
+}
+
+func TestExpectedRuntimeMonotoneInMTBF(t *testing.T) {
+	// Less reliable machines take longer under the same policy.
+	work, delta, restart := 5000.0, 10.0, 20.0
+	var prev float64
+	for i, mtbf := range []float64{500, 2000, 10000, math.Inf(1)} {
+		p := CheckpointPolicy{
+			Interval: OptimalInterval(delta, 2000), WriteCost: delta, RestartCost: restart, MTBF: mtbf,
+		}
+		got := p.ExpectedRuntime(work)
+		if i > 0 && got >= prev {
+			t.Fatalf("runtime %g at MTBF=%g not below %g at previous MTBF", got, mtbf, prev)
+		}
+		prev = got
+	}
+}
+
+func TestExpectedRuntimeIntervalClampedToWork(t *testing.T) {
+	// An interval past the end of the run behaves like tau = work.
+	a := CheckpointPolicy{Interval: 1e9, WriteCost: 5, RestartCost: 20, MTBF: 2000}
+	b := CheckpointPolicy{Interval: 100, WriteCost: 5, RestartCost: 20, MTBF: 2000}
+	if got, want := a.ExpectedRuntime(100), b.ExpectedRuntime(100); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("clamped interval runtime %g, want %g", got, want)
+	}
+}
+
+func TestCheckpointPolicyValidate(t *testing.T) {
+	good := CheckpointPolicy{Interval: 100, WriteCost: 5, RestartCost: 10, MTBF: 1000}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	for name, p := range map[string]CheckpointPolicy{
+		"zero interval": {Interval: 0, WriteCost: 5, RestartCost: 10, MTBF: 1000},
+		"nan write":     {Interval: 100, WriteCost: math.NaN(), RestartCost: 10, MTBF: 1000},
+		"neg restart":   {Interval: 100, WriteCost: 5, RestartCost: -1, MTBF: 1000},
+		"zero mtbf":     {Interval: 100, WriteCost: 5, RestartCost: 10, MTBF: 0},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: invalid policy accepted", name)
+		}
+	}
+	// Inf MTBF and Inf interval are explicitly legal.
+	inf := CheckpointPolicy{Interval: math.Inf(1), WriteCost: 0, RestartCost: 0, MTBF: math.Inf(1)}
+	if err := inf.Validate(); err != nil {
+		t.Fatalf("failure-free policy rejected: %v", err)
+	}
+}
+
+func TestZeroWork(t *testing.T) {
+	p := CheckpointPolicy{Interval: 100, WriteCost: 5, RestartCost: 10, MTBF: 1000}
+	if got := p.ExpectedRuntime(0); got != 0 {
+		t.Fatalf("ExpectedRuntime(0) = %g, want 0", got)
+	}
+}

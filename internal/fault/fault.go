@@ -1,0 +1,353 @@
+// Package fault is the deterministic fault-injection subsystem: a
+// seeded Schedule of typed events — straggler slowdown, OS-noise
+// jitter, degraded or flapping links, and rank crashes at a virtual
+// time — compiled into an Injector that the MPI runtime, the OpenMP
+// teams and the miniapp launcher consult while a run executes.
+//
+// Everything is a function of the schedule, its seed and virtual time,
+// never of wall-clock time or goroutine interleaving, so a run under a
+// fault schedule is exactly as reproducible as a clean run: the same
+// schedule and configuration yield byte-identical result tables and
+// manifests. The package also carries the checkpoint/restart cost
+// model (checkpoint.go) and the CLI schedule grammar (parse.go).
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Straggler slows one rank down by a multiplicative factor over a
+// virtual-time window — the modelled analogue of a thermally throttled
+// or contended node.
+type Straggler struct {
+	// Rank is the global MPI rank affected.
+	Rank int
+	// Start and End bound the virtual-time window [Start, End); End may
+	// be +Inf for a permanent straggler.
+	Start, End float64
+	// Factor >= 1 multiplies compute durations inside the window.
+	Factor float64
+}
+
+// Noise models OS interference: every rank independently accumulates
+// exponentially distributed gaps of modelled compute time between
+// noise events, each of which steals Duration seconds — the classic
+// OS-noise model whose effect on memory-bound kernels the A64FX noise
+// studies measure. The event sequence is a deterministic function of
+// the schedule seed and the rank id.
+type Noise struct {
+	// MeanInterval is the mean compute time between noise events (s).
+	MeanInterval float64
+	// Duration is the virtual time each event steals (s).
+	Duration float64
+}
+
+// LinkFault degrades the fabric between two simulated nodes: messages
+// whose endpoints live on the node pair pay Factor times the
+// point-to-point cost while the fault is active. With Period > 0 the
+// link flaps: within each Period, the first DutyCycle fraction is
+// degraded and the rest is healthy.
+type LinkFault struct {
+	// NodeA and NodeB identify the simulated node pair (unordered).
+	NodeA, NodeB int
+	// Start and End bound the virtual-time window [Start, End).
+	Start, End float64
+	// Factor >= 1 multiplies the point-to-point cost while degraded.
+	Factor float64
+	// Period, when > 0, makes the link flap with this cycle length (s).
+	Period float64
+	// DutyCycle is the degraded fraction of each period (0,1]; zero
+	// defaults to 0.5. Ignored when Period is 0 (solid degradation).
+	DutyCycle float64
+}
+
+// Crash kills one rank when its virtual clock reaches Time. The crash
+// fires at the next fault checkpoint (an MPI operation or a modelled
+// kernel charge), propagating as a world-wide abort.
+type Crash struct {
+	// Rank is the global MPI rank that dies.
+	Rank int
+	// Time is the virtual time of death (s).
+	Time float64
+}
+
+// Schedule is a full fault scenario. The zero value is a clean run.
+type Schedule struct {
+	// Seed drives the noise generators; 0 picks a fixed default so a
+	// schedule is deterministic even when the caller does not care.
+	Seed int64
+	// Stragglers lists per-rank slowdown windows.
+	Stragglers []Straggler
+	// Noise, when non-nil, enables OS-noise jitter on every rank.
+	Noise *Noise
+	// Links lists degraded or flapping node-pair links.
+	Links []LinkFault
+	// Crashes lists rank deaths.
+	Crashes []Crash
+}
+
+// finite rejects NaN and Inf in one place; windows may be +Inf at the
+// right edge, which callers whitelist explicitly.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate reports structural problems with a schedule.
+func (s *Schedule) Validate() error {
+	for i, st := range s.Stragglers {
+		if st.Rank < 0 {
+			return fmt.Errorf("fault: straggler %d: rank %d negative", i, st.Rank)
+		}
+		if !finite(st.Start) || st.Start < 0 {
+			return fmt.Errorf("fault: straggler %d: start %g invalid", i, st.Start)
+		}
+		if math.IsNaN(st.End) || st.End < st.Start {
+			return fmt.Errorf("fault: straggler %d: window [%g,%g) invalid", i, st.Start, st.End)
+		}
+		if !finite(st.Factor) || st.Factor < 1 {
+			return fmt.Errorf("fault: straggler %d: factor %g < 1 (stragglers slow down)", i, st.Factor)
+		}
+	}
+	if n := s.Noise; n != nil {
+		if !finite(n.MeanInterval) || n.MeanInterval <= 0 {
+			return fmt.Errorf("fault: noise mean interval %g invalid", n.MeanInterval)
+		}
+		if !finite(n.Duration) || n.Duration < 0 {
+			return fmt.Errorf("fault: noise duration %g invalid", n.Duration)
+		}
+	}
+	for i, l := range s.Links {
+		if l.NodeA < 0 || l.NodeB < 0 {
+			return fmt.Errorf("fault: link %d: node pair (%d,%d) invalid", i, l.NodeA, l.NodeB)
+		}
+		if !finite(l.Start) || l.Start < 0 {
+			return fmt.Errorf("fault: link %d: start %g invalid", i, l.Start)
+		}
+		if math.IsNaN(l.End) || l.End < l.Start {
+			return fmt.Errorf("fault: link %d: window [%g,%g) invalid", i, l.Start, l.End)
+		}
+		if !finite(l.Factor) || l.Factor < 1 {
+			return fmt.Errorf("fault: link %d: factor %g < 1 (degradation slows)", i, l.Factor)
+		}
+		if !finite(l.Period) || l.Period < 0 {
+			return fmt.Errorf("fault: link %d: period %g invalid", i, l.Period)
+		}
+		if !finite(l.DutyCycle) || l.DutyCycle < 0 || l.DutyCycle > 1 {
+			return fmt.Errorf("fault: link %d: duty cycle %g outside [0,1]", i, l.DutyCycle)
+		}
+	}
+	for i, c := range s.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("fault: crash %d: rank %d negative", i, c.Rank)
+		}
+		if !finite(c.Time) || c.Time < 0 {
+			return fmt.Errorf("fault: crash %d: time %g invalid", i, c.Time)
+		}
+	}
+	return nil
+}
+
+// Counters is the snapshot of what an injector actually did to a run;
+// the launcher folds it into the run manifest so a perturbed run is
+// distinguishable from a clean one by its evidence record.
+type Counters struct {
+	// StragglerSeconds is the virtual time added by straggler windows.
+	StragglerSeconds float64 `json:"straggler_seconds,omitempty"`
+	// NoiseEvents counts injected OS-noise events.
+	NoiseEvents int64 `json:"noise_events,omitempty"`
+	// NoiseSeconds is the virtual time stolen by noise events.
+	NoiseSeconds float64 `json:"noise_seconds,omitempty"`
+	// DegradedSends counts point-to-point messages that crossed a
+	// degraded link.
+	DegradedSends int64 `json:"degraded_sends,omitempty"`
+	// Crashes counts ranks killed by the schedule.
+	Crashes int64 `json:"crashes,omitempty"`
+}
+
+// Zero reports whether nothing was injected.
+func (c Counters) Zero() bool {
+	return c.StragglerSeconds == 0 && c.NoiseEvents == 0 && c.NoiseSeconds == 0 &&
+		c.DegradedSends == 0 && c.Crashes == 0
+}
+
+// rankState is the per-rank noise generator; it is only touched from
+// the owning rank's goroutine, so it needs no lock.
+type rankState struct {
+	rng      *rand.Rand
+	acc      float64 // accumulated modelled compute time
+	nextAt   float64 // acc threshold of the next noise event
+	crashed  bool
+	hasCrash bool
+	crashAt  float64
+}
+
+// Injector is a Schedule compiled for a world of a known size. Perturb
+// must be called only from the owning rank's execution stream (as the
+// runtimes do); the remaining methods are safe for concurrent use.
+type Injector struct {
+	sched Schedule
+	ranks []rankState
+
+	mu       sync.Mutex
+	counters Counters
+}
+
+// defaultSeed keeps unseeded schedules deterministic (CLUSTER 2021).
+const defaultSeed = 20210901
+
+// NewInjector compiles a schedule for a world of the given rank count.
+// Events targeting ranks outside [0, ranks) are ignored rather than
+// rejected, so one schedule can drive a whole decomposition sweep. A
+// nil schedule yields a nil injector, which disables injection at zero
+// cost everywhere.
+func NewInjector(s *Schedule, ranks int) (*Injector, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks < 1 {
+		return nil, fmt.Errorf("fault: injector needs at least one rank, got %d", ranks)
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	in := &Injector{sched: *s, ranks: make([]rankState, ranks)}
+	for r := range in.ranks {
+		st := &in.ranks[r]
+		// Distinct, reproducible stream per rank: golden-ratio spacing
+		// keeps neighbouring ranks' streams uncorrelated.
+		st.rng = rand.New(rand.NewSource(seed + int64(uint64(r)*0x9E3779B97F4A7C15)))
+		if s.Noise != nil {
+			st.nextAt = st.rng.ExpFloat64() * s.Noise.MeanInterval
+		}
+	}
+	for _, c := range s.Crashes {
+		if c.Rank < ranks {
+			st := &in.ranks[c.Rank]
+			if !st.hasCrash || c.Time < st.crashAt {
+				st.hasCrash, st.crashAt = true, c.Time
+			}
+		}
+	}
+	return in, nil
+}
+
+// Enabled reports whether the injector is active (non-nil).
+func (in *Injector) Enabled() bool { return in != nil }
+
+// Perturb maps a modelled compute duration d starting at virtual time
+// start on rank to its perturbed duration (>= d): straggler windows
+// stretch the overlapped portion, and OS noise adds stolen slices as
+// the rank's accumulated compute crosses the generator's thresholds.
+// Must be called from the owning rank's execution stream only.
+func (in *Injector) Perturb(rank int, start, d float64) float64 {
+	if in == nil || rank < 0 || rank >= len(in.ranks) || d <= 0 {
+		return d
+	}
+	var stragglerExtra float64
+	for _, st := range in.sched.Stragglers {
+		if st.Rank != rank {
+			continue
+		}
+		lo := math.Max(start, st.Start)
+		hi := math.Min(start+d, st.End)
+		if hi > lo {
+			stragglerExtra += (hi - lo) * (st.Factor - 1)
+		}
+	}
+	state := &in.ranks[rank]
+	var noiseExtra float64
+	var events int64
+	if n := in.sched.Noise; n != nil {
+		state.acc += d
+		for state.acc >= state.nextAt {
+			noiseExtra += n.Duration
+			events++
+			state.nextAt += state.rng.ExpFloat64() * n.MeanInterval
+		}
+	}
+	if stragglerExtra > 0 || events > 0 {
+		in.mu.Lock()
+		in.counters.StragglerSeconds += stragglerExtra
+		in.counters.NoiseEvents += events
+		in.counters.NoiseSeconds += noiseExtra
+		in.mu.Unlock()
+	}
+	return d + stragglerExtra + noiseExtra
+}
+
+// PerturbFn returns Perturb bound to one rank, in the shape the OpenMP
+// team's injection hook expects.
+func (in *Injector) PerturbFn(rank int) func(start, d float64) float64 {
+	return func(start, d float64) float64 { return in.Perturb(rank, start, d) }
+}
+
+// LinkScale returns the cost multiplier for a message between two
+// simulated nodes departing at virtual time at. Healthy links return 1.
+func (in *Injector) LinkScale(nodeA, nodeB int, at float64) float64 {
+	if in == nil || len(in.sched.Links) == 0 {
+		return 1
+	}
+	scale := 1.0
+	for _, l := range in.sched.Links {
+		if !(l.NodeA == nodeA && l.NodeB == nodeB) && !(l.NodeA == nodeB && l.NodeB == nodeA) {
+			continue
+		}
+		if at < l.Start || at >= l.End {
+			continue
+		}
+		if l.Period > 0 {
+			duty := l.DutyCycle
+			if duty == 0 {
+				duty = 0.5
+			}
+			if math.Mod(at-l.Start, l.Period) >= duty*l.Period {
+				continue // healthy phase of the flap
+			}
+		}
+		scale *= l.Factor
+	}
+	if scale > 1 {
+		in.mu.Lock()
+		in.counters.DegradedSends++
+		in.mu.Unlock()
+	}
+	return scale
+}
+
+// CrashTime returns the rank's scheduled virtual time of death.
+func (in *Injector) CrashTime(rank int) (float64, bool) {
+	if in == nil || rank < 0 || rank >= len(in.ranks) {
+		return 0, false
+	}
+	st := &in.ranks[rank]
+	return st.crashAt, st.hasCrash
+}
+
+// RecordCrash counts one rank's death, once per rank. The runtime
+// calls it when the crash actually fires.
+func (in *Injector) RecordCrash(rank int) {
+	if in == nil || rank < 0 || rank >= len(in.ranks) {
+		return
+	}
+	in.mu.Lock()
+	if !in.ranks[rank].crashed {
+		in.ranks[rank].crashed = true
+		in.counters.Crashes++
+	}
+	in.mu.Unlock()
+}
+
+// Counters returns the snapshot of injected perturbations so far.
+func (in *Injector) Counters() Counters {
+	if in == nil {
+		return Counters{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counters
+}

@@ -1,0 +1,290 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		s    Schedule
+		want string // substring of the error, "" for valid
+	}{
+		{"empty", Schedule{}, ""},
+		{"straggler ok", Schedule{Stragglers: []Straggler{{Rank: 0, Start: 0, End: inf, Factor: 1.5}}}, ""},
+		{"straggler factor below one", Schedule{Stragglers: []Straggler{{Rank: 0, End: 1, Factor: 0.5}}}, "factor"},
+		{"straggler nan factor", Schedule{Stragglers: []Straggler{{Rank: 0, End: 1, Factor: nan}}}, "factor"},
+		{"straggler inverted window", Schedule{Stragglers: []Straggler{{Rank: 0, Start: 2, End: 1, Factor: 2}}}, "window"},
+		{"straggler negative rank", Schedule{Stragglers: []Straggler{{Rank: -1, End: 1, Factor: 2}}}, "rank"},
+		{"noise ok", Schedule{Noise: &Noise{MeanInterval: 1e-4, Duration: 1e-5}}, ""},
+		{"noise zero interval", Schedule{Noise: &Noise{MeanInterval: 0, Duration: 1e-5}}, "interval"},
+		{"noise nan duration", Schedule{Noise: &Noise{MeanInterval: 1e-4, Duration: nan}}, "duration"},
+		{"link ok", Schedule{Links: []LinkFault{{NodeA: 0, NodeB: 1, End: inf, Factor: 4}}}, ""},
+		{"link factor below one", Schedule{Links: []LinkFault{{NodeA: 0, NodeB: 1, End: 1, Factor: 0.9}}}, "factor"},
+		{"link duty above one", Schedule{Links: []LinkFault{{NodeA: 0, NodeB: 1, End: 1, Factor: 2, Period: 1, DutyCycle: 1.5}}}, "duty"},
+		{"crash ok", Schedule{Crashes: []Crash{{Rank: 1, Time: 0.5}}}, ""},
+		{"crash nan time", Schedule{Crashes: []Crash{{Rank: 1, Time: nan}}}, "time"},
+		{"crash inf time", Schedule{Crashes: []Crash{{Rank: 1, Time: inf}}}, "time"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if got := in.Perturb(0, 0, 1e-3); got != 1e-3 {
+		t.Fatalf("nil Perturb = %g, want identity", got)
+	}
+	if got := in.LinkScale(0, 1, 0); got != 1 {
+		t.Fatalf("nil LinkScale = %g, want 1", got)
+	}
+	if _, ok := in.CrashTime(0); ok {
+		t.Fatal("nil CrashTime reports a crash")
+	}
+	if !in.Counters().Zero() {
+		t.Fatal("nil Counters not zero")
+	}
+	in.RecordCrash(0) // must not panic
+}
+
+func TestNewInjectorNilSchedule(t *testing.T) {
+	in, err := NewInjector(nil, 4)
+	if err != nil || in != nil {
+		t.Fatalf("NewInjector(nil) = %v, %v; want nil, nil", in, err)
+	}
+}
+
+func TestStragglerWindowOverlap(t *testing.T) {
+	s := &Schedule{Stragglers: []Straggler{{Rank: 1, Start: 1, End: 2, Factor: 2}}}
+	in, err := NewInjector(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		rank     int
+		start, d float64
+		want     float64
+	}{
+		{0, 1, 1, 1},     // other rank untouched
+		{1, 0, 0.5, 0.5}, // before the window
+		{1, 2, 1, 1},     // after the window
+		{1, 1, 1, 2},     // fully inside: doubled
+		{1, 0.5, 1, 1.5}, // half overlap
+		{1, 0, 4, 5},     // window inside the interval
+	}
+	for _, tc := range cases {
+		if got := in.Perturb(tc.rank, tc.start, tc.d); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Perturb(%d, %g, %g) = %g, want %g", tc.rank, tc.start, tc.d, got, tc.want)
+		}
+	}
+	c := in.Counters()
+	if math.Abs(c.StragglerSeconds-2.5) > 1e-12 {
+		t.Errorf("StragglerSeconds = %g, want 2.5", c.StragglerSeconds)
+	}
+}
+
+func TestNoiseDeterministicAndCounted(t *testing.T) {
+	s := &Schedule{Seed: 7, Noise: &Noise{MeanInterval: 1e-4, Duration: 1e-5}}
+	run := func() (float64, Counters) {
+		in, err := NewInjector(s, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		start := 0.0
+		for i := 0; i < 200; i++ {
+			d := in.Perturb(0, start, 5e-5)
+			total += d
+			start += d
+		}
+		return total, in.Counters()
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if t1 != t2 || c1 != c2 {
+		t.Fatalf("noise injection not deterministic: %g/%+v vs %g/%+v", t1, c1, t2, c2)
+	}
+	if c1.NoiseEvents == 0 {
+		t.Fatal("no noise events over 200 intervals of 0.5x the mean")
+	}
+	if want := float64(c1.NoiseEvents) * 1e-5; math.Abs(c1.NoiseSeconds-want) > 1e-12 {
+		t.Fatalf("NoiseSeconds = %g, want %g", c1.NoiseSeconds, want)
+	}
+	if t1 <= 200*5e-5 {
+		t.Fatalf("perturbed total %g not above clean total %g", t1, 200*5e-5)
+	}
+}
+
+func TestNoiseStreamsDifferPerRank(t *testing.T) {
+	s := &Schedule{Seed: 7, Noise: &Noise{MeanInterval: 1e-4, Duration: 1e-5}}
+	in, err := NewInjector(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d0, d1 []float64
+	start := 0.0
+	for i := 0; i < 50; i++ {
+		d0 = append(d0, in.Perturb(0, start, 7e-5))
+		d1 = append(d1, in.Perturb(1, start, 7e-5))
+		start += 7e-5
+	}
+	same := true
+	for i := range d0 {
+		//fiberlint:ignore floatcmp detecting identical streams, not comparing computed values
+		if d0[i] != d1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("rank 0 and rank 1 noise streams are identical")
+	}
+}
+
+func TestLinkScale(t *testing.T) {
+	s := &Schedule{Links: []LinkFault{
+		{NodeA: 0, NodeB: 1, Start: 0, End: 10, Factor: 4},
+		{NodeA: 2, NodeB: 3, Start: 0, End: 10, Factor: 3, Period: 2, DutyCycle: 0.5},
+	}}
+	in, err := NewInjector(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b int
+		at   float64
+		want float64
+	}{
+		{0, 1, 5, 4},   // inside the window
+		{1, 0, 5, 4},   // unordered pair matches both ways
+		{0, 1, 10, 1},  // window is half-open at the right edge
+		{0, 2, 5, 1},   // untouched pair
+		{2, 3, 0.5, 3}, // flap: degraded phase
+		{2, 3, 1.5, 1}, // flap: healthy phase
+		{2, 3, 2.5, 3}, // flap: next cycle degraded again
+	}
+	for _, tc := range cases {
+		if got := in.LinkScale(tc.a, tc.b, tc.at); got != tc.want {
+			t.Errorf("LinkScale(%d, %d, %g) = %g, want %g", tc.a, tc.b, tc.at, got, tc.want)
+		}
+	}
+	if c := in.Counters(); c.DegradedSends != 4 {
+		t.Errorf("DegradedSends = %d, want 4", c.DegradedSends)
+	}
+}
+
+func TestCrashTimeAndRecord(t *testing.T) {
+	s := &Schedule{Crashes: []Crash{{Rank: 1, Time: 0.5}, {Rank: 1, Time: 0.2}, {Rank: 99, Time: 0.1}}}
+	in, err := NewInjector(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := in.CrashTime(1); !ok || at != 0.2 {
+		t.Fatalf("CrashTime(1) = %g, %v; want earliest 0.2, true", at, ok)
+	}
+	if _, ok := in.CrashTime(0); ok {
+		t.Fatal("CrashTime(0) reports a crash for an unscheduled rank")
+	}
+	// Out-of-range rank 99 must be ignored, not panic.
+	in.RecordCrash(1)
+	in.RecordCrash(1)
+	if c := in.Counters(); c.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1 (deduplicated)", c.Crashes)
+	}
+}
+
+func TestNewInjectorRejectsBadInput(t *testing.T) {
+	if _, err := NewInjector(&Schedule{}, 0); err == nil {
+		t.Fatal("NewInjector with 0 ranks succeeded")
+	}
+	bad := &Schedule{Stragglers: []Straggler{{Rank: 0, End: 1, Factor: 0.1}}}
+	if _, err := NewInjector(bad, 4); err == nil {
+		t.Fatal("NewInjector with invalid schedule succeeded")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := ParseSchedule("seed=7,noise=200us:20us,straggler=0:1.5,link=0:1:4:1ms:inf,crash=3:10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 {
+		t.Errorf("seed = %d", s.Seed)
+	}
+	if s.Noise == nil || s.Noise.MeanInterval != 200e-6 || s.Noise.Duration != 20e-6 {
+		t.Errorf("noise = %+v", s.Noise)
+	}
+	if len(s.Stragglers) != 1 || s.Stragglers[0].Rank != 0 || s.Stragglers[0].Factor != 1.5 ||
+		!math.IsInf(s.Stragglers[0].End, 1) {
+		t.Errorf("stragglers = %+v", s.Stragglers)
+	}
+	if len(s.Links) != 1 || s.Links[0].NodeB != 1 || s.Links[0].Factor != 4 ||
+		s.Links[0].Start != 1e-3 || !math.IsInf(s.Links[0].End, 1) {
+		t.Errorf("links = %+v", s.Links)
+	}
+	if len(s.Crashes) != 1 || s.Crashes[0].Rank != 3 || s.Crashes[0].Time != 10e-3 {
+		t.Errorf("crashes = %+v", s.Crashes)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",               // not key=value
+		"warp=1",              // unknown key
+		"seed=x",              // bad int
+		"noise=200us",         // missing field
+		"straggler=0:0.5",     // factor < 1 caught by Validate
+		"crash=1:abc",         // bad time literal
+		"link=0:1",            // too few fields
+		"straggler=0:1.5:1ms", // 3 fields is neither 2 nor 4
+	} {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	s, err := ParseSchedule("  ")
+	if err != nil || s != nil {
+		t.Fatalf("ParseSchedule(blank) = %v, %v; want nil, nil", s, err)
+	}
+}
+
+func TestParseVTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1", 1}, {"1.5", 1.5}, {"2s", 2}, {"10ms", 0.01},
+		{"200us", 200e-6}, {"50ns", 50e-9}, {"inf", math.Inf(1)},
+	}
+	for _, tc := range cases {
+		got, err := parseVTime(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseVTime(%q) = %g, %v; want %g", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := parseVTime("12parsecs"); err == nil {
+		t.Error("parseVTime accepted garbage units")
+	}
+}

@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseSchedule parses the CLI schedule grammar: a comma-separated
+// list of items, each `key=value` with colon-separated fields:
+//
+//	seed=7
+//	noise=MEAN:DUR                  OS noise (mean compute interval, duration)
+//	straggler=RANK:FACTOR[:START:END]
+//	link=NODEA:NODEB:FACTOR[:START:END[:PERIOD:DUTY]]
+//	crash=RANK:TIME
+//
+// Durations and times accept ns/us/ms/s suffixes (plain numbers are
+// seconds); END may be "inf". Example:
+//
+//	seed=7,noise=200us:20us,straggler=0:1.5,crash=3:10ms
+//
+// An empty spec returns a nil schedule (clean run).
+func ParseSchedule(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	s := &Schedule{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: item %q is not key=value", item)
+		}
+		fields := strings.Split(val, ":")
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: seed %q: %v", val, err)
+			}
+		case "noise":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fault: noise wants MEAN:DUR, got %q", val)
+			}
+			n := &Noise{}
+			if n.MeanInterval, err = parseVTime(fields[0]); err != nil {
+				return nil, fmt.Errorf("fault: noise interval: %v", err)
+			}
+			if n.Duration, err = parseVTime(fields[1]); err != nil {
+				return nil, fmt.Errorf("fault: noise duration: %v", err)
+			}
+			s.Noise = n
+		case "straggler":
+			if len(fields) != 2 && len(fields) != 4 {
+				return nil, fmt.Errorf("fault: straggler wants RANK:FACTOR[:START:END], got %q", val)
+			}
+			st := Straggler{End: math.Inf(1)}
+			if st.Rank, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("fault: straggler rank %q: %v", fields[0], err)
+			}
+			if st.Factor, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, fmt.Errorf("fault: straggler factor %q: %v", fields[1], err)
+			}
+			if len(fields) == 4 {
+				if st.Start, err = parseVTime(fields[2]); err != nil {
+					return nil, fmt.Errorf("fault: straggler start: %v", err)
+				}
+				if st.End, err = parseVTime(fields[3]); err != nil {
+					return nil, fmt.Errorf("fault: straggler end: %v", err)
+				}
+			}
+			s.Stragglers = append(s.Stragglers, st)
+		case "link":
+			if len(fields) != 3 && len(fields) != 5 && len(fields) != 7 {
+				return nil, fmt.Errorf(
+					"fault: link wants NODEA:NODEB:FACTOR[:START:END[:PERIOD:DUTY]], got %q", val)
+			}
+			l := LinkFault{End: math.Inf(1)}
+			if l.NodeA, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("fault: link node %q: %v", fields[0], err)
+			}
+			if l.NodeB, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("fault: link node %q: %v", fields[1], err)
+			}
+			if l.Factor, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("fault: link factor %q: %v", fields[2], err)
+			}
+			if len(fields) >= 5 {
+				if l.Start, err = parseVTime(fields[3]); err != nil {
+					return nil, fmt.Errorf("fault: link start: %v", err)
+				}
+				if l.End, err = parseVTime(fields[4]); err != nil {
+					return nil, fmt.Errorf("fault: link end: %v", err)
+				}
+			}
+			if len(fields) == 7 {
+				if l.Period, err = parseVTime(fields[5]); err != nil {
+					return nil, fmt.Errorf("fault: link period: %v", err)
+				}
+				if l.DutyCycle, err = strconv.ParseFloat(fields[6], 64); err != nil {
+					return nil, fmt.Errorf("fault: link duty %q: %v", fields[6], err)
+				}
+			}
+			s.Links = append(s.Links, l)
+		case "crash":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fault: crash wants RANK:TIME, got %q", val)
+			}
+			c := Crash{}
+			if c.Rank, err = strconv.Atoi(fields[0]); err != nil {
+				return nil, fmt.Errorf("fault: crash rank %q: %v", fields[0], err)
+			}
+			if c.Time, err = parseVTime(fields[1]); err != nil {
+				return nil, fmt.Errorf("fault: crash time: %v", err)
+			}
+			s.Crashes = append(s.Crashes, c)
+		default:
+			return nil, fmt.Errorf("fault: unknown schedule key %q (want seed, noise, straggler, link, crash)", key)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseVTime parses a virtual-time literal: a float with an optional
+// ns/us/ms/s suffix ("200us", "1.5ms", "10"); "inf" is +Inf.
+func parseVTime(tok string) (float64, error) {
+	tok = strings.TrimSpace(tok)
+	if strings.EqualFold(tok, "inf") {
+		return math.Inf(1), nil
+	}
+	// Dividing by the exact powers of ten keeps "200us" identical to the
+	// literal 200e-6 (multiplying by the inexact 1e-6 would not).
+	div := 1.0
+	switch {
+	case strings.HasSuffix(tok, "ns"):
+		div, tok = 1e9, strings.TrimSuffix(tok, "ns")
+	case strings.HasSuffix(tok, "us"):
+		div, tok = 1e6, strings.TrimSuffix(tok, "us")
+	case strings.HasSuffix(tok, "ms"):
+		div, tok = 1e3, strings.TrimSuffix(tok, "ms")
+	case strings.HasSuffix(tok, "s"):
+		tok = strings.TrimSuffix(tok, "s")
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time literal %q", tok)
+	}
+	return v / div, nil
+}

@@ -62,6 +62,7 @@ func Experiments() []Experiment {
 		{"E1", "Multi-node weak scaling (extension)", "halo+allreduce proxy over Tofu-D vs InfiniBand", FigMultiNode},
 		{"E2", "A64FX power modes (extension)", "normal vs boost vs eco: time, power, energy", FigPowerModes},
 		{"E3", "Data-set size effect (extension)", "A64FX advantage vs problem size", FigSizeStudy},
+		{"E4", "Resilience under faults (extension)", "time-to-solution vs node MTBF with/without Daly checkpointing", FigResilience},
 		{"S1", "Reproduction scorecard", "the abstract's four findings as pass/fail", TableScorecard},
 	}
 }

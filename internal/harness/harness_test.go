@@ -16,8 +16,8 @@ func testOpts(apps ...string) Options {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("want 15 experiments, got %d", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("want 16 experiments, got %d", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fibersim/internal/miniapps/common"
+)
+
+func TestFigResilienceShapeAndDeterminism(t *testing.T) {
+	o := Options{Size: common.SizeTest, Apps: []string{"ccsqcd", "stream"}}
+	render := func() []byte {
+		tb, err := FigResilience(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tb.Render(&buf)
+		return buf.Bytes()
+	}
+	first := render()
+	if !bytes.Equal(first, render()) {
+		t.Fatal("FigResilience not byte-identical across runs")
+	}
+
+	tb, err := FigResilience(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(o.Apps) * len(ResilienceMTBFFactors()); len(tb.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), want)
+	}
+	// Faulty must exceed clean, and checkpointing must win at the worst
+	// MTBF (gain > 1x in the first row of each app block).
+	for i := 0; i < len(tb.Rows); i += len(ResilienceMTBFFactors()) {
+		row := tb.Rows[i]
+		if row[0] == "" || row[1] == "" || row[2] == "" {
+			t.Fatalf("app block row %d missing identity cells: %v", i, row)
+		}
+		gain, err := strconv.ParseFloat(strings.TrimSuffix(row[len(row)-1], "x"), 64)
+		if err != nil {
+			t.Fatalf("row %d gain cell %q: %v", i, row[len(row)-1], err)
+		}
+		if gain <= 1 {
+			t.Errorf("row %d (mtbf=W) gain %.2f, want > 1", i, gain)
+		}
+	}
+}
+
+func TestExperimentsIncludeE4(t *testing.T) {
+	e, err := LookupExperiment("E4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Run == nil || e.Title == "" {
+		t.Fatalf("E4 incomplete: %+v", e)
+	}
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// panicScopes are where a bare panic is forbidden: model code and the
+// experiment harness. A panicking miniapp kills a whole sweep (or
+// forces cmd/fibersweep to recover and synthesize an error row), so
+// model-level failures must travel as errors. Infrastructure packages
+// (registries, the MPI runtime) keep their documented panics.
+var panicScopes = []string{"internal/miniapps", "internal/harness"}
+
+// BarePanic returns the barepanic analyzer: inside internal/miniapps
+// and internal/harness a statement-level panic(...) is flagged unless
+// it sits in a Must* helper (the conventional validated-constructor
+// idiom) or carries a //fiberlint:ignore barepanic comment.
+func BarePanic() *Analyzer {
+	return &Analyzer{
+		Name: "barepanic",
+		Doc:  "flags bare panic(...) statements in miniapp and harness code, which should return errors",
+		Run:  runBarePanic,
+	}
+}
+
+func runBarePanic(p *Package) []Diagnostic {
+	inScope := false
+	for _, s := range panicScopes {
+		if strings.Contains(p.Path, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Must* is the accepted panic-on-invalid wrapper idiom
+			// (MustLookup, MustKernel, ...); its panics are the point.
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isBuiltinPanic(p.Info, call) {
+					out = append(out, p.diag(call.Pos(), "barepanic",
+						"bare panic in %s: model and harness failures must be returned as errors (Must* helpers are exempt; //fiberlint:ignore barepanic for deliberate invariants)",
+						fd.Name.Name))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isBuiltinPanic reports whether the call invokes the predeclared
+// panic, not a shadowing local function of the same name.
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if obj := info.Uses[id]; obj != nil {
+		_, builtin := obj.(*types.Builtin)
+		return builtin
+	}
+	// No type info (degraded analysis): assume the common case.
+	return true
+}

@@ -20,6 +20,9 @@
 //     machine descriptions) may only live in internal/arch, not inline
 //     in miniapps or the harness.
 //   - errchecklite: no discarded error returns in internal/... .
+//   - barepanic:  no bare panic(...) statements in internal/miniapps
+//     or internal/harness — model and harness failures travel as
+//     errors; Must* helpers are the sanctioned panic wrappers.
 //
 // A diagnostic is suppressed with a comment on the offending line or
 // the line above:
@@ -71,7 +74,7 @@ type Analyzer struct {
 
 // DefaultAnalyzers returns the full rule set in reporting order.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{FloatCmp(), RawKernel(), MagicConst(), ErrCheckLite()}
+	return []*Analyzer{FloatCmp(), RawKernel(), MagicConst(), ErrCheckLite(), BarePanic()}
 }
 
 // Run applies the analyzers to every package, drops suppressed

@@ -80,6 +80,8 @@ func TestAnalyzers(t *testing.T) {
 		{name: "magicconst_good", dir: "internal/harness/magicconst_good", analyzer: lint.MagicConst()},
 		{name: "errcheck_bad", dir: "errcheck_bad", analyzer: lint.ErrCheckLite()},
 		{name: "errcheck_good", dir: "errcheck_good", analyzer: lint.ErrCheckLite()},
+		{name: "barepanic_bad", dir: "internal/miniapps/barepanic_bad", analyzer: lint.BarePanic()},
+		{name: "barepanic_good", dir: "internal/miniapps/barepanic_good", analyzer: lint.BarePanic()},
 		{name: "suppress", dir: "suppress", analyzer: lint.FloatCmp()},
 
 		{name: "rawkernel_exempt_in_loopir", dir: "rawkernel_bad",
@@ -88,6 +90,8 @@ func TestAnalyzers(t *testing.T) {
 			asPath: "fibersim/cmd/fixture", analyzer: lint.MagicConst(), wantNone: true},
 		{name: "errcheck_out_of_scope", dir: "errcheck_bad",
 			asPath: "fibersim/cmd/fixture", analyzer: lint.ErrCheckLite(), wantNone: true},
+		{name: "barepanic_out_of_scope", dir: "internal/miniapps/barepanic_bad",
+			asPath: "fibersim/internal/mpi/fixture", analyzer: lint.BarePanic(), wantNone: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -152,7 +156,7 @@ func TestDefaultAnalyzers(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	sort.Strings(names)
-	want := []string{"errchecklite", "floatcmp", "magicconst", "rawkernel"}
+	want := []string{"barepanic", "errchecklite", "floatcmp", "magicconst", "rawkernel"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("got %v, want %v", names, want)
 	}

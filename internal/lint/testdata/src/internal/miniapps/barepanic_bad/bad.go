@@ -1,0 +1,30 @@
+// Package fixture is the barepanic positive fixture. Its fake import
+// path places it under internal/miniapps, where bare panics are
+// forbidden.
+package fixture
+
+import "fmt"
+
+func stepModel(n int) {
+	if n < 0 {
+		panic("negative step") // want barepanic
+	}
+}
+
+func nested(n int) {
+	f := func() {
+		panic(fmt.Sprintf("nested %d", n)) // want barepanic
+	}
+	f()
+}
+
+// recovered panics are still flagged: the rule is about the panic
+// site, not whether something upstream catches it.
+func recovered() {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = r
+		}
+	}()
+	panic("boom") // want barepanic
+}

@@ -1,0 +1,36 @@
+// Package fixture is the barepanic negative fixture: every panic here
+// is legitimate under the rule.
+package fixture
+
+import "errors"
+
+// MustStep follows the Must* validated-wrapper idiom.
+func MustStep(n int) int {
+	if n < 0 {
+		panic("negative step")
+	}
+	return n
+}
+
+// step returns its failure, the way model code should.
+func step(n int) error {
+	if n < 0 {
+		return errors.New("negative step")
+	}
+	return nil
+}
+
+// invariant documents a deliberately kept panic.
+func invariant(n int) {
+	if n < 0 {
+		//fiberlint:ignore barepanic corrupted internal state is unrecoverable
+		panic("negative step")
+	}
+}
+
+// shadowed calls a local function that happens to be named panic; the
+// rule must key on the builtin, not the name.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

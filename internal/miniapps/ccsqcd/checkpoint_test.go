@@ -56,3 +56,97 @@ func TestGaugeCheckpointGeometryMismatch(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+// writeCheckpoint returns a valid serialized checkpoint plus its
+// geometry, the fixture for the corruption-path tests below.
+func writeCheckpoint(t *testing.T) ([]byte, *Geometry) {
+	t.Helper()
+	g, err := NewGeometry(4, 4, 4, 4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := NewGauge(g, 5).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), g
+}
+
+// The restart paths must fail loudly and distinctly: a truncated file,
+// a wrong magic, an unsupported version and a corrupted payload are
+// different operational incidents and the error must say which one.
+func TestGaugeCheckpointTruncatedFile(t *testing.T) {
+	data, g := writeCheckpoint(t)
+	for _, cut := range []int{0, 10, len(data) / 2, len(data) - 1} {
+		_, err := ReadGauge(bytes.NewReader(data[:cut]), g)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(data))
+		}
+		if strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("truncation at %d misreported as checksum corruption: %v", cut, err)
+		}
+		if !strings.Contains(err.Error(), "header") && !strings.Contains(err.Error(), "links") {
+			t.Fatalf("truncation at %d error does not name the short section: %v", cut, err)
+		}
+	}
+}
+
+func TestGaugeCheckpointWrongMagic(t *testing.T) {
+	data, g := writeCheckpoint(t)
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF // little-endian magic lives in the first 4 bytes
+	_, err := ReadGauge(bytes.NewReader(bad), g)
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("wrong magic not reported as such: %v", err)
+	}
+}
+
+func TestGaugeCheckpointVersionMismatch(t *testing.T) {
+	data, g := writeCheckpoint(t)
+	bad := append([]byte(nil), data...)
+	bad[4] = 2 // little-endian version field follows the magic
+	_, err := ReadGauge(bytes.NewReader(bad), g)
+	if err == nil || !strings.Contains(err.Error(), "version 2") {
+		t.Fatalf("version mismatch not reported as such: %v", err)
+	}
+}
+
+func TestGaugeCheckpointChecksumCorruption(t *testing.T) {
+	data, g := writeCheckpoint(t)
+	for _, flip := range []int{40, len(data) - 1} { // early and late payload bytes
+		bad := append([]byte(nil), data...)
+		bad[flip] ^= 0x01
+		_, err := ReadGauge(bytes.NewReader(bad), g)
+		if err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("payload flip at %d not reported as checksum corruption: %v", flip, err)
+		}
+	}
+}
+
+// The four failure classes must be pairwise distinguishable by error
+// text, so sweep triage can bucket bad restarts without guesswork.
+func TestGaugeCheckpointErrorsAreDistinct(t *testing.T) {
+	data, g := writeCheckpoint(t)
+	mutate := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"magic":     func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"version":   func(b []byte) []byte { b[4] = 9; return b },
+		"checksum":  func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+	}
+	msgs := map[string]string{}
+	for name, f := range mutate {
+		bad := f(append([]byte(nil), data...))
+		_, err := ReadGauge(bytes.NewReader(bad), g)
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		msgs[name] = err.Error()
+	}
+	for a, ma := range msgs {
+		for b, mb := range msgs {
+			if a < b && ma == mb {
+				t.Fatalf("failure classes %s and %s produce identical errors: %q", a, b, ma)
+			}
+		}
+	}
+}

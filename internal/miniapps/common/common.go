@@ -13,6 +13,7 @@ import (
 	"fibersim/internal/affinity"
 	"fibersim/internal/arch"
 	"fibersim/internal/core"
+	"fibersim/internal/fault"
 	"fibersim/internal/mpi"
 	"fibersim/internal/obs"
 	"fibersim/internal/omp"
@@ -107,6 +108,11 @@ type RunConfig struct {
 	// (kernel attributions, MPI op/peer traffic, OMP overheads); see
 	// internal/obs. Nil disables recording at zero cost.
 	Recorder *obs.Recorder
+	// Fault, when non-nil, runs the app under the given fault schedule:
+	// kernel charges and parallel regions are perturbed by stragglers
+	// and OS noise, link faults scale message costs, and scheduled rank
+	// crashes abort the world. Nil is a clean run at zero cost.
+	Fault *fault.Schedule
 }
 
 // Normalized returns the config with defaults applied (machine, 1x1
@@ -174,6 +180,8 @@ type Result struct {
 	Comm mpi.CommStats
 	// TraceDropped counts timeline events lost at trace capacity.
 	TraceDropped int64
+	// Fault counts what the fault schedule injected (zero on clean runs).
+	Fault fault.Counters
 }
 
 // KernelStats accumulates the charges of one kernel.
@@ -220,6 +228,7 @@ func Register(a App) {
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	if _, dup := registry[a.Name()]; dup {
+		//fiberlint:ignore barepanic registry misuse at init time is a programming error
 		panic(fmt.Sprintf("common: duplicate app %q", a.Name()))
 	}
 	registry[a.Name()] = a
@@ -274,6 +283,7 @@ type Env struct {
 
 	prof map[string]KernelStats // per-rank kernel profile
 	rec  *obs.Recorder          // run recorder, nil when profiling is off
+	inj  *fault.Injector        // fault injector, nil on clean runs
 }
 
 // Rank returns the MPI rank.
@@ -288,13 +298,33 @@ func (e *Env) Threads() int { return e.Team.Threads() }
 // Charge models iters iterations of k on this rank and advances its
 // clock, recording the charge in the rank's kernel profile.
 func (e *Env) Charge(k core.Kernel, iters float64) error {
+	return e.ChargeWith(k, iters, e.Exec)
+}
+
+// ChargeWith is Charge under a modified execution context (e.g. a
+// capped thread team). Apps must route custom-context charges through
+// here rather than calling Model.Charge directly, or they dodge fault
+// injection and crash checkpoints.
+func (e *Env) ChargeWith(k core.Kernel, iters float64, ex core.Exec) error {
 	start := e.Comm.Clock().Now()
-	est, err := e.Model.Charge(e.Comm.Clock(), k, iters, e.Exec)
+	est, err := e.Model.Charge(e.Comm.Clock(), k, iters, ex)
 	if err != nil {
 		return err
 	}
+	// Fault injection: stragglers/noise stretch the charge; the excess
+	// is runtime interference, not useful compute. A kernel charge is
+	// also a crash checkpoint, so a scheduled rank death fires here even
+	// in compute-only phases.
+	if e.inj != nil {
+		if extra := e.inj.Perturb(e.Comm.Rank(), start, est.Total) - est.Total; extra > 0 {
+			e.Comm.Clock().Advance(extra, vtime.Runtime)
+		}
+	}
 	e.Comm.Trace(k.Name, "kernel", start, e.Comm.Clock().Now())
 	e.RecordEstimate(k.Name, iters, est)
+	if e.inj != nil {
+		return e.Comm.FaultCheck()
+	}
 	return nil
 }
 
@@ -327,6 +357,8 @@ type RunStats struct {
 	*mpi.Result
 	// Kernels sums the per-rank kernel charges.
 	Kernels map[string]KernelStats
+	// Fault counts what the fault schedule injected (zero on clean runs).
+	Fault fault.Counters
 }
 
 // Launch plans the placement for cfg, spins up the MPI world, builds
@@ -368,17 +400,26 @@ func Launch(cfg RunConfig, body func(env *Env) error) (*RunStats, error) {
 		return 1.3
 	}
 
+	inj, err := fault.NewInjector(cfg.Fault, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+
 	profiles := make([]map[string]KernelStats, cfg.Procs)
 	res, err := mpi.Run(mpi.Config{
 		Ranks: cfg.Procs, Fabric: fabric, PairScale: pairScale,
 		TraceCapacity: cfg.TraceCapacity,
 		Recorder:      cfg.Recorder,
+		Fault:         inj,
 	}, func(c *mpi.Comm) error {
 		team, err := omp.NewTeam(cfg.Machine, pl.ThreadCore[c.Rank()], c.Clock(), omp.DefaultOverheads())
 		if err != nil {
 			return err
 		}
 		team.Observe(cfg.Recorder, c.Rank())
+		if inj != nil {
+			team.Inject(inj.PerturbFn(c.Rank()))
+		}
 		env := &Env{
 			Comm:  c,
 			Team:  team,
@@ -392,6 +433,7 @@ func Launch(cfg RunConfig, body func(env *Env) error) (*RunStats, error) {
 			Cfg:  cfg,
 			prof: map[string]KernelStats{},
 			rec:  cfg.Recorder,
+			inj:  inj,
 		}
 		profiles[c.Rank()] = env.prof
 		return body(env)
@@ -415,7 +457,7 @@ func Launch(cfg RunConfig, body func(env *Env) error) (*RunStats, error) {
 			agg[name] = a
 		}
 	}
-	return &RunStats{Result: res, Kernels: agg}, err
+	return &RunStats{Result: res, Kernels: agg, Fault: inj.Counters()}, err
 }
 
 // FinishResult assembles the common fields of a Result from a run.
@@ -436,6 +478,7 @@ func FinishResult(app string, cfg RunConfig, res *RunStats) Result {
 		Traces:       res.Result.Traces,
 		Comm:         res.Result.Comm,
 		TraceDropped: dropped,
+		Fault:        res.Fault,
 	}
 }
 
@@ -480,5 +523,21 @@ func BuildManifest(res Result, rec *obs.Recorder) *obs.Manifest {
 		Profile:      rec.Profile(),
 		Comm:         comm,
 		TraceDropped: res.TraceDropped,
+		Fault:        faultSummary(res.Fault),
+	}
+}
+
+// faultSummary mirrors non-zero fault counters into the manifest's
+// dependency-free form; clean runs keep the field absent.
+func faultSummary(c fault.Counters) *obs.FaultSummary {
+	if c.Zero() {
+		return nil
+	}
+	return &obs.FaultSummary{
+		StragglerSeconds: c.StragglerSeconds,
+		NoiseEvents:      c.NoiseEvents,
+		NoiseSeconds:     c.NoiseSeconds,
+		DegradedSends:    c.DegradedSends,
+		Crashes:          c.Crashes,
 	}
 }

@@ -43,6 +43,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform int in [0,n).
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//fiberlint:ignore barepanic caller bug, mirrors math/rand.Intn's contract
 		panic("common: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))

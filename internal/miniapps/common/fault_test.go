@@ -1,0 +1,146 @@
+package common
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"fibersim/internal/fault"
+	"fibersim/internal/mpi"
+	"fibersim/internal/obs"
+)
+
+// faultBody charges a kernel in a loop with a barrier per step — a
+// miniature miniapp with both compute and communication.
+func faultBody(env *Env) error {
+	k := memKernel()
+	for i := 0; i < 8; i++ {
+		if err := env.Charge(k, 1e5); err != nil {
+			return err
+		}
+		if err := env.Comm.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestLaunchUnderScheduleIsSlowerAndDeterministic(t *testing.T) {
+	clean, err := Launch(RunConfig{Procs: 2, Threads: 4}, faultBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Fault.Zero() {
+		t.Fatalf("clean run has fault counters %+v", clean.Fault)
+	}
+
+	sched := &fault.Schedule{
+		Seed:       7,
+		Stragglers: []fault.Straggler{{Rank: 0, Start: 0, End: math.Inf(1), Factor: 1.5}},
+		Noise:      &fault.Noise{MeanInterval: 1e-4, Duration: 1e-5},
+	}
+	run := func() (*RunStats, error) {
+		return Launch(RunConfig{Procs: 2, Threads: 4, Fault: sched}, faultBody)
+	}
+	f1, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.MaxTime() <= clean.MaxTime() {
+		t.Fatalf("faulty makespan %g not above clean %g", f1.MaxTime(), clean.MaxTime())
+	}
+	//fiberlint:ignore floatcmp determinism check wants bit-identical times
+	if f1.MaxTime() != f2.MaxTime() {
+		t.Fatalf("fault schedule not deterministic: %.17g vs %.17g", f1.MaxTime(), f2.MaxTime())
+	}
+	if f1.Fault != f2.Fault {
+		t.Fatalf("fault counters not deterministic: %+v vs %+v", f1.Fault, f2.Fault)
+	}
+	if f1.Fault.StragglerSeconds <= 0 {
+		t.Fatalf("straggler injected nothing: %+v", f1.Fault)
+	}
+}
+
+func TestLaunchCrashSchedule(t *testing.T) {
+	sched := &fault.Schedule{Crashes: []fault.Crash{{Rank: 1, Time: 0}}}
+	res, err := Launch(RunConfig{Procs: 2, Threads: 2, Fault: sched}, faultBody)
+	if err == nil {
+		t.Fatal("crashed run returned nil error")
+	}
+	var ce *mpi.CrashError
+	if !errors.As(err, &ce) || ce.Rank != 1 {
+		t.Fatalf("want CrashError on rank 1, got %v", err)
+	}
+	if res == nil || res.Fault.Crashes != 1 {
+		t.Fatalf("crash not counted: %+v", res)
+	}
+}
+
+func TestManifestCarriesFaultSummary(t *testing.T) {
+	rec := obs.NewRecorder()
+	sched := &fault.Schedule{
+		Stragglers: []fault.Straggler{{Rank: 0, Start: 0, End: math.Inf(1), Factor: 2}},
+	}
+	cfg := RunConfig{Procs: 2, Threads: 2, Recorder: rec, Fault: sched}
+	res, err := Launch(cfg, func(env *Env) error {
+		return env.Charge(fpuKernel(), 1e6)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := FinishResult("fault-test", cfg, res)
+	r.Verified = true
+	m := BuildManifest(r, rec)
+	if m.Fault == nil || m.Fault.StragglerSeconds <= 0 {
+		t.Fatalf("manifest fault summary missing or empty: %+v", m.Fault)
+	}
+	// The manifest with a fault block must round-trip through the strict
+	// parser.
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ParseManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fault == nil || back.Fault.StragglerSeconds != m.Fault.StragglerSeconds {
+		t.Fatalf("fault summary did not round-trip: %+v", back.Fault)
+	}
+}
+
+func TestManifestCleanRunHasNoFaultBlock(t *testing.T) {
+	rec := obs.NewRecorder()
+	cfg := RunConfig{Procs: 1, Threads: 1, Recorder: rec}
+	res, err := Launch(cfg, func(env *Env) error {
+		return env.Charge(fpuKernel(), 1e5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := BuildManifest(FinishResult("fault-test", cfg, res), rec)
+	if m.Fault != nil {
+		t.Fatalf("clean manifest has fault block: %+v", m.Fault)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"fault"`)) {
+		t.Fatal("clean manifest serializes a fault key")
+	}
+}
+
+func TestLaunchRejectsInvalidSchedule(t *testing.T) {
+	bad := &fault.Schedule{Stragglers: []fault.Straggler{{Rank: 0, End: 1, Factor: 0.5}}}
+	if _, err := Launch(RunConfig{Procs: 1, Threads: 1, Fault: bad}, func(env *Env) error {
+		return nil
+	}); err == nil {
+		t.Fatal("Launch accepted an invalid schedule")
+	}
+}

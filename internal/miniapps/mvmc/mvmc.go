@@ -377,12 +377,7 @@ func (a App) Run(cfg common.RunConfig) (common.Result, error) {
 			chargeEx.ThreadCores = chargeEx.ThreadCores[:n]
 		}
 		charge := func(k core.Kernel, iters float64) error {
-			est, err := env.Model.Charge(env.Comm.Clock(), k, iters, chargeEx)
-			if err != nil {
-				return err
-			}
-			env.RecordEstimate(k.Name, iters, est)
-			return nil
+			return env.ChargeWith(k, iters, chargeEx)
 		}
 
 		var eSum float64

@@ -56,6 +56,9 @@ func (c *Comm) rendezvous(op string, bytes int64, value any,
 	combine func(entries []phaserEntry) (any, error),
 	cost func() float64) (any, error) {
 
+	if err := c.FaultCheck(); err != nil {
+		return nil, err
+	}
 	c.world.stats.countCollective(op, bytes)
 	traceStart := c.Clock().Now()
 	defer func() {
@@ -110,10 +113,18 @@ func (c *Comm) rendezvous(op string, bytes int64, value any,
 	}
 	ph.mu.Unlock()
 
+	g := c.global(c.rank)
+	c.world.setBlocked(g, BlockedOp{Rank: g, Op: op, Peer: -1, Tag: -1, Clock: traceStart})
+	deadline := time.NewTimer(c.world.cfg.Timeout)
+	defer deadline.Stop()
 	select {
 	case <-gen.done:
-	case <-time.After(c.world.cfg.Timeout):
-		return nil, fmt.Errorf("%w: rank %d in collective %s", ErrTimeout, c.rank, op)
+		c.world.clearBlocked(g)
+	case <-c.world.abortCh:
+		// Keep the blocked entry so deadlock dumps show where this rank hung.
+		return nil, c.world.abortedError()
+	case <-deadline.C:
+		return nil, c.world.deadlock(g)
 	}
 	return gen.result, gen.err
 }

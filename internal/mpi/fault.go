@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fibersim/internal/fault"
+)
+
+// BlockedOp is one rank's in-flight blocking operation, captured for
+// the deadlock dump: what it is waiting in, on whom, and where its
+// virtual clock stood when it blocked.
+type BlockedOp struct {
+	// Rank is the global rank.
+	Rank int
+	// Op names the operation ("recv", "allreduce/...", ...).
+	Op string
+	// Peer is the awaited global rank; -1 for collectives/AnySource.
+	Peer int
+	// Tag is the awaited tag; -1 for collectives/AnyTag.
+	Tag int
+	// Clock is the rank's virtual time when it blocked (s).
+	Clock float64
+}
+
+func (b BlockedOp) String() string {
+	switch {
+	case b.Peer < 0 && b.Tag < 0:
+		return fmt.Sprintf("rank %d: %s clock=%.9gs", b.Rank, b.Op, b.Clock)
+	default:
+		return fmt.Sprintf("rank %d: %s peer=%d tag=%d clock=%.9gs", b.Rank, b.Op, b.Peer, b.Tag, b.Clock)
+	}
+}
+
+// DeadlockError is the structured replacement for a bare watchdog
+// timeout: it names the rank whose watchdog fired and dumps every
+// rank's blocked operation at that moment, so a hung exchange is
+// diagnosable from the error alone. It unwraps to ErrTimeout for
+// backward-compatible errors.Is checks.
+type DeadlockError struct {
+	// Timeout is the watchdog that expired.
+	Timeout time.Duration
+	// Rank is the global rank whose watchdog fired first.
+	Rank int
+	// Blocked lists every rank blocked at expiry, ordered by rank;
+	// ranks still computing (not blocked in MPI) are absent.
+	Blocked []BlockedOp
+}
+
+func (e *DeadlockError) Error() string {
+	s := fmt.Sprintf("mpi: deadlock: watchdog %v expired on rank %d; %d blocked rank(s):",
+		e.Timeout, e.Rank, len(e.Blocked))
+	for _, b := range e.Blocked {
+		s += "\n  " + b.String()
+	}
+	return s
+}
+
+// Unwrap keeps errors.Is(err, ErrTimeout) working on the structured error.
+func (e *DeadlockError) Unwrap() error { return ErrTimeout }
+
+// ErrAborted marks errors caused by a world-wide abort; every rank
+// blocked at abort time unwraps to it.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// CrashError reports a rank killed by a fault-schedule crash event.
+type CrashError struct {
+	// Rank is the global rank that died.
+	Rank int
+	// Time is the scheduled virtual time of death (s).
+	Time float64
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("mpi: rank %d crashed at t=%.9gs (fault schedule)", e.Rank, e.Time)
+}
+
+// AbortError is what the surviving ranks observe after a world-wide
+// abort: it wraps the root cause (a CrashError, a DeadlockError, ...)
+// so errors.Is/As reach both ErrAborted and the cause.
+type AbortError struct {
+	// Cause is the error that triggered the abort.
+	Cause error
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("mpi: world aborted: %v", e.Cause)
+}
+
+// Unwrap exposes both the abort marker and the root cause.
+func (e *AbortError) Unwrap() []error { return []error{ErrAborted, e.Cause} }
+
+// abort terminates the world once: the first caller wins, every rank
+// blocked in an MPI operation is released with an AbortError, and
+// later FaultCheck calls fail fast.
+func (w *World) abort(cause error) {
+	w.abortOnce.Do(func() {
+		w.abortErr = cause
+		close(w.abortCh)
+	})
+}
+
+// abortedError returns the AbortError for a world known to be aborted.
+// Safe only after abortCh is closed (the close happens-before any read
+// of abortErr through the channel).
+func (w *World) abortedError() error {
+	return &AbortError{Cause: w.abortErr}
+}
+
+// setBlocked publishes rank's blocked operation for deadlock dumps.
+func (w *World) setBlocked(rank int, b BlockedOp) {
+	w.blocked[rank].Store(&b)
+}
+
+// clearBlocked removes rank's blocked-operation record.
+func (w *World) clearBlocked(rank int) {
+	w.blocked[rank].Store(nil)
+}
+
+// deadlock builds the rank dump, aborts the world with it (releasing
+// the other blocked ranks) and returns the error.
+func (w *World) deadlock(rank int) error {
+	e := &DeadlockError{Timeout: w.cfg.Timeout, Rank: rank}
+	for r := range w.blocked {
+		if b := w.blocked[r].Load(); b != nil {
+			e.Blocked = append(e.Blocked, *b)
+		}
+	}
+	w.abort(e)
+	return e
+}
+
+// FaultCheck is the per-rank fault checkpoint: it fires a scheduled
+// crash once the rank's virtual clock reaches its time of death
+// (aborting the whole world so no partner hangs), and fails fast when
+// the world was already aborted by another rank. The runtime calls it
+// at the entry of every MPI operation; the miniapp launcher calls it
+// after every modelled kernel charge. Returns nil on a healthy world.
+func (c *Comm) FaultCheck() error {
+	w := c.world
+	g := c.global(c.rank)
+	if at, ok := w.inj.CrashTime(g); ok && c.Clock().Now() >= at {
+		w.inj.RecordCrash(g)
+		err := &CrashError{Rank: g, Time: at}
+		w.abort(err)
+		return err
+	}
+	select {
+	case <-w.abortCh:
+		return w.abortedError()
+	default:
+		return nil
+	}
+}
+
+// linkScale returns the fault-schedule cost multiplier for a message
+// between two global ranks, mapped to their simulated nodes.
+func (w *World) linkScale(a, b int, at float64) float64 {
+	if w.inj == nil {
+		return 1
+	}
+	return w.inj.LinkScale(a/w.cfg.RanksPerNode, b/w.cfg.RanksPerNode, at)
+}
+
+// Injector returns the world's fault injector (nil on clean runs).
+func (c *Comm) Injector() *fault.Injector { return c.world.inj }

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fibersim/internal/fault"
 	"fibersim/internal/obs"
 	"fibersim/internal/simnet"
 	"fibersim/internal/trace"
@@ -126,6 +127,10 @@ type Config struct {
 	// Recorder, when non-nil, receives per-op/per-peer communication
 	// spans (bytes moved, virtual wait time) from every rank.
 	Recorder *obs.Recorder
+	// Fault, when non-nil, injects the compiled fault schedule: link
+	// faults scale point-to-point costs in post, and FaultCheck fires
+	// scheduled rank crashes as world-wide aborts.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +217,12 @@ type World struct {
 	traces []*trace.Log // per rank, nil when tracing is off
 	rec    *obs.Recorder
 	msgID  atomic.Uint64 // flow ids; 0 is reserved for "no flow"
+
+	inj       *fault.Injector             // nil on clean runs
+	blocked   []atomic.Pointer[BlockedOp] // per-rank blocked-op table
+	abortCh   chan struct{}               // closed on world-wide abort
+	abortOnce sync.Once
+	abortErr  error // root cause; written once before abortCh closes
 }
 
 // fabricFor returns the transport between two global ranks.
@@ -322,12 +333,15 @@ func Run(cfg Config, body func(*Comm) error) (*Result, error) {
 		return nil, fmt.Errorf("mpi: need at least one rank, got %d", cfg.Ranks)
 	}
 	w := &World{
-		cfg:    cfg,
-		boxes:  make([]*mailbox, cfg.Ranks),
-		clocks: make([]*vtime.Clock, cfg.Ranks),
-		phaser: map[string]*phaser{},
-		stats:  newStatCounters(),
-		rec:    cfg.Recorder,
+		cfg:     cfg,
+		boxes:   make([]*mailbox, cfg.Ranks),
+		clocks:  make([]*vtime.Clock, cfg.Ranks),
+		phaser:  map[string]*phaser{},
+		stats:   newStatCounters(),
+		rec:     cfg.Recorder,
+		inj:     cfg.Fault,
+		blocked: make([]atomic.Pointer[BlockedOp], cfg.Ranks),
+		abortCh: make(chan struct{}),
 	}
 	if cfg.TraceCapacity > 0 {
 		w.traces = make([]*trace.Log, cfg.Ranks)
@@ -369,10 +383,24 @@ func Run(cfg Config, body func(*Comm) error) (*Result, error) {
 		res.Times[r] = w.clocks[r].Now()
 		res.Breakdowns[r] = w.clocks[r].Breakdown()
 	}
+	// Prefer the root cause over the secondary AbortErrors the other
+	// ranks observe after a crash or deadlock abort.
+	var firstAbort error
 	for _, err := range errs {
-		if err != nil {
-			return res, err
+		if err == nil {
+			continue
 		}
+		var ae *AbortError
+		if errors.As(err, &ae) {
+			if firstAbort == nil {
+				firstAbort = err
+			}
+			continue
+		}
+		return res, err
+	}
+	if firstAbort != nil {
+		return res, firstAbort
 	}
 	return res, nil
 }
@@ -440,7 +468,10 @@ func (c *Comm) post(dst int, m *message) {
 	t0 := clk.Now()
 	clk.Advance(f.SendOverhead(), vtime.Comm)
 	m.flow = c.world.msgID.Add(1)
-	m.avail = clk.Now() + f.PointToPoint(m.bytes)*c.world.pairScale(gsrc, gdst) + c.world.hopExtra(gsrc, gdst)
+	// Link faults scale the transfer term only (the overhead and hop
+	// latency model the endpoints, not the degraded link).
+	transfer := f.PointToPoint(m.bytes) * c.world.pairScale(gsrc, gdst) * c.world.linkScale(gsrc, gdst, clk.Now())
+	m.avail = clk.Now() + transfer + c.world.hopExtra(gsrc, gdst)
 	c.world.stats.countSend(m.bytes)
 	c.traceFlow("send", "mpi", t0, clk.Now(), m.flow, trace.FlowOut)
 	c.world.rec.MPIOp(gsrc, "send", gdst, m.bytes, clk.Now()-t0)
@@ -455,6 +486,9 @@ func (c *Comm) Send(dst, tag int, data []float64) error {
 		return nil
 	}
 	if err := c.checkPeer(dst); err != nil {
+		return err
+	}
+	if err := c.FaultCheck(); err != nil {
 		return err
 	}
 	c.post(dst, &message{
@@ -472,6 +506,9 @@ func (c *Comm) SendBytes(dst, tag int, data []byte) error {
 		return nil
 	}
 	if err := c.checkPeer(dst); err != nil {
+		return err
+	}
+	if err := c.FaultCheck(); err != nil {
 		return err
 	}
 	c.post(dst, &message{
@@ -495,23 +532,37 @@ func (c *Comm) recvMessage(src, tag int) (*message, error) {
 			return nil, err
 		}
 	}
-	box := c.world.boxes[c.global(c.rank)]
+	if err := c.FaultCheck(); err != nil {
+		return nil, err
+	}
+	g := c.global(c.rank)
+	box := c.world.boxes[g]
 	deadline := time.NewTimer(c.world.cfg.Timeout)
 	defer deadline.Stop()
 	t0 := c.Clock().Now()
+	peer := AnySource
+	if src != AnySource {
+		peer = c.global(src)
+	}
 	for {
 		m, wait := box.take(src, tag)
 		if m != nil {
+			c.world.clearBlocked(g)
 			c.Clock().AdvanceTo(m.avail, vtime.Comm)
 			end := c.Clock().Now()
 			c.traceFlow("recv", "mpi", t0, end, m.flow, trace.FlowIn)
-			c.world.rec.MPIOp(c.global(c.rank), "recv", c.global(m.src), m.bytes, end-t0)
+			c.world.rec.MPIOp(g, "recv", c.global(m.src), m.bytes, end-t0)
 			return m, nil
 		}
+		c.world.setBlocked(g, BlockedOp{Rank: g, Op: "recv", Peer: peer, Tag: tag, Clock: t0})
 		select {
 		case <-wait:
+		case <-c.world.abortCh:
+			// Leave the blocked entry in place: the rank dies here, and
+			// the deadlock dump should still show where it hung.
+			return nil, c.world.abortedError()
 		case <-deadline.C:
-			return nil, fmt.Errorf("%w: rank %d waiting for src=%d tag=%d", ErrTimeout, c.rank, src, tag)
+			return nil, c.world.deadlock(g)
 		}
 	}
 }

@@ -40,6 +40,17 @@ type CommSummary struct {
 	Collectives map[string]CollectiveStat `json:"collectives,omitempty"`
 }
 
+// FaultSummary mirrors the fault injector's counters in a
+// dependency-free form: what the schedule actually injected into the
+// run. Absent on clean runs.
+type FaultSummary struct {
+	StragglerSeconds float64 `json:"straggler_seconds,omitempty"`
+	NoiseEvents      int64   `json:"noise_events,omitempty"`
+	NoiseSeconds     float64 `json:"noise_seconds,omitempty"`
+	DegradedSends    int64   `json:"degraded_sends,omitempty"`
+	Crashes          int64   `json:"crashes,omitempty"`
+}
+
 // Manifest is the one-JSON-document-per-run evidence record: what ran,
 // whether it verified, where the virtual time went and what the
 // communication volume was. It is the machine-readable substrate for
@@ -67,6 +78,8 @@ type Manifest struct {
 	Comm CommSummary `json:"comm"`
 	// TraceDropped counts timeline events lost at trace capacity.
 	TraceDropped int64 `json:"trace_dropped,omitempty"`
+	// Fault summarizes injected perturbations; nil on clean runs.
+	Fault *FaultSummary `json:"fault,omitempty"`
 }
 
 // Validate checks the structural invariants downstream tooling relies
@@ -85,6 +98,14 @@ func (m *Manifest) Validate() error {
 	}
 	if m.TimeSeconds < 0 || math.IsNaN(m.TimeSeconds) || math.IsInf(m.TimeSeconds, 0) {
 		return fmt.Errorf("obs: manifest time %g invalid", m.TimeSeconds)
+	}
+	if f := m.Fault; f != nil {
+		if f.StragglerSeconds < 0 || f.NoiseSeconds < 0 || math.IsNaN(f.StragglerSeconds) || math.IsNaN(f.NoiseSeconds) {
+			return fmt.Errorf("obs: manifest fault seconds invalid: %+v", *f)
+		}
+		if f.NoiseEvents < 0 || f.DegradedSends < 0 || f.Crashes < 0 {
+			return fmt.Errorf("obs: manifest fault counts negative: %+v", *f)
+		}
 	}
 	for _, k := range m.Profile.Kernels {
 		sum := k.Attribution.Total()

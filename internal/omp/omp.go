@@ -111,6 +111,10 @@ type Team struct {
 
 	rec     *obs.Recorder // nil when profiling is off
 	recRank int           // owning rank, labels the recorded spans
+
+	// perturb, when non-nil, maps a region's critical-path time to its
+	// fault-perturbed value (stragglers, OS noise); set via Inject.
+	perturb func(start, d float64) float64
 }
 
 // NewTeam creates a team whose thread t is bound to cores[t] of m,
@@ -166,6 +170,15 @@ func (t *Team) Observe(r *obs.Recorder, rank int) {
 	t.recRank = rank
 }
 
+// Inject attaches a fault-perturbation hook: f maps a region's
+// critical-path time (starting at virtual time start) to its perturbed
+// value, and the excess is charged to the rank clock as runtime
+// interference (Stats.Fault). The launcher binds this to the fault
+// injector's per-rank Perturb; nil turns injection off.
+func (t *Team) Inject(f func(start, d float64) float64) {
+	t.perturb = f
+}
+
 // regionOverhead returns the fork+join cost of one parallel region.
 func (t *Team) regionOverhead() float64 {
 	n := t.Threads()
@@ -195,8 +208,11 @@ type Stats struct {
 	// Overhead is the fork/join cost charged for the region.
 	Overhead float64
 	// Elapsed is the region's virtual duration: max thread time +
-	// overhead + any chunk-grab costs folded into thread times.
+	// overhead + any chunk-grab costs folded into thread times, plus
+	// fault-injected time.
 	Elapsed float64
+	// Fault is the extra time injected by the fault schedule (s).
+	Fault float64
 }
 
 // Imbalance returns max/mean-1 over thread busy times.
@@ -343,9 +359,13 @@ func (t *Team) ParallelFor(s Schedule, n int, body Body, cost CostFn) *Stats {
 			maxT = v
 		}
 	}
-	st.Elapsed = maxT + st.Overhead
+	if t.perturb != nil && maxT > 0 {
+		st.Fault = t.perturb(t.clock.Now(), maxT) - maxT
+	}
+	st.Elapsed = maxT + st.Fault + st.Overhead
 	t.clock.Advance(maxT, vtime.Compute)
-	t.clock.Advance(st.Overhead, vtime.Runtime)
+	// Injected time is runtime interference, not useful compute.
+	t.clock.Advance(st.Fault+st.Overhead, vtime.Runtime)
 	if t.rec != nil {
 		var busy float64
 		for _, v := range st.ThreadTime {

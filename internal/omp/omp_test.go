@@ -388,3 +388,41 @@ func TestObserveNilRecorderIsSafe(t *testing.T) {
 	tm.ParallelFor(Schedule{Kind: Static}, 4, nil, nil)
 	tm.Barrier()
 }
+
+func TestInjectPerturbsRegions(t *testing.T) {
+	tm := team(t, coresRange(4, 1))
+	costs := func(i int) float64 { return 1e-6 }
+
+	clean := tm.ParallelFor(Schedule{Kind: Static}, 64, nil, costs)
+	if clean.Fault != 0 {
+		t.Fatalf("clean region has Fault = %g", clean.Fault)
+	}
+	before := tm.Clock().Breakdown()
+
+	// Double the critical path: the excess must land in Stats.Fault and
+	// be charged to the clock as runtime, not compute.
+	tm.Inject(func(start, d float64) float64 { return 2 * d })
+	faulty := tm.ParallelFor(Schedule{Kind: Static}, 64, nil, costs)
+	after := tm.Clock().Breakdown()
+
+	if faulty.Fault <= 0 {
+		t.Fatalf("injected region Fault = %g, want > 0", faulty.Fault)
+	}
+	if math.Abs(faulty.Elapsed-(clean.Elapsed+faulty.Fault)) > 1e-15 {
+		t.Fatalf("Elapsed %g != clean %g + fault %g", faulty.Elapsed, clean.Elapsed, faulty.Fault)
+	}
+	dCompute := after.Get(vtime.Compute) - before.Get(vtime.Compute)
+	dRuntime := after.Get(vtime.Runtime) - before.Get(vtime.Runtime)
+	cleanCompute := clean.Elapsed - clean.Overhead
+	if math.Abs(dCompute-cleanCompute) > 1e-15 {
+		t.Fatalf("compute advanced %g, want clean critical path %g", dCompute, cleanCompute)
+	}
+	if math.Abs(dRuntime-(faulty.Fault+faulty.Overhead)) > 1e-15 {
+		t.Fatalf("runtime advanced %g, want fault %g + overhead %g", dRuntime, faulty.Fault, faulty.Overhead)
+	}
+
+	tm.Inject(nil)
+	if again := tm.ParallelFor(Schedule{Kind: Static}, 64, nil, costs); again.Fault != 0 {
+		t.Fatalf("after Inject(nil), Fault = %g", again.Fault)
+	}
+}

@@ -42,6 +42,22 @@ func (f *Fabric) Validate() error {
 	if f.Name == "" {
 		return fmt.Errorf("simnet: fabric has no name")
 	}
+	// NaN fails every ordered comparison, so the range checks alone would
+	// wave a NaN latency or bandwidth through; reject NaN/Inf explicitly
+	// (mirroring core.Kernel.Validate).
+	for _, c := range []struct {
+		v    float64
+		what string
+	}{
+		{f.Latency, "latency"},
+		{f.Bandwidth, "bandwidth"},
+		{f.MsgOverhead, "message overhead"},
+		{f.HopLatency, "hop latency"},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("simnet: fabric %q has non-finite %s (%g)", f.Name, c.what, c.v)
+		}
+	}
 	if f.Latency < 0 || f.Bandwidth <= 0 || f.MsgOverhead < 0 || f.EagerLimit < 0 || f.HopLatency < 0 {
 		return fmt.Errorf("simnet: fabric %q has invalid parameters", f.Name)
 	}

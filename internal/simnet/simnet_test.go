@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -120,16 +121,31 @@ func TestTofuDLowerLatencyThanIB(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
 	bad := []*Fabric{
 		{Name: "", Bandwidth: 1},
 		{Name: "x", Bandwidth: 0},
 		{Name: "x", Bandwidth: 1, Latency: -1},
 		{Name: "x", Bandwidth: 1, MsgOverhead: -1},
 		{Name: "x", Bandwidth: 1, EagerLimit: -1},
+		// NaN fails every </<= comparison, so without the explicit guard
+		// these all slipped through Validate.
+		{Name: "x", Bandwidth: 1, Latency: nan},
+		{Name: "x", Bandwidth: nan},
+		{Name: "x", Bandwidth: 1, MsgOverhead: nan},
+		{Name: "x", Bandwidth: 1, HopLatency: nan},
+		{Name: "x", Bandwidth: inf},
+		{Name: "x", Bandwidth: 1, Latency: inf},
 	}
 	for i, f := range bad {
 		if err := f.Validate(); err == nil {
-			t.Errorf("case %d: Validate accepted a broken fabric", i)
+			t.Errorf("case %d: Validate accepted a broken fabric %+v", i, *f)
+		}
+	}
+	// Every registered fabric must of course still validate.
+	for _, name := range Names() {
+		if err := MustLookup(name).Validate(); err != nil {
+			t.Errorf("registered fabric %q fails Validate: %v", name, err)
 		}
 	}
 }
