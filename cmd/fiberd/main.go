@@ -1,0 +1,84 @@
+// Command fiberd is the long-running observability daemon: it exposes
+// serving metrics in the Prometheus text format, lists and serves run
+// manifests from a directory, and streams live sweep progress over
+// Server-Sent Events.
+//
+//	fiberd -addr :8080 -manifests runs -progress sweep.progress
+//
+// Endpoints:
+//
+//	GET /healthz     liveness probe
+//	GET /metrics     Prometheus exposition of fiberd's own serving metrics
+//	GET /runs        JSON listing of the manifest directory
+//	GET /runs/{name} one manifest, parsed and validated
+//	GET /runs/live   SSE stream of fibersweep -progress output
+//
+// fiberd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window before the listener is torn down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	manifests := flag.String("manifests", "runs", "directory of run manifests to serve")
+	progress := flag.String("progress", "", "sweep progress file (JSONL) to stream on /runs/live")
+	poll := flag.Duration("poll", 500*time.Millisecond, "progress file poll interval")
+	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain window")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s := newServer(*manifests, *progress, *poll)
+	os.Exit(serve(ctx, *addr, s.handler(), *drain, os.Stderr))
+}
+
+// serve runs the HTTP server until the context is cancelled (signal)
+// or the listener fails, then drains gracefully. It returns the
+// process exit code rather than calling os.Exit so tests can drive it.
+func serve(ctx context.Context, addr string, h http.Handler, drain time.Duration, stderr io.Writer) int {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(stderr, "fiberd: listening on %s\n", addr)
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (bad address, port in use).
+		fmt.Fprintf(stderr, "fiberd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(shutCtx); err != nil {
+		// Drain window expired with requests still in flight.
+		fmt.Fprintf(stderr, "fiberd: shutdown: %v\n", err)
+		code = 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "fiberd: %v\n", err)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Fprintln(stderr, "fiberd: clean shutdown")
+	}
+	return code
+}

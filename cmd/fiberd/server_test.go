@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fibersim/internal/obs"
+)
+
+// fakeClock advances one millisecond per now() call, making request
+// latencies — and therefore the whole /metrics exposition — exact.
+func fakeClock() func() time.Time {
+	base := time.Unix(0, 0)
+	var ticks int
+	return func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * time.Millisecond)
+	}
+}
+
+func testServer(t *testing.T) (*server, http.Handler) {
+	t.Helper()
+	s := newServer(t.TempDir(), "", time.Millisecond)
+	s.now = fakeClock()
+	return s, s.handler()
+}
+
+// goldenMetrics is the verbatim /metrics body after exactly one
+// /healthz request under the fake clock (1 ms latency). It pins the
+// Prometheus text exposition format: HELP/TYPE headers, sorted
+// families, sorted labels, cumulative le buckets with +Inf, sum and
+// count. Regenerate by hand if the metric set changes deliberately.
+const goldenMetrics = `# HELP fiberd_http_request_seconds Wall-clock request latency.
+# TYPE fiberd_http_request_seconds histogram
+fiberd_http_request_seconds_bucket{path="/healthz",le="1e-09"} 0
+fiberd_http_request_seconds_bucket{path="/healthz",le="1e-08"} 0
+fiberd_http_request_seconds_bucket{path="/healthz",le="1e-07"} 0
+fiberd_http_request_seconds_bucket{path="/healthz",le="1e-06"} 0
+fiberd_http_request_seconds_bucket{path="/healthz",le="9.999999999999999e-06"} 0
+fiberd_http_request_seconds_bucket{path="/healthz",le="9.999999999999999e-05"} 0
+fiberd_http_request_seconds_bucket{path="/healthz",le="0.001"} 1
+fiberd_http_request_seconds_bucket{path="/healthz",le="0.01"} 1
+fiberd_http_request_seconds_bucket{path="/healthz",le="0.1"} 1
+fiberd_http_request_seconds_bucket{path="/healthz",le="1"} 1
+fiberd_http_request_seconds_bucket{path="/healthz",le="10"} 1
+fiberd_http_request_seconds_bucket{path="/healthz",le="100"} 1
+fiberd_http_request_seconds_bucket{path="/healthz",le="+Inf"} 1
+fiberd_http_request_seconds_sum{path="/healthz"} 0.001
+fiberd_http_request_seconds_count{path="/healthz"} 1
+# HELP fiberd_http_requests_total HTTP requests served, by route and status code.
+# TYPE fiberd_http_requests_total counter
+fiberd_http_requests_total{code="200",path="/healthz"} 1
+`
+
+func TestMetricsGolden(t *testing.T) {
+	_, h := testServer(t)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), `"status":"ok"`) {
+		t.Fatalf("healthz = %d %q", rr.Code, rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rr.Code)
+	}
+	if got := rr.Body.String(); got != goldenMetrics {
+		t.Errorf("metrics exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, goldenMetrics)
+	}
+}
+
+func writeManifest(t *testing.T, dir, name string, mutate func(*obs.Manifest)) {
+	t.Helper()
+	m := &obs.Manifest{
+		Schema: obs.ManifestSchema,
+		App:    "stream",
+		Config: obs.RunInfo{
+			Machine: "a64fx", Procs: 4, Threads: 12,
+			Alloc: "block", Bind: "stride1",
+			Compiler: "as-is", Size: "test", Seed: 20210901,
+		},
+		Verified:    true,
+		TimeSeconds: 0.25,
+		GFlops:      123.4,
+	}
+	if mutate != nil {
+		mutate(m)
+	}
+	if err := m.WriteFile(filepath.Join(dir, name)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsListingAndFetch(t *testing.T) {
+	s, h := testServer(t)
+	writeManifest(t, s.manifestDir, "a.json", nil)
+	writeManifest(t, s.manifestDir, "b.json", func(m *obs.Manifest) {
+		m.App = "mvmc"
+		m.Verified = false
+	})
+	// A corrupt file must be skipped, not kill the listing.
+	if err := os.WriteFile(filepath.Join(s.manifestDir, "junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/runs", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/runs = %d: %s", rr.Code, rr.Body.String())
+	}
+	var entries []runEntry
+	if err := json.Unmarshal(rr.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].File != "a.json" || entries[1].App != "mvmc" {
+		t.Errorf("listing = %+v", entries)
+	}
+	if entries[0].Config != "a64fx 4x12 as-is test" {
+		t.Errorf("config label = %q", entries[0].Config)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/runs/a.json", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/runs/a.json = %d", rr.Code)
+	}
+	m, err := obs.ParseManifest(rr.Body)
+	if err != nil || m.App != "stream" {
+		t.Errorf("served manifest does not parse back: %v %+v", err, m)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/runs/nope.json", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Errorf("missing manifest = %d, want 404", rr.Code)
+	}
+
+	// Path traversal must be rejected, not resolved.
+	rr = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/runs/name", nil)
+	req.SetPathValue("name", "../a.json")
+	s.handleRun(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("traversal name = %d, want 400", rr.Code)
+	}
+
+	// The corrupt manifest surfaced in the error counter.
+	if c := s.reg.Counter("fiberd_manifest_errors_total", "", nil).Value(); c != 1 {
+		t.Errorf("manifest error counter = %g, want 1", c)
+	}
+}
+
+func TestRunsLiveSSE(t *testing.T) {
+	progress := filepath.Join(t.TempDir(), "sweep.progress")
+	s := newServer(t.TempDir(), progress, 5*time.Millisecond)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	row := func(done int) string {
+		p := &obs.SweepProgress{
+			Schema: obs.ProgressSchema,
+			App:    "stream", Machine: "a64fx", Procs: 4, Threads: 12,
+			Compiler: "as-is", Size: "test",
+			Done: done, Total: 6,
+			TimeSeconds: 0.25, GFlops: 80, Verified: true,
+		}
+		var b strings.Builder
+		if err := p.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	// One complete row, one torn tail: only the complete row streams.
+	if err := os.WriteFile(progress, []byte(row(1)+`{"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/runs/live", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	readEvent := func() (string, string) {
+		var event, data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && event != "":
+				return event, data
+			}
+		}
+		t.Fatalf("stream ended early: %v", sc.Err())
+		return "", ""
+	}
+
+	event, data := readEvent()
+	if event != "run" {
+		t.Fatalf("event = %q", event)
+	}
+	p, err := obs.ParseProgress([]byte(data))
+	if err != nil || p.Done != 1 {
+		t.Fatalf("first event = %+v, err %v", p, err)
+	}
+
+	// Complete the torn line and append another row; both must arrive.
+	f, err := os.OpenFile(progress, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\"}\n" + row(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	event, data = readEvent()
+	if event != "run" {
+		t.Fatalf("second event = %q", event)
+	}
+	if p, err = obs.ParseProgress([]byte(data)); err != nil || p.Done != 2 {
+		t.Fatalf("second event = %+v, err %v (the healed torn line must be skipped, row 2 delivered)", p, err)
+	}
+	cancel()
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := newServer(t.TempDir(), "", time.Millisecond)
+	done := make(chan int, 1)
+	var errb strings.Builder
+	go func() { done <- serve(ctx, "127.0.0.1:0", s.handler(), time.Second, &errb) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("shutdown exit = %d\n%s", code, errb.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not drain within 5s")
+	}
+	if !strings.Contains(errb.String(), "clean shutdown") {
+		t.Errorf("missing shutdown log:\n%s", errb.String())
+	}
+}
+
+func TestServeBadAddressFails(t *testing.T) {
+	var errb strings.Builder
+	s := newServer(t.TempDir(), "", time.Millisecond)
+	if code := serve(context.Background(), "256.0.0.1:bogus", s.handler(), time.Second, &errb); code != 1 {
+		t.Fatalf("bad address exit = %d\n%s", code, errb.String())
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fibersim/internal/harness"
@@ -30,17 +31,7 @@ func main() {
 	flag.Parse()
 
 	if *validate != "" {
-		m, err := obs.ReadManifestFile(*validate)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%s: valid manifest: %s on %s (%dx%d), verified=%v, %d kernels\n",
-			*validate, m.App, m.Config.Machine, m.Config.Procs, m.Config.Threads,
-			m.Verified, len(m.Profile.Kernels))
-		if !m.Verified {
-			fatal(fmt.Errorf("%s: run did NOT verify (check=%g)", *validate, m.Check))
-		}
-		return
+		os.Exit(runValidate(*validate, os.Stdout, os.Stderr))
 	}
 
 	if !*machines && !*apps && !*exps && !*pw {
@@ -85,6 +76,31 @@ func main() {
 			fmt.Printf("  %-3s  %-55s %s\n", e.ID, e.Title, e.Description)
 		}
 	}
+}
+
+// runValidate parses and validates one run manifest, including the
+// fault block's internal consistency (finite non-negative seconds,
+// noise seconds backed by noise events, no empty blocks). It returns
+// the process exit code: 0 for a valid verified manifest, 1 otherwise.
+func runValidate(path string, stdout, stderr io.Writer) int {
+	m, err := obs.ReadManifestFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "fiberinfo:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: valid manifest: %s on %s (%dx%d), verified=%v, %d kernels\n",
+		path, m.App, m.Config.Machine, m.Config.Procs, m.Config.Threads,
+		m.Verified, len(m.Profile.Kernels))
+	if m.Fault != nil {
+		fmt.Fprintf(stdout, "%s: fault block: straggler %gs, %d noise events (%gs), %d degraded sends, %d crashes\n",
+			path, m.Fault.StragglerSeconds, m.Fault.NoiseEvents, m.Fault.NoiseSeconds,
+			m.Fault.DegradedSends, m.Fault.Crashes)
+	}
+	if !m.Verified {
+		fmt.Fprintf(stderr, "fiberinfo: %s: run did NOT verify (check=%g)\n", path, m.Check)
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fibersim/internal/obs"
+)
+
+func validManifest() *obs.Manifest {
+	return &obs.Manifest{
+		Schema: obs.ManifestSchema,
+		App:    "stream",
+		Config: obs.RunInfo{
+			Machine: "a64fx", Procs: 4, Threads: 12,
+			Alloc: "block", Bind: "stride1",
+			Compiler: "as-is", Size: "test", Seed: 20210901,
+		},
+		Verified:    true,
+		TimeSeconds: 0.25,
+		GFlops:      123.4,
+	}
+}
+
+func TestValidateAcceptsGoodManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := validManifest().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := runValidate(path, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "valid manifest: stream on a64fx (4x12)") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestValidateReportsConsistentFaultBlock(t *testing.T) {
+	m := validManifest()
+	m.Fault = &obs.FaultSummary{StragglerSeconds: 1.5, NoiseEvents: 10, NoiseSeconds: 0.01}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := runValidate(path, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fault block: straggler 1.5s, 10 noise events") {
+		t.Errorf("fault summary missing: %q", out.String())
+	}
+}
+
+// The committed fixture has a fault block claiming 0.5 s of noise
+// delay across zero noise events — an inconsistency that used to pass
+// validation silently.
+func TestValidateRejectsCorruptFaultBlock(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runValidate(filepath.Join("testdata", "corrupt-fault.json"), &out, &errb); code == 0 {
+		t.Fatal("corrupt fault block passed validation")
+	}
+	if !strings.Contains(errb.String(), "zero noise_events") {
+		t.Errorf("stderr should name the inconsistency: %q", errb.String())
+	}
+}
+
+func TestValidateFailsUnverifiedRun(t *testing.T) {
+	m := validManifest()
+	m.Verified = false
+	m.Check = 0.5
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := runValidate(path, &out, &errb); code != 1 {
+		t.Fatalf("unverified run exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "did NOT verify") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestValidateMissingFile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runValidate(filepath.Join(t.TempDir(), "none.json"), &out, &errb); code != 1 {
+		t.Fatal("missing file must fail")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"fibersim/internal/arch"
+	"fibersim/internal/core"
 	"fibersim/internal/fault"
 	"fibersim/internal/harness"
 	_ "fibersim/internal/miniapps/all"
@@ -49,6 +50,7 @@ func main() {
 	resumePath := flag.String("resume", "", "checkpoint file: configurations already recorded there are replayed, not rerun; new rows are appended as they finish")
 	retries := flag.Int("retries", 0, "retry a failed run up to N times with doubling backoff before recording the error")
 	maxRuns := flag.Int("max-runs", 0, "stop after N fresh (non-resumed) runs; exits 3 if configurations remain")
+	progress := flag.Bool("progress", false, "emit one JSON progress line per completed configuration on stderr (machine-readable; fiberd streams it)")
 	flag.Parse()
 
 	sz, err := common.ParseSize(*size)
@@ -89,21 +91,43 @@ func main() {
 			"figure", "unit", "verified", "comm%"},
 	}
 
+	// Pre-parse machines and compilers so the total configuration count
+	// is known before the first run: -progress reports done/total.
+	var machineList []*arch.Machine
+	for _, mn := range strings.Split(*machines, ",") {
+		m, err := arch.Lookup(strings.TrimSpace(mn))
+		if err != nil {
+			fatal(err)
+		}
+		machineList = append(machineList, m)
+	}
+	type ccEntry struct {
+		name string
+		cc   core.CompilerConfig
+	}
+	var ccList []ccEntry
+	for _, cn := range strings.Split(*compilers, ",") {
+		cn = strings.TrimSpace(cn)
+		cc, err := harness.ParseCompiler(cn)
+		if err != nil {
+			fatal(err)
+		}
+		ccList = append(ccList, ccEntry{name: cn, cc: cc})
+	}
+	total := 0
+	for _, m := range machineList {
+		total += len(decompsFor(m)) * len(ccList)
+	}
+	total *= len(apps)
+
 	traced := false
-	freshRuns, truncated := 0, false
+	freshRuns, doneRuns, truncated := 0, 0, false
 sweep:
 	for _, app := range apps {
-		for _, mn := range strings.Split(*machines, ",") {
-			m, err := arch.Lookup(strings.TrimSpace(mn))
-			if err != nil {
-				fatal(err)
-			}
+		for _, m := range machineList {
 			for _, d := range decompsFor(m) {
-				for _, cn := range strings.Split(*compilers, ",") {
-					cc, err := harness.ParseCompiler(strings.TrimSpace(cn))
-					if err != nil {
-						fatal(err)
-					}
+				for _, ce := range ccList {
+					cn, cc := ce.name, ce.cc
 					rc := common.RunConfig{
 						Machine: m, Procs: d[0], Threads: d[1],
 						Compiler: cc, Size: sz, NodeStride: *stride,
@@ -118,6 +142,12 @@ sweep:
 					key := fmt.Sprintf("%s|%s|%dx%d|%s", app.Name(), m.Name, d[0], d[1], cc.String())
 					if cells, ok := state.done[key]; ok {
 						t.AddRow(cells...)
+						doneRuns++
+						if *progress {
+							p := progressRow(app.Name(), m.Name, d, cc.String(), sz,
+								doneRuns, total, common.Result{}, nil, true)
+							emitProgress(&p)
+						}
 						continue
 					}
 					if *maxRuns > 0 && freshRuns >= *maxRuns {
@@ -158,6 +188,12 @@ sweep:
 					t.AddRow(cells...)
 					if err := state.record(key, cells); err != nil {
 						fatal(err)
+					}
+					doneRuns++
+					if *progress {
+						p := progressRow(app.Name(), m.Name, d, cc.String(), sz,
+							doneRuns, total, res, err, false)
+						emitProgress(&p)
 					}
 				}
 			}
@@ -404,6 +440,41 @@ func writeTrace(app common.App, rc common.RunConfig, path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "fibersweep: wrote timeline of %s (%s) to %s\n", app.Name(), rc.String(), path)
 	return nil
+}
+
+// progressRow builds the machine-readable progress line for one
+// finished configuration: numbers for a fresh success, the error text
+// for a failed run, and the bare identity for a resumed row (whose
+// numbers live only as formatted cells in the checkpoint).
+func progressRow(appName, machine string, d [2]int, compiler string, sz common.Size,
+	done, total int, res common.Result, runErr error, resumed bool) obs.SweepProgress {
+	p := obs.SweepProgress{
+		Schema: obs.ProgressSchema,
+		App:    appName, Machine: machine,
+		Procs: d[0], Threads: d[1],
+		Compiler: compiler, Size: sz.String(),
+		Done: done, Total: total,
+		Resumed: resumed,
+	}
+	switch {
+	case resumed:
+	case runErr != nil:
+		p.Err = runErr.Error()
+	default:
+		p.TimeSeconds = res.Time
+		p.GFlops = res.GFlops()
+		p.Verified = res.Verified
+	}
+	return p
+}
+
+// emitProgress writes one progress line to stderr (stdout is reserved
+// for the result table). A progress line that fails to encode is a
+// bug worth dying for: consumers like fiberd trust the stream.
+func emitProgress(p *obs.SweepProgress) {
+	if err := p.Encode(os.Stderr); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

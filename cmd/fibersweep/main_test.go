@@ -245,3 +245,40 @@ func TestSweepStateEmptyPathDisabled(t *testing.T) {
 	}
 	s.Close()
 }
+
+func TestProgressRowFresh(t *testing.T) {
+	res := common.Result{Time: 0.25, Flops: 1e9, Verified: true}
+	p := progressRow("stream", "a64fx", [2]int{4, 12}, "as-is", common.SizeTest,
+		3, 6, res, nil, false)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("fresh row does not validate: %v", err)
+	}
+	if p.Done != 3 || p.Total != 6 || p.TimeSeconds != 0.25 || !p.Verified || p.Resumed {
+		t.Errorf("fresh row = %+v", p)
+	}
+	if p.GFlops != res.GFlops() {
+		t.Errorf("gflops = %g, want %g", p.GFlops, res.GFlops())
+	}
+}
+
+func TestProgressRowErrorAndResumed(t *testing.T) {
+	p := progressRow("stream", "a64fx", [2]int{1, 48}, "tuned", common.SizeSmall,
+		1, 6, common.Result{}, errors.New("panic: synthetic"), false)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("error row does not validate: %v", err)
+	}
+	if p.Err != "panic: synthetic" || p.TimeSeconds != 0 || p.Verified {
+		t.Errorf("error row = %+v", p)
+	}
+
+	// A resumed row carries identity and counters but no numbers, even
+	// if a (stale) result happens to be lying around.
+	p = progressRow("stream", "a64fx", [2]int{48, 1}, "as-is", common.SizeTest,
+		2, 6, common.Result{Time: 9, Verified: true}, nil, true)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("resumed row does not validate: %v", err)
+	}
+	if !p.Resumed || p.TimeSeconds != 0 || p.Verified || p.Err != "" {
+		t.Errorf("resumed row = %+v", p)
+	}
+}

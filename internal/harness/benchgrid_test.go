@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"testing"
+
+	"fibersim/internal/miniapps/common"
+	"fibersim/internal/perfdb"
+)
+
+func TestBenchGridShape(t *testing.T) {
+	grid := BenchGrid()
+	wantApps := len(FiberApps()) + 1 // suite + stream proxy
+	want := wantApps * len(benchDecomps()) * len(benchCompilers())
+	if len(grid) != want {
+		t.Fatalf("grid has %d cells, want %d", len(grid), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range grid {
+		if c.Machine != "a64fx" {
+			t.Errorf("unexpected machine %q", c.Machine)
+		}
+		if c.Procs*c.Threads != 48 {
+			t.Errorf("%s: %dx%d does not fill the node", c.App, c.Procs, c.Threads)
+		}
+		r := perfdb.Record{Schema: perfdb.RecordSchema, App: c.App, Machine: c.Machine,
+			Procs: c.Procs, Threads: c.Threads, Compiler: c.Compiler, Size: "test", TimeSeconds: 1}
+		if seen[r.Key()] {
+			t.Errorf("duplicate grid cell %s", r.Key())
+		}
+		seen[r.Key()] = true
+	}
+}
+
+func TestFilterBenchGrid(t *testing.T) {
+	grid := BenchGrid()
+	got, err := FilterBenchGrid(grid, "stream, mvmc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(benchDecomps()) * len(benchCompilers()); len(got) != want {
+		t.Errorf("filtered to %d cells, want %d", len(got), want)
+	}
+	for _, c := range got {
+		if c.App != "stream" && c.App != "mvmc" {
+			t.Errorf("filter leaked app %q", c.App)
+		}
+	}
+	if all, err := FilterBenchGrid(grid, ""); err != nil || len(all) != len(grid) {
+		t.Errorf("empty filter must keep everything: %d cells, err %v", len(all), err)
+	}
+	if _, err := FilterBenchGrid(grid, "nosuchapp"); err == nil {
+		t.Error("unknown app must error, not shrink the gate silently")
+	}
+}
+
+func TestRunBenchProducesValidRecord(t *testing.T) {
+	c := BenchConfig{App: "stream", Machine: "a64fx", Procs: 4, Threads: 12, Compiler: "as-is"}
+	r, err := RunBench(c, common.SizeTest, "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("bench record does not validate: %v", err)
+	}
+	if r.TimeSeconds <= 0 || !r.Verified {
+		t.Errorf("record = %+v, want positive verified runtime", r)
+	}
+	if r.Rev != "abc1234" || r.Size != "test" {
+		t.Errorf("identity drifted: rev=%q size=%q", r.Rev, r.Size)
+	}
+	if len(r.Attribution) == 0 {
+		t.Error("attribution split is empty; recorder not wired through")
+	}
+	// The simulator is deterministic in virtual time: identical cells
+	// must produce identical records (the property the perf gate leans
+	// on for its zero-noise baseline).
+	r2, err := RunBench(c, common.SizeTest, "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimeSeconds != r2.TimeSeconds || r.GFlops != r2.GFlops || r.CommBytes != r2.CommBytes {
+		t.Errorf("rerun drifted: %+v vs %+v", r, r2)
+	}
+}
+
+func TestRunBenchGridProgressAndErrors(t *testing.T) {
+	grid := []BenchConfig{
+		{App: "stream", Machine: "a64fx", Procs: 1, Threads: 48, Compiler: "as-is"},
+		{App: "stream", Machine: "a64fx", Procs: 48, Threads: 1, Compiler: "tuned"},
+	}
+	var calls int
+	recs, err := RunBenchGrid(grid, common.SizeTest, "", func(r perfdb.Record) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || calls != 2 {
+		t.Errorf("got %d records, %d progress calls, want 2 and 2", len(recs), calls)
+	}
+	if recs[0].Key() == recs[1].Key() {
+		t.Error("distinct cells share a key")
+	}
+
+	bad := []BenchConfig{{App: "nosuchapp", Machine: "a64fx", Procs: 1, Threads: 48, Compiler: "as-is"}}
+	if _, err := RunBenchGrid(bad, common.SizeTest, "", nil); err == nil {
+		t.Error("unknown app must abort the grid")
+	}
+}

@@ -14,18 +14,33 @@ const internalScope = "internal/"
 // a call whose results include an error may not be used as a bare
 // statement. Assigning the error to _ is the explicit, greppable way
 // to discard one on purpose.
+//
+// One class of discard is flagged everywhere, commands included: the
+// lifecycle errors of an HTTP server (ListenAndServe, Serve, Shutdown
+// and their TLS variants). Those errors are the only signal that a
+// daemon failed to bind or did not drain cleanly — a command that
+// drops them exits 0 on a server that never served.
 func ErrCheckLite() *Analyzer {
 	return &Analyzer{
 		Name: "errchecklite",
-		Doc:  "flags call statements in internal/... that silently discard an error result",
+		Doc:  "flags call statements in internal/... that silently discard an error result, and discarded http.Server lifecycle errors anywhere",
 		Run:  runErrCheckLite,
 	}
 }
 
+// httpServeFuncs are the http.Server lifecycle calls whose error
+// result must never be dropped, whether invoked as methods on
+// *net/http.Server or as net/http package functions.
+var httpServeFuncs = map[string]bool{
+	"ListenAndServe":    true,
+	"ListenAndServeTLS": true,
+	"Serve":             true,
+	"ServeTLS":          true,
+	"Shutdown":          true,
+}
+
 func runErrCheckLite(p *Package) []Diagnostic {
-	if !strings.Contains(p.Path, internalScope) {
-		return nil
-	}
+	inScope := strings.Contains(p.Path, internalScope)
 	var out []Diagnostic
 	for _, f := range p.Files {
 		if p.IsTestFile(f) {
@@ -40,7 +55,15 @@ func runErrCheckLite(p *Package) []Diagnostic {
 			if !ok {
 				return true
 			}
-			if returnsError(p.Info, call) {
+			if !returnsError(p.Info, call) {
+				return true
+			}
+			switch {
+			case isHTTPServeCall(p.Info, call):
+				out = append(out, p.diag(call.Pos(), "errchecklite",
+					"%s returns the server lifecycle error (bind failure, unclean shutdown); handle it or assign to _ explicitly",
+					types.ExprString(call.Fun)))
+			case inScope:
 				out = append(out, p.diag(call.Pos(), "errchecklite",
 					"result of %s includes an error that is discarded; handle it or assign to _ explicitly",
 					types.ExprString(call.Fun)))
@@ -49,6 +72,34 @@ func runErrCheckLite(p *Package) []Diagnostic {
 		})
 	}
 	return out
+}
+
+// isHTTPServeCall reports whether the call is an http.Server lifecycle
+// call: a method on *net/http.Server, or a net/http package function,
+// named in httpServeFuncs.
+func isHTTPServeCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !httpServeFuncs[sel.Sel.Name] {
+		return false
+	}
+	if s, ok := info.Selections[sel]; ok {
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := info.Uses[id].(*types.PkgName); ok {
+			return pkg.Imported().Path() == "net/http"
+		}
+	}
+	return false
 }
 
 // returnsError reports whether any result of the call is of type

@@ -19,7 +19,11 @@
 //   - magicconst: hardware-scale numbers (bandwidths, frequencies,
 //     machine descriptions) may only live in internal/arch, not inline
 //     in miniapps or the harness.
-//   - errchecklite: no discarded error returns in internal/... .
+//   - errchecklite: no discarded error returns in internal/...; and
+//     nowhere — commands included — may an http.Server lifecycle
+//     error (ListenAndServe, Serve, Shutdown, TLS variants) be
+//     dropped, since it is the only signal a daemon failed to bind
+//     or did not drain cleanly.
 //   - barepanic:  no bare panic(...) statements in internal/miniapps
 //     or internal/harness — model and harness failures travel as
 //     errors; Must* helpers are the sanctioned panic wrappers.

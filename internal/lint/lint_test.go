@@ -80,6 +80,10 @@ func TestAnalyzers(t *testing.T) {
 		{name: "magicconst_good", dir: "internal/harness/magicconst_good", analyzer: lint.MagicConst()},
 		{name: "errcheck_bad", dir: "errcheck_bad", analyzer: lint.ErrCheckLite()},
 		{name: "errcheck_good", dir: "errcheck_good", analyzer: lint.ErrCheckLite()},
+		{name: "httpserve_bad", dir: "cmd/httpserve_bad",
+			asPath: "fibersim/cmd/httpserve_bad", analyzer: lint.ErrCheckLite()},
+		{name: "httpserve_good", dir: "cmd/httpserve_good",
+			asPath: "fibersim/cmd/httpserve_good", analyzer: lint.ErrCheckLite()},
 		{name: "barepanic_bad", dir: "internal/miniapps/barepanic_bad", analyzer: lint.BarePanic()},
 		{name: "barepanic_good", dir: "internal/miniapps/barepanic_good", analyzer: lint.BarePanic()},
 		{name: "suppress", dir: "suppress", analyzer: lint.FloatCmp()},

@@ -1,0 +1,25 @@
+// Package fixture is the httpserve positive fixture. Its fake import
+// path places it under cmd/, where the general errchecklite rule is
+// out of scope — only the http.Server lifecycle calls may fire.
+package fixture
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+func mayFail() error { return nil }
+
+func serveBadly(srv *http.Server, ln net.Listener) {
+	mayFail() // ordinary discard: out of scope in cmd code
+
+	srv.ListenAndServe()                        // want errchecklite
+	srv.ListenAndServeTLS("cert", "key")        // want errchecklite
+	srv.Serve(ln)                               // want errchecklite
+	srv.ServeTLS(ln, "cert", "key")             // want errchecklite
+	srv.Shutdown(context.Background())          // want errchecklite
+	http.ListenAndServe(":8080", nil)           // want errchecklite
+	http.Serve(ln, nil)                         // want errchecklite
+	http.ListenAndServeTLS(":443", "", "", nil) // want errchecklite
+}

@@ -1,0 +1,29 @@
+// Package fixture is the httpserve negative fixture: lifecycle errors
+// handled properly, plus look-alikes the rule must not confuse with
+// *net/http.Server.
+package fixture
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Server is a local type sharing method names with http.Server; its
+// lifecycle is nobody's business.
+type Server struct{}
+
+func (Server) ListenAndServe() error          { return nil }
+func (Server) Shutdown(context.Context) error { return nil }
+
+func serveWell(srv *http.Server) {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Println(err)
+	}
+	_ = srv.Shutdown(context.Background()) // explicit discard is fine
+
+	var local Server
+	local.ListenAndServe()               // not net/http's Server
+	local.Shutdown(context.Background()) // ditto
+}

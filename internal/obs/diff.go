@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"fibersim/internal/vtime"
+)
+
+// DiffSchema identifies the manifest-diff document layout.
+const DiffSchema = "fibersim/manifest-diff/v1"
+
+// KernelDelta is one kernel's change between two manifests.
+type KernelDelta struct {
+	Kernel string `json:"kernel"`
+	// Status is "changed", "added" (new run only) or "removed" (old
+	// run only). Unchanged kernels are kept with status "same" so the
+	// document is a complete join, not a sparse patch.
+	Status     string  `json:"status"`
+	OldSeconds float64 `json:"old_seconds,omitempty"`
+	NewSeconds float64 `json:"new_seconds,omitempty"`
+	// Ratio is new/old (0 for added/removed kernels).
+	Ratio float64 `json:"ratio,omitempty"`
+	// OldDominant/NewDominant are the bounding resources; Flip marks a
+	// bottleneck flip — the headline event regression triage looks for.
+	OldDominant string `json:"old_dominant,omitempty"`
+	NewDominant string `json:"new_dominant,omitempty"`
+	Flip        bool   `json:"flip,omitempty"`
+	// Attribution holds the per-resource delta (new minus old seconds)
+	// for resources that moved.
+	Attribution map[string]float64 `json:"attribution,omitempty"`
+}
+
+// CommDelta summarizes the communication-volume shift.
+type CommDelta struct {
+	OldSends int64 `json:"old_sends"`
+	NewSends int64 `json:"new_sends"`
+	OldBytes int64 `json:"old_bytes"`
+	NewBytes int64 `json:"new_bytes"`
+	// Collectives maps collective name to byte delta (new minus old)
+	// for collectives whose volume moved.
+	Collectives map[string]int64 `json:"collectives,omitempty"`
+}
+
+// ManifestDiff is the structural difference of two run manifests: the
+// machine-readable substrate for "what did this change move".
+type ManifestDiff struct {
+	Schema string `json:"schema"`
+	// OldApp/NewApp are usually identical; a diff across apps is legal
+	// (the report flags it) but rarely meaningful.
+	OldApp    string  `json:"old_app"`
+	NewApp    string  `json:"new_app"`
+	OldConfig RunInfo `json:"old_config"`
+	NewConfig RunInfo `json:"new_config"`
+	// ConfigChanged marks diffs across different configurations, where
+	// time deltas measure the configuration, not the code.
+	ConfigChanged bool `json:"config_changed,omitempty"`
+
+	OldTime float64 `json:"old_time_seconds"`
+	NewTime float64 `json:"new_time_seconds"`
+	// TimeRatio is new/old.
+	TimeRatio float64 `json:"time_ratio"`
+	OldGFlops float64 `json:"old_gflops"`
+	NewGFlops float64 `json:"new_gflops"`
+	// VerifiedFlip marks a verification-status change.
+	OldVerified  bool `json:"old_verified"`
+	NewVerified  bool `json:"new_verified"`
+	VerifiedFlip bool `json:"verified_flip,omitempty"`
+
+	// Kernels joins the two profiles, ordered by |new-old| seconds,
+	// largest movement first.
+	Kernels []KernelDelta `json:"kernels,omitempty"`
+	Comm    CommDelta     `json:"comm"`
+
+	// Fault blocks: added/removed relative to the old run, plus both
+	// summaries for inspection.
+	FaultAdded   bool          `json:"fault_added,omitempty"`
+	FaultRemoved bool          `json:"fault_removed,omitempty"`
+	OldFault     *FaultSummary `json:"old_fault,omitempty"`
+	NewFault     *FaultSummary `json:"new_fault,omitempty"`
+}
+
+// attrDeltaEps is the resource-movement floor below which attribution
+// deltas are noise, not signal (1 ns of virtual time).
+const attrDeltaEps = 1e-9
+
+// DiffManifests computes the structural difference of two manifests.
+// Neither input is mutated.
+func DiffManifests(oldM, newM *Manifest) *ManifestDiff {
+	d := &ManifestDiff{
+		Schema:      DiffSchema,
+		OldApp:      oldM.App,
+		NewApp:      newM.App,
+		OldConfig:   oldM.Config,
+		NewConfig:   newM.Config,
+		OldTime:     oldM.TimeSeconds,
+		NewTime:     newM.TimeSeconds,
+		OldGFlops:   oldM.GFlops,
+		NewGFlops:   newM.GFlops,
+		OldVerified: oldM.Verified,
+		NewVerified: newM.Verified,
+	}
+	d.ConfigChanged = oldM.App != newM.App || oldM.Config != newM.Config
+	d.VerifiedFlip = oldM.Verified != newM.Verified
+	if oldM.TimeSeconds > 0 {
+		d.TimeRatio = newM.TimeSeconds / oldM.TimeSeconds
+	}
+
+	// Join the kernel profiles by name.
+	oldK := map[string]KernelProfile{}
+	for _, k := range oldM.Profile.Kernels {
+		oldK[k.Kernel] = k
+	}
+	seen := map[string]bool{}
+	for _, nk := range newM.Profile.Kernels {
+		seen[nk.Kernel] = true
+		ok, present := oldK[nk.Kernel]
+		if !present {
+			d.Kernels = append(d.Kernels, KernelDelta{
+				Kernel: nk.Kernel, Status: "added",
+				NewSeconds: nk.Seconds, NewDominant: nk.Dominant,
+			})
+			continue
+		}
+		kd := KernelDelta{
+			Kernel:      nk.Kernel,
+			OldSeconds:  ok.Seconds,
+			NewSeconds:  nk.Seconds,
+			OldDominant: ok.Dominant,
+			NewDominant: nk.Dominant,
+			Flip:        ok.Dominant != nk.Dominant,
+		}
+		if ok.Seconds > 0 {
+			kd.Ratio = nk.Seconds / ok.Seconds
+		}
+		for _, res := range Resources() {
+			if delta := nk.Attribution.Get(res) - ok.Attribution.Get(res); math.Abs(delta) > attrDeltaEps {
+				if kd.Attribution == nil {
+					kd.Attribution = map[string]float64{}
+				}
+				kd.Attribution[res.String()] = delta
+			}
+		}
+		if math.Abs(kd.NewSeconds-kd.OldSeconds) <= attrDeltaEps && !kd.Flip && kd.Attribution == nil {
+			kd.Status = "same"
+		} else {
+			kd.Status = "changed"
+		}
+		d.Kernels = append(d.Kernels, kd)
+	}
+	for _, ok := range oldM.Profile.Kernels {
+		if !seen[ok.Kernel] {
+			d.Kernels = append(d.Kernels, KernelDelta{
+				Kernel: ok.Kernel, Status: "removed",
+				OldSeconds: ok.Seconds, OldDominant: ok.Dominant,
+			})
+		}
+	}
+	sort.Slice(d.Kernels, func(i, j int) bool {
+		a, b := d.Kernels[i], d.Kernels[j]
+		da, db := math.Abs(a.NewSeconds-a.OldSeconds), math.Abs(b.NewSeconds-b.OldSeconds)
+		//fiberlint:ignore floatcmp exact tie-break keeps the ordering deterministic
+		if da != db {
+			return da > db
+		}
+		return a.Kernel < b.Kernel
+	})
+
+	// Communication volume.
+	d.Comm = CommDelta{
+		OldSends: oldM.Comm.Sends, NewSends: newM.Comm.Sends,
+		OldBytes: commBytes(&oldM.Comm), NewBytes: commBytes(&newM.Comm),
+	}
+	collNames := map[string]bool{}
+	for n := range oldM.Comm.Collectives {
+		collNames[n] = true
+	}
+	for n := range newM.Comm.Collectives {
+		collNames[n] = true
+	}
+	for n := range collNames {
+		delta := newM.Comm.Collectives[n].Bytes - oldM.Comm.Collectives[n].Bytes
+		if delta != 0 {
+			if d.Comm.Collectives == nil {
+				d.Comm.Collectives = map[string]int64{}
+			}
+			d.Comm.Collectives[n] = delta
+		}
+	}
+
+	// Fault blocks.
+	d.OldFault, d.NewFault = oldM.Fault, newM.Fault
+	d.FaultAdded = oldM.Fault == nil && newM.Fault != nil
+	d.FaultRemoved = oldM.Fault != nil && newM.Fault == nil
+	return d
+}
+
+// commBytes totals a manifest's MPI payload: sends plus collectives.
+func commBytes(c *CommSummary) int64 {
+	total := c.SendBytes
+	for _, cs := range c.Collectives {
+		total += cs.Bytes
+	}
+	return total
+}
+
+// Encode writes the diff as indented JSON.
+func (d *ManifestDiff) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteReport renders the diff as a human triage report: the headline
+// time movement, then every kernel that moved (bottleneck flips
+// marked), then the comm-volume and fault-block shifts.
+func (d *ManifestDiff) WriteReport(w io.Writer) error {
+	app := d.NewApp
+	if d.OldApp != d.NewApp {
+		app = fmt.Sprintf("%s -> %s", d.OldApp, d.NewApp)
+	}
+	if _, err := fmt.Fprintf(w, "== diff: %s (%s -> %s) ==\n",
+		app, configLabel(d.OldConfig), configLabel(d.NewConfig)); err != nil {
+		return err
+	}
+	if d.ConfigChanged {
+		if _, err := fmt.Fprintln(w, "note: configurations differ — deltas measure the configuration, not the code"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "time %s -> %s (%.3fx)   %.1f -> %.1f Gflop/s\n",
+		vtime.Format(d.OldTime), vtime.Format(d.NewTime), d.TimeRatio,
+		d.OldGFlops, d.NewGFlops); err != nil {
+		return err
+	}
+	if d.VerifiedFlip {
+		if _, err := fmt.Fprintf(w, "VERIFICATION FLIP: verified %v -> %v\n",
+			d.OldVerified, d.NewVerified); err != nil {
+			return err
+		}
+	}
+
+	rows := [][]string{{"kernel", "old", "new", "ratio", "bound", "status"}}
+	for _, k := range d.Kernels {
+		if k.Status == "same" {
+			continue
+		}
+		bound := k.NewDominant
+		if k.Flip {
+			bound = fmt.Sprintf("%s->%s FLIP", k.OldDominant, k.NewDominant)
+		}
+		ratio := "-"
+		if k.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3fx", k.Ratio)
+		}
+		rows = append(rows, []string{
+			k.Kernel,
+			vtime.Format(k.OldSeconds),
+			vtime.Format(k.NewSeconds),
+			ratio, bound, k.Status,
+		})
+	}
+	if len(rows) > 1 {
+		if err := writeAligned(w, rows); err != nil {
+			return err
+		}
+	} else if _, err := fmt.Fprintln(w, "(no kernel movement)"); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintf(w, "comm: sends %d -> %d, bytes %s -> %s\n",
+		d.Comm.OldSends, d.Comm.NewSends,
+		fmtBytes(d.Comm.OldBytes), fmtBytes(d.Comm.NewBytes)); err != nil {
+		return err
+	}
+	if len(d.Comm.Collectives) > 0 {
+		names := make([]string, 0, len(d.Comm.Collectives))
+		for n := range d.Comm.Collectives {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "  %s bytes moved %+d\n", n, d.Comm.Collectives[n]); err != nil {
+				return err
+			}
+		}
+	}
+	switch {
+	case d.FaultAdded:
+		if _, err := fmt.Fprintf(w, "fault block ADDED: %+v\n", *d.NewFault); err != nil {
+			return err
+		}
+	case d.FaultRemoved:
+		if _, err := fmt.Fprintf(w, "fault block REMOVED (was %+v)\n", *d.OldFault); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// configLabel renders a RunInfo the compact way diff headers need.
+func configLabel(c RunInfo) string {
+	return fmt.Sprintf("%s %dx%d %s %s", c.Machine, c.Procs, c.Threads, c.Compiler, c.Size)
+}

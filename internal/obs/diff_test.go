@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// diffPair builds an old/new manifest pair with a controlled change:
+// the triad kernel slows 2x and flips from mem- to compute-bound, a
+// new kernel appears, one disappears, comm volume doubles, and a
+// fault block is added.
+func diffPair() (*Manifest, *Manifest) {
+	oldM := sampleManifest()
+	oldM.Profile.Kernels = append(oldM.Profile.Kernels, KernelProfile{
+		Kernel: "gone", Calls: 2, Seconds: 1e-4,
+		Attribution: Attribution{Compute: 1e-4}, Dominant: "compute", Category: "compute",
+	})
+
+	newM := sampleManifest()
+	newM.TimeSeconds = 0.5
+	newM.Profile.Kernels = []KernelProfile{
+		{
+			Kernel: "triad", Calls: 40, Iters: 4e6, Flops: 8e6,
+			Seconds:     8e-3,
+			Attribution: Attribution{Compute: 6e-3, Mem: 2e-3},
+			Dominant:    "compute", Category: "compute",
+		},
+		{
+			Kernel: "fresh", Calls: 4, Seconds: 2e-4,
+			Attribution: Attribution{L2: 2e-4}, Dominant: "l2", Category: "memory",
+		},
+	}
+	newM.Comm.Collectives = map[string]CollectiveStat{"allreduce": {Count: 40, Bytes: 640}}
+	newM.Fault = &FaultSummary{StragglerSeconds: 1.2, NoiseEvents: 5, NoiseSeconds: 0.01}
+	return oldM, newM
+}
+
+func TestDiffManifests(t *testing.T) {
+	oldM, newM := diffPair()
+	d := DiffManifests(oldM, newM)
+
+	if d.Schema != DiffSchema {
+		t.Errorf("schema = %q", d.Schema)
+	}
+	if d.TimeRatio != 2 {
+		t.Errorf("time ratio = %g, want 2", d.TimeRatio)
+	}
+	if d.ConfigChanged {
+		t.Error("identical configs flagged as changed")
+	}
+
+	byName := map[string]KernelDelta{}
+	for _, k := range d.Kernels {
+		byName[k.Kernel] = k
+	}
+	triad := byName["triad"]
+	if triad.Status != "changed" || !triad.Flip {
+		t.Errorf("triad delta = %+v, want changed+flip", triad)
+	}
+	if triad.OldDominant != "mem" || triad.NewDominant != "compute" {
+		t.Errorf("triad flip = %s -> %s", triad.OldDominant, triad.NewDominant)
+	}
+	if triad.Ratio != 2 {
+		t.Errorf("triad ratio = %g, want 2", triad.Ratio)
+	}
+	// Attribution deltas: compute +5e-3, mem -1e-3.
+	if got := triad.Attribution["compute"]; got < 4.9e-3 || got > 5.1e-3 {
+		t.Errorf("triad compute delta = %g, want ~5e-3", got)
+	}
+	if got := triad.Attribution["mem"]; got > -0.9e-3 || got < -1.1e-3 {
+		t.Errorf("triad mem delta = %g, want ~-1e-3", got)
+	}
+	if byName["fresh"].Status != "added" {
+		t.Errorf("fresh = %+v, want added", byName["fresh"])
+	}
+	if byName["gone"].Status != "removed" {
+		t.Errorf("gone = %+v, want removed", byName["gone"])
+	}
+	// Ordered by |delta|: triad (4e-3) first.
+	if d.Kernels[0].Kernel != "triad" {
+		t.Errorf("largest movement not first: %v", d.Kernels[0].Kernel)
+	}
+
+	if d.Comm.OldBytes != 320 || d.Comm.NewBytes != 640 {
+		t.Errorf("comm bytes = %d -> %d, want 320 -> 640", d.Comm.OldBytes, d.Comm.NewBytes)
+	}
+	if d.Comm.Collectives["allreduce"] != 320 {
+		t.Errorf("allreduce delta = %d, want +320", d.Comm.Collectives["allreduce"])
+	}
+	if !d.FaultAdded || d.FaultRemoved {
+		t.Errorf("fault flags = added %v removed %v", d.FaultAdded, d.FaultRemoved)
+	}
+
+	// Reversed diff sees the fault block removed.
+	rd := DiffManifests(newM, oldM)
+	if !rd.FaultRemoved || rd.FaultAdded {
+		t.Errorf("reverse fault flags = added %v removed %v", rd.FaultAdded, rd.FaultRemoved)
+	}
+}
+
+func TestDiffIdenticalManifestsIsQuiet(t *testing.T) {
+	a, b := sampleManifest(), sampleManifest()
+	d := DiffManifests(a, b)
+	if d.TimeRatio != 1 {
+		t.Errorf("time ratio = %g", d.TimeRatio)
+	}
+	for _, k := range d.Kernels {
+		if k.Status != "same" {
+			t.Errorf("kernel %s status = %q, want same", k.Kernel, k.Status)
+		}
+	}
+	if d.FaultAdded || d.FaultRemoved || d.VerifiedFlip || d.ConfigChanged {
+		t.Errorf("identical diff raised flags: %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no kernel movement") {
+		t.Errorf("quiet report should say so:\n%s", buf.String())
+	}
+}
+
+func TestDiffReportAndJSON(t *testing.T) {
+	oldM, newM := diffPair()
+	d := DiffManifests(oldM, newM)
+
+	var buf bytes.Buffer
+	if err := d.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== diff: stream", "2.000x", "triad", "mem->compute FLIP",
+		"added", "removed", "allreduce bytes moved +320", "fault block ADDED",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ManifestDiff
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("diff JSON does not round-trip: %v", err)
+	}
+	if back.Schema != DiffSchema || back.TimeRatio != 2 || len(back.Kernels) != len(d.Kernels) {
+		t.Errorf("JSON round trip drifted: %+v", back)
+	}
+}
+
+func TestDiffConfigChangeFlagged(t *testing.T) {
+	oldM, newM := sampleManifest(), sampleManifest()
+	newM.Config.Compiler = "tuned"
+	d := DiffManifests(oldM, newM)
+	if !d.ConfigChanged {
+		t.Fatal("compiler change must set ConfigChanged")
+	}
+	var buf bytes.Buffer
+	if err := d.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "configurations differ") {
+		t.Error("report must warn about cross-config diffs")
+	}
+}

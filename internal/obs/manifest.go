@@ -100,11 +100,28 @@ func (m *Manifest) Validate() error {
 		return fmt.Errorf("obs: manifest time %g invalid", m.TimeSeconds)
 	}
 	if f := m.Fault; f != nil {
-		if f.StragglerSeconds < 0 || f.NoiseSeconds < 0 || math.IsNaN(f.StragglerSeconds) || math.IsNaN(f.NoiseSeconds) {
-			return fmt.Errorf("obs: manifest fault seconds invalid: %+v", *f)
+		for name, v := range map[string]float64{
+			"straggler_seconds": f.StragglerSeconds,
+			"noise_seconds":     f.NoiseSeconds,
+		} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("obs: manifest fault %s=%g invalid", name, v)
+			}
 		}
 		if f.NoiseEvents < 0 || f.DegradedSends < 0 || f.Crashes < 0 {
 			return fmt.Errorf("obs: manifest fault counts negative: %+v", *f)
+		}
+		// Seconds without events is an internally inconsistent block:
+		// the injector only accumulates noise time event by event.
+		if f.NoiseSeconds > 0 && f.NoiseEvents == 0 {
+			return fmt.Errorf("obs: manifest fault noise_seconds=%g with zero noise_events", f.NoiseSeconds)
+		}
+		// An all-zero block should have been omitted entirely (clean
+		// runs keep the field absent), so its presence means the
+		// producer is mis-reporting.
+		if f.StragglerSeconds == 0 && f.NoiseSeconds == 0 &&
+			f.NoiseEvents == 0 && f.DegradedSends == 0 && f.Crashes == 0 {
+			return fmt.Errorf("obs: manifest carries an empty fault block; clean runs must omit it")
 		}
 	}
 	for _, k := range m.Profile.Kernels {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -94,6 +95,24 @@ func TestManifestValidate(t *testing.T) {
 			m.Profile.Kernels[0].Seconds *= 1.001
 		}, "attribution"},
 		{"zero calls", func(m *Manifest) { m.Profile.Kernels[0].Calls = 0 }, "calls"},
+		{"fault negative seconds", func(m *Manifest) {
+			m.Fault = &FaultSummary{StragglerSeconds: -1}
+		}, "fault straggler_seconds"},
+		{"fault inf seconds", func(m *Manifest) {
+			m.Fault = &FaultSummary{NoiseSeconds: math.Inf(1), NoiseEvents: 3}
+		}, "fault noise_seconds"},
+		{"fault NaN seconds", func(m *Manifest) {
+			m.Fault = &FaultSummary{StragglerSeconds: math.NaN()}
+		}, "fault straggler_seconds"},
+		{"fault negative counts", func(m *Manifest) {
+			m.Fault = &FaultSummary{Crashes: -2}
+		}, "counts negative"},
+		{"fault noise seconds without events", func(m *Manifest) {
+			m.Fault = &FaultSummary{NoiseSeconds: 0.5}
+		}, "zero noise_events"},
+		{"empty fault block", func(m *Manifest) {
+			m.Fault = &FaultSummary{}
+		}, "empty fault block"},
 	}
 	for _, tc := range cases {
 		m := sampleManifest()
@@ -105,6 +124,12 @@ func TestManifestValidate(t *testing.T) {
 	}
 	if err := sampleManifest().Validate(); err != nil {
 		t.Errorf("valid manifest rejected: %v", err)
+	}
+	// A consistent fault block passes.
+	m := sampleManifest()
+	m.Fault = &FaultSummary{StragglerSeconds: 1.5, NoiseEvents: 10, NoiseSeconds: 0.01, Crashes: 1}
+	if err := m.Validate(); err != nil {
+		t.Errorf("consistent fault block rejected: %v", err)
 	}
 }
 

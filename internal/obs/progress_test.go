@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleProgress() *SweepProgress {
+	return &SweepProgress{
+		Schema: ProgressSchema,
+		App:    "stream", Machine: "a64fx", Procs: 4, Threads: 12,
+		Compiler: "as-is", Size: "test",
+		Done: 3, Total: 12,
+		TimeSeconds: 1.5e-4, GFlops: 88.2, Verified: true,
+	}
+}
+
+func TestProgressRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleProgress().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if strings.Count(line, "\n") != 1 || !strings.HasSuffix(line, "}\n") {
+		t.Fatalf("Encode must emit exactly one JSON line, got %q", line)
+	}
+	p, err := ParseProgress([]byte(strings.TrimSpace(line)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *p != *sampleProgress() {
+		t.Errorf("round trip drifted: %+v", p)
+	}
+}
+
+func TestProgressValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SweepProgress)
+	}{
+		{"wrong schema", func(p *SweepProgress) { p.Schema = "v0" }},
+		{"no app", func(p *SweepProgress) { p.App = "" }},
+		{"done beyond total", func(p *SweepProgress) { p.Done = 13 }},
+		{"negative done", func(p *SweepProgress) { p.Done = -1 }},
+		{"negative time", func(p *SweepProgress) { p.TimeSeconds = -1 }},
+	}
+	for _, tc := range cases {
+		p := sampleProgress()
+		tc.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err == nil {
+			t.Errorf("%s: Encode accepted the invalid line", tc.name)
+		}
+	}
+	// An error row with no numbers is valid.
+	p := sampleProgress()
+	p.TimeSeconds, p.GFlops, p.Verified = 0, 0, false
+	p.Err = "panic: synthetic"
+	if err := p.Validate(); err != nil {
+		t.Errorf("error row rejected: %v", err)
+	}
+}
+
+func TestParseProgressRejectsGarbage(t *testing.T) {
+	if _, err := ParseProgress([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseProgress([]byte(`{"schema":"fibersim/sweep-progress/v1"}`)); err == nil {
+		t.Error("schema-only line accepted (no app)")
+	}
+}
