@@ -1,0 +1,163 @@
+package main
+
+// This file is the job API: POST /jobs admits run specs into the
+// bounded queue, GET /jobs and GET /jobs/{id} expose job state, and
+// GET /readyz is the readiness half of the health split (liveness
+// stays on /healthz: a process that answers at all is alive;
+// readiness is a statement about whether it should receive traffic).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"fibersim/internal/jobs"
+)
+
+// maxSpecBytes bounds a POST /jobs body; a run spec is a handful of
+// short fields, so anything bigger is garbage or abuse.
+const maxSpecBytes = 1 << 20
+
+// handleSubmitJob is the admission path: decode, validate (shallow +
+// registry-deep), then let the manager decide. The status codes are
+// the load-shedding contract:
+//
+//	202 accepted            (body: the job, including its id)
+//	400 malformed spec
+//	429 queue full          (Retry-After: estimated drain time)
+//	503 breaker open        (Retry-After), draining, or no job engine
+func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		http.Error(w, "job execution not configured", http.StatusServiceUnavailable)
+		return
+	}
+	var spec jobs.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("bad spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.resolve != nil {
+		if err := s.resolve(spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	job, err := s.jobs.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.jobs))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, jobs.ErrBreakerOpen):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.jobs))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	if err := json.NewEncoder(w).Encode(job); err != nil {
+		return
+	}
+}
+
+// retryAfterSeconds renders the manager's drain estimate as the
+// integral seconds the Retry-After header wants, at least 1.
+func retryAfterSeconds(m *jobs.Manager) string {
+	secs := int(m.RetryAfter().Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	if s.jobs == nil {
+		http.Error(w, "job execution not configured", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	list := s.jobs.Jobs()
+	if list == nil {
+		list = []jobs.Job{}
+	}
+	if err := enc.Encode(list); err != nil {
+		return
+	}
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		http.Error(w, "job execution not configured", http.StatusServiceUnavailable)
+		return
+	}
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(job); err != nil {
+		return
+	}
+}
+
+// readiness is the /readyz body: the overall verdict plus every
+// breaker key whose circuit is not closed, so a dashboard (or a
+// human) can see which (app, machine) pairs are degraded without
+// parsing /metrics.
+type readiness struct {
+	Status string `json:"status"` // ready | degraded | draining
+	// Breakers lists non-closed breakers as key → state.
+	Breakers map[string]string `json:"breakers,omitempty"`
+	// QueueDepth is the current admission backlog.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// handleReadyz: 200 ready (all circuits closed), 200 degraded (some
+// (app, machine) keys tripped — the rest of the service still takes
+// traffic), 503 draining (SIGTERM received) or 503 when no job
+// engine is configured at all (manifest-only mode still serves runs,
+// but should not receive job traffic).
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.jobs == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"no-jobs"}`)
+		return
+	}
+	rd := readiness{Status: "ready", QueueDepth: s.jobs.QueueDepth()}
+	for _, b := range s.jobs.BreakerStates() {
+		if b.State != jobs.BreakerClosed {
+			if rd.Breakers == nil {
+				rd.Breakers = map[string]string{}
+			}
+			rd.Breakers[b.Key] = b.State.String()
+			rd.Status = "degraded"
+		}
+	}
+	code := http.StatusOK
+	if s.jobs.Draining() {
+		rd.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(rd); err != nil {
+		return
+	}
+}

@@ -1,20 +1,30 @@
-// Command fiberd is the long-running observability daemon: it exposes
-// serving metrics in the Prometheus text format, lists and serves run
+// Command fiberd is the long-running simulation service: it executes
+// submitted run specs through a resilient job engine, exposes serving
+// metrics in the Prometheus text format, lists and serves run
 // manifests from a directory, and streams live sweep progress over
 // Server-Sent Events.
 //
-//	fiberd -addr :8080 -manifests runs -progress sweep.progress
+//	fiberd -addr :8080 -manifests runs -journal jobs.journal
 //
 // Endpoints:
 //
-//	GET /healthz     liveness probe
-//	GET /metrics     Prometheus exposition of fiberd's own serving metrics
-//	GET /runs        JSON listing of the manifest directory
-//	GET /runs/{name} one manifest, parsed and validated
-//	GET /runs/live   SSE stream of fibersweep -progress output
+//	GET  /healthz     liveness probe (the process answers)
+//	GET  /readyz      readiness probe (ready | degraded | draining)
+//	GET  /metrics     Prometheus exposition of serving metrics
+//	POST /jobs        submit a run spec; 202 + job id, 429/503 on shed
+//	GET  /jobs        list jobs
+//	GET  /jobs/{id}   one job's state
+//	GET  /runs        JSON listing of the manifest directory
+//	GET  /runs/{name} one manifest, parsed and validated
+//	GET  /runs/live   SSE stream of fibersweep -progress output
 //
-// fiberd shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// get a drain window before the listener is torn down.
+// Every job state transition is appended to the -journal JSONL file
+// (schema fibersim/job-journal/v1). The journal is torn-tail-tolerant:
+// a SIGKILL'd daemon replays it on restart and re-queues incomplete
+// jobs exactly once, so no accepted job is ever lost or completed
+// twice. On SIGINT/SIGTERM fiberd drains gracefully: it refuses new
+// work, finishes running jobs, persists the queue and syncs the
+// journal before exiting.
 package main
 
 import (
@@ -28,6 +38,10 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"fibersim/internal/harness"
+	"fibersim/internal/jobs"
+	"fibersim/internal/obs"
 )
 
 func main() {
@@ -36,18 +50,107 @@ func main() {
 	progress := flag.String("progress", "", "sweep progress file (JSONL) to stream on /runs/live")
 	poll := flag.Duration("poll", 500*time.Millisecond, "progress file poll interval")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain window")
+	journalPath := flag.String("journal", "", "job journal path (JSONL, crash-safe); empty keeps job state in memory only")
+	journalMTBF := flag.Duration("journal-mtbf", 0, "assumed daemon MTBF; >0 derives the journal fsync cadence from Daly's checkpoint model instead of syncing every record")
+	queueCap := flag.Int("queue", 64, "admission queue bound; submissions beyond it get 429")
+	workers := flag.Int("workers", 2, "job worker pool size")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-attempt job deadline")
+	jobRetries := flag.Int("job-retries", 2, "default and ceiling for per-job retries")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that trip an (app, machine) circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker refuses work before probing")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	s := newServer(*manifests, *progress, *poll)
-	os.Exit(serve(ctx, *addr, s.handler(), *drain, os.Stderr))
+
+	reg := obs.NewRegistry()
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+
+	var journal *jobs.Journal
+	var recovered []jobs.Record
+	if *journalPath != "" {
+		var err error
+		journal, recovered, err = jobs.OpenJournal(*journalPath, jobs.SyncInterval(time.Millisecond, *journalMTBF))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fiberd:", err)
+			os.Exit(1)
+		}
+	}
+	manager, err := jobs.NewManager(jobs.Config{
+		Runner:           runSpec,
+		QueueCap:         *queueCap,
+		Workers:          *workers,
+		JobTimeout:       *jobTimeout,
+		MaxRetries:       *jobRetries,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Journal:          journal,
+		Registry:         reg,
+		Logf:             logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fiberd:", err)
+		os.Exit(1)
+	}
+	manager.Recover(recovered)
+	manager.Start()
+
+	s := newServer(reg, *manifests, *progress, *poll, manager, resolveSpec)
+	code := serve(ctx, *addr, s.handler(), *drain, os.Stderr, manager)
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fiberd: journal close:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// toRunSpec maps the job engine's transport-level Spec onto the
+// harness resolver.
+func toRunSpec(spec jobs.Spec) harness.RunSpec {
+	return harness.RunSpec{
+		App: spec.App, Machine: spec.Machine,
+		Procs: spec.Procs, Threads: spec.Threads,
+		Compiler: spec.Compiler, Size: spec.Size, Fault: spec.Fault,
+	}
+}
+
+// resolveSpec is the admission-time deep validation: a spec that does
+// not resolve is a 400 at POST, not a failed job.
+func resolveSpec(spec jobs.Spec) error {
+	_, _, err := toRunSpec(spec).Resolve()
+	return err
+}
+
+// runSpec executes one attempt through the harness/miniapps path. The
+// simulation itself is not cancellable, so ctx is consulted only at
+// the door — the manager's deadline guard handles runaway attempts by
+// abandonment.
+func runSpec(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return jobs.Result{}, err
+	}
+	app, rc, err := toRunSpec(spec).Resolve()
+	if err != nil {
+		return jobs.Result{}, err
+	}
+	res, err := app.Run(rc)
+	if err != nil {
+		return jobs.Result{}, err
+	}
+	return jobs.Result{TimeSeconds: res.Time, GFlops: res.GFlops(), Verified: res.Verified}, nil
 }
 
 // serve runs the HTTP server until the context is cancelled (signal)
-// or the listener fails, then drains gracefully. It returns the
-// process exit code rather than calling os.Exit so tests can drive it.
-func serve(ctx context.Context, addr string, h http.Handler, drain time.Duration, stderr io.Writer) int {
+// or the listener fails, then drains gracefully: the job manager
+// stops admission and finishes running jobs while the HTTP server
+// completes in-flight requests, both bounded by the drain window. It
+// returns the process exit code rather than calling os.Exit so tests
+// can drive it.
+func serve(ctx context.Context, addr string, h http.Handler, drain time.Duration, stderr io.Writer, manager *jobs.Manager) int {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           h,
@@ -68,9 +171,23 @@ func serve(ctx context.Context, addr string, h http.Handler, drain time.Duration
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	code := 0
+	// Drain jobs and HTTP concurrently: admission flips to refusing
+	// immediately, running jobs and in-flight requests get the window.
+	jobsDrained := make(chan error, 1)
+	go func() {
+		if manager == nil {
+			jobsDrained <- nil
+			return
+		}
+		jobsDrained <- manager.Drain(shutCtx)
+	}()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		// Drain window expired with requests still in flight.
 		fmt.Fprintf(stderr, "fiberd: shutdown: %v\n", err)
+		code = 1
+	}
+	if err := <-jobsDrained; err != nil {
+		fmt.Fprintf(stderr, "fiberd: job drain: %v\n", err)
 		code = 1
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -13,28 +13,40 @@ import (
 	"strings"
 	"time"
 
+	"fibersim/internal/jobs"
 	"fibersim/internal/obs"
 )
 
-// server holds fiberd's state: its own metrics registry (separate from
-// any simulation registry — these are serving metrics), the manifest
-// directory it exposes, and the sweep progress file it streams. The
-// clock is injectable so the /metrics exposition is testable verbatim.
+// server holds fiberd's state: its metrics registry (shared with the
+// job manager — these are serving metrics), the manifest directory it
+// exposes, the sweep progress file it streams, and the job manager
+// behind POST /jobs. The clock is injectable so the /metrics
+// exposition is testable verbatim.
 type server struct {
 	reg          *obs.Registry
 	manifestDir  string
 	progressPath string
 	now          func() time.Time
 	pollEvery    time.Duration
+	// jobs executes submitted run specs; nil disables the job API
+	// (405-free: the routes then answer 503).
+	jobs *jobs.Manager
+	// resolve deep-validates a spec at admission (app/machine/
+	// compiler/size/fault against the registries); nil skips — bad
+	// specs then fail at execution instead of 400 at the door.
+	resolve func(jobs.Spec) error
 }
 
-func newServer(manifestDir, progressPath string, pollEvery time.Duration) *server {
+func newServer(reg *obs.Registry, manifestDir, progressPath string, pollEvery time.Duration,
+	jm *jobs.Manager, resolve func(jobs.Spec) error) *server {
 	return &server{
-		reg:          obs.NewRegistry(),
+		reg:          reg,
 		manifestDir:  manifestDir,
 		progressPath: progressPath,
 		now:          time.Now,
 		pollEvery:    pollEvery,
+		jobs:         jm,
+		resolve:      resolve,
 	}
 }
 
@@ -44,10 +56,14 @@ func newServer(manifestDir, progressPath string, pollEvery time.Duration) *serve
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("GET /runs", s.instrument("/runs", s.handleRuns))
 	mux.Handle("GET /runs/live", s.instrument("/runs/live", s.handleLive))
 	mux.Handle("GET /runs/{name}", s.instrument("/runs/{name}", s.handleRun))
+	mux.Handle("POST /jobs", s.instrument("/jobs", s.handleSubmitJob))
+	mux.Handle("GET /jobs", s.instrument("/jobs", s.handleJobs))
+	mux.Handle("GET /jobs/{id}", s.instrument("/jobs/{id}", s.handleJob))
 	return mux
 }
 

@@ -8,10 +8,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"fibersim/internal/jobs"
 	"fibersim/internal/obs"
 )
 
@@ -28,7 +30,16 @@ func fakeClock() func() time.Time {
 
 func testServer(t *testing.T) (*server, http.Handler) {
 	t.Helper()
-	s := newServer(t.TempDir(), "", time.Millisecond)
+	reg := obs.NewRegistry()
+	jm, err := jobs.NewManager(jobs.Config{
+		Runner:   func(context.Context, jobs.Spec) (jobs.Result, error) { return jobs.Result{}, nil },
+		QueueCap: 16,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(reg, t.TempDir(), "", time.Millisecond, jm, nil)
 	s.now = fakeClock()
 	return s, s.handler()
 }
@@ -58,6 +69,15 @@ fiberd_http_request_seconds_count{path="/healthz"} 1
 # HELP fiberd_http_requests_total HTTP requests served, by route and status code.
 # TYPE fiberd_http_requests_total counter
 fiberd_http_requests_total{code="200",path="/healthz"} 1
+# HELP fiberd_jobs_queue_capacity Admission queue bound; submissions beyond it are shed with 429.
+# TYPE fiberd_jobs_queue_capacity gauge
+fiberd_jobs_queue_capacity 16
+# HELP fiberd_jobs_queue_depth Jobs accepted and waiting for a worker.
+# TYPE fiberd_jobs_queue_depth gauge
+fiberd_jobs_queue_depth 0
+# HELP fiberd_jobs_running Jobs currently executing an attempt.
+# TYPE fiberd_jobs_running gauge
+fiberd_jobs_running 0
 `
 
 func TestMetricsGolden(t *testing.T) {
@@ -161,7 +181,7 @@ func TestRunsListingAndFetch(t *testing.T) {
 
 func TestRunsLiveSSE(t *testing.T) {
 	progress := filepath.Join(t.TempDir(), "sweep.progress")
-	s := newServer(t.TempDir(), progress, 5*time.Millisecond)
+	s := newServer(obs.NewRegistry(), t.TempDir(), progress, 5*time.Millisecond, nil, nil)
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
@@ -247,12 +267,64 @@ func TestRunsLiveSSE(t *testing.T) {
 	cancel()
 }
 
+// TestRunsLiveNoGoroutineLeak opens a batch of /runs/live streams,
+// drops each client mid-stream, and requires the goroutine count to
+// settle back. Guards the SSE handler's exit paths: it must return on
+// r.Context().Done() (client gone between ticks) and on a failed
+// write (client gone mid-event), never loop on a dead connection.
+func TestRunsLiveNoGoroutineLeak(t *testing.T) {
+	progress := filepath.Join(t.TempDir(), "sweep.progress")
+	if err := os.WriteFile(progress, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(obs.NewRegistry(), t.TempDir(), progress, time.Millisecond, nil, nil)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/runs/live", nil)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Headers arrived: the handler goroutine is inside its poll
+		// loop. Drop the client without reading any event.
+		cancel()
+		resp.Body.Close()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.Gosched()
+		// Allow a little slack for the server's own accept/idle
+		// machinery; 20 leaked handlers would blow well past it.
+		if n := runtime.NumGoroutine(); n <= before+5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: before=%d now=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestServeGracefulShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	s := newServer(t.TempDir(), "", time.Millisecond)
+	s := newServer(obs.NewRegistry(), t.TempDir(), "", time.Millisecond, nil, nil)
 	done := make(chan int, 1)
 	var errb strings.Builder
-	go func() { done <- serve(ctx, "127.0.0.1:0", s.handler(), time.Second, &errb) }()
+	go func() { done <- serve(ctx, "127.0.0.1:0", s.handler(), time.Second, &errb, nil) }()
 	time.Sleep(50 * time.Millisecond)
 	cancel()
 	select {
@@ -270,8 +342,8 @@ func TestServeGracefulShutdown(t *testing.T) {
 
 func TestServeBadAddressFails(t *testing.T) {
 	var errb strings.Builder
-	s := newServer(t.TempDir(), "", time.Millisecond)
-	if code := serve(context.Background(), "256.0.0.1:bogus", s.handler(), time.Second, &errb); code != 1 {
+	s := newServer(obs.NewRegistry(), t.TempDir(), "", time.Millisecond, nil, nil)
+	if code := serve(context.Background(), "256.0.0.1:bogus", s.handler(), time.Second, &errb, nil); code != 1 {
 		t.Fatalf("bad address exit = %d\n%s", code, errb.String())
 	}
 }

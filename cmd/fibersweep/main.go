@@ -15,19 +15,22 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
-	"time"
+	"syscall"
 
 	"fibersim/internal/arch"
 	"fibersim/internal/core"
 	"fibersim/internal/fault"
 	"fibersim/internal/harness"
+	"fibersim/internal/jobs"
 	_ "fibersim/internal/miniapps/all"
 	"fibersim/internal/miniapps/common"
 	"fibersim/internal/obs"
@@ -52,6 +55,13 @@ func main() {
 	maxRuns := flag.Int("max-runs", 0, "stop after N fresh (non-resumed) runs; exits 3 if configurations remain")
 	progress := flag.Bool("progress", false, "emit one JSON progress line per completed configuration on stderr (machine-readable; fiberd streams it)")
 	flag.Parse()
+
+	// Ctrl-C or SIGTERM cancels the sweep at the next safe point — in
+	// particular it aborts a retry backoff immediately instead of
+	// sleeping out the schedule. Completed rows are already
+	// checkpointed, so an interrupted sweep resumes cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sz, err := common.ParseSize(*size)
 	if err != nil {
@@ -160,7 +170,12 @@ sweep:
 						rec.SetMeta(app.Name(), rc.String())
 						rc.Recorder = rec
 					}
-					res, err := runOne(app, rc, *retries)
+					res, err := runOne(ctx, app, rc, *retries)
+					if ctx.Err() != nil {
+						state.Close()
+						fmt.Fprintln(os.Stderr, "fibersweep: interrupted; completed rows are checkpointed")
+						os.Exit(130)
+					}
 					freshRuns++
 					var cells []string
 					if err != nil {
@@ -219,19 +234,22 @@ sweep:
 }
 
 // runOne executes one configuration, converting panics into errors and
-// retrying failures with doubling backoff (100 ms, 200 ms, ...). The
-// simulator is deterministic, so retries mostly matter for runs that
-// touch the environment (manifest/trace I/O) — but they also keep a
-// sweep alive across transient resource exhaustion.
-func runOne(app common.App, rc common.RunConfig, retries int) (common.Result, error) {
-	backoff := 100 * time.Millisecond
+// retrying failures on the shared jittered-exponential schedule
+// (jobs.Backoff: 100 ms doubling, capped, equal jitter). The simulator
+// is deterministic, so retries mostly matter for runs that touch the
+// environment (manifest/trace I/O) — but they also keep a sweep alive
+// across transient resource exhaustion. Cancelling ctx aborts a
+// backoff wait immediately and returns the last attempt's error.
+func runOne(ctx context.Context, app common.App, rc common.RunConfig, retries int) (common.Result, error) {
+	var bo jobs.Backoff
 	for attempt := 0; ; attempt++ {
 		res, err := runOnce(app, rc)
 		if err == nil || attempt >= retries {
 			return res, err
 		}
-		time.Sleep(backoff)
-		backoff *= 2
+		if serr := jobs.Sleep(ctx, bo.Delay(attempt)); serr != nil {
+			return res, err
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -118,7 +119,7 @@ func (a flakyApp) Run(common.RunConfig) (common.Result, error) {
 
 func TestRunOneRecoversPanics(t *testing.T) {
 	n := 1000 // never succeeds within the retry budget
-	_, err := runOne(flakyApp{failures: &n, panics: true}, common.RunConfig{}, 0)
+	_, err := runOne(context.Background(), flakyApp{failures: &n, panics: true}, common.RunConfig{}, 0)
 	if err == nil || !strings.Contains(err.Error(), "panic: synthetic miniapp panic") {
 		t.Fatalf("want recovered panic error, got %v", err)
 	}
@@ -126,7 +127,7 @@ func TestRunOneRecoversPanics(t *testing.T) {
 
 func TestRunOneRetriesUntilSuccess(t *testing.T) {
 	n := 2
-	res, err := runOne(flakyApp{failures: &n}, common.RunConfig{}, 2)
+	res, err := runOne(context.Background(), flakyApp{failures: &n}, common.RunConfig{}, 2)
 	if err != nil {
 		t.Fatalf("run should succeed on the third attempt: %v", err)
 	}
@@ -137,11 +138,27 @@ func TestRunOneRetriesUntilSuccess(t *testing.T) {
 
 func TestRunOneExhaustsRetries(t *testing.T) {
 	n := 5
-	if _, err := runOne(flakyApp{failures: &n}, common.RunConfig{}, 1); err == nil {
+	if _, err := runOne(context.Background(), flakyApp{failures: &n}, common.RunConfig{}, 1); err == nil {
 		t.Fatal("want error after exhausting retries")
 	}
 	if n != 5-2 {
 		t.Fatalf("want exactly 2 attempts, %d failures left", n)
+	}
+}
+
+// TestRunOneCancelAbortsBackoff pins the Ctrl-C contract: a cancelled
+// context makes the backoff sleep return immediately, so a failing run
+// surfaces its error after the in-flight attempt instead of sleeping
+// out the remaining retry schedule.
+func TestRunOneCancelAbortsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 1000
+	if _, err := runOne(ctx, flakyApp{failures: &n}, common.RunConfig{}, 100); err == nil {
+		t.Fatal("want the attempt's error, got nil")
+	}
+	if n != 999 {
+		t.Fatalf("want exactly 1 attempt under a cancelled context, %d failures left", n)
 	}
 }
 

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+
+	"fibersim/internal/arch"
+	"fibersim/internal/fault"
+	"fibersim/internal/miniapps/common"
+)
+
+// RunSpec is the serialized form of one simulation request: every
+// field is a string or an int, so the same shape travels as a POST
+// /jobs body, a sweep cell, or a CLI flag set. Resolve turns it into
+// the executable (App, RunConfig) pair, validating each axis against
+// the registries — it is the single choke point where an external
+// request meets the harness/miniapps path.
+type RunSpec struct {
+	// App names a registered miniapp ("stream", "mvmc", ...).
+	App string
+	// Machine names a catalogue machine; empty defaults to a64fx.
+	Machine string
+	// Procs and Threads give the decomposition; 0x0 defaults to 1x1.
+	Procs, Threads int
+	// Compiler names a compiler config ("as-is", "tuned", ...); empty
+	// means as-is.
+	Compiler string
+	// Size names the data set ("test", "small", "medium"); empty
+	// means test.
+	Size string
+	// Fault is an optional fault-schedule spec (fault.ParseSchedule
+	// grammar); empty runs clean.
+	Fault string
+}
+
+// Resolve validates the spec against the app registry, the machine
+// catalogue, the compiler table, the size names and the fault
+// grammar, and returns the executable pair. The returned RunConfig is
+// normalized (defaults applied), so callers can execute it directly.
+func (s RunSpec) Resolve() (common.App, common.RunConfig, error) {
+	app, err := common.Lookup(s.App)
+	if err != nil {
+		return nil, common.RunConfig{}, err
+	}
+	rc := common.RunConfig{Procs: s.Procs, Threads: s.Threads}
+	if s.Machine != "" {
+		if rc.Machine, err = arch.Lookup(s.Machine); err != nil {
+			return nil, common.RunConfig{}, err
+		}
+	}
+	if s.Compiler != "" {
+		if rc.Compiler, err = ParseCompiler(s.Compiler); err != nil {
+			return nil, common.RunConfig{}, err
+		}
+	}
+	if s.Size != "" {
+		if rc.Size, err = common.ParseSize(s.Size); err != nil {
+			return nil, common.RunConfig{}, err
+		}
+	}
+	if s.Fault != "" {
+		if rc.Fault, err = fault.ParseSchedule(s.Fault); err != nil {
+			return nil, common.RunConfig{}, err
+		}
+	}
+	rc = rc.Normalized()
+	if total := rc.Machine.TotalCores(); rc.Procs*rc.Threads > total {
+		return nil, common.RunConfig{}, fmt.Errorf(
+			"harness: decomposition %dx%d exceeds the %d cores of %s",
+			rc.Procs, rc.Threads, total, rc.Machine.Name)
+	}
+	return app, rc, nil
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"fibersim/internal/miniapps/common"
+)
+
+func TestRunSpecResolveDefaults(t *testing.T) {
+	app, rc, err := RunSpec{App: "stream"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "stream" {
+		t.Errorf("app = %s", app.Name())
+	}
+	if rc.Machine.Name != "a64fx" || rc.Procs != 1 || rc.Threads != 1 || rc.Size != common.SizeTest {
+		t.Errorf("defaults not applied: %+v", rc)
+	}
+	if rc.Fault != nil {
+		t.Error("clean spec resolved a fault schedule")
+	}
+}
+
+func TestRunSpecResolveFull(t *testing.T) {
+	app, rc, err := RunSpec{
+		App: "mvmc", Machine: "skylake", Procs: 4, Threads: 12,
+		Compiler: "tuned", Size: "small",
+		Fault: "seed=7,straggler=0:1.5",
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "mvmc" || rc.Machine.Name != "skylake" || rc.Procs != 4 || rc.Threads != 12 {
+		t.Errorf("resolved = %s %+v", app.Name(), rc)
+	}
+	if rc.Size != common.SizeSmall || rc.Fault == nil {
+		t.Errorf("size/fault not resolved: %+v", rc)
+	}
+	// The resolved pair actually runs.
+	res, err := app.Run(rc)
+	if err != nil {
+		t.Fatalf("resolved config does not run: %v", err)
+	}
+	if res.Time <= 0 {
+		t.Errorf("run time = %g", res.Time)
+	}
+}
+
+func TestRunSpecResolveRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec RunSpec
+		want string
+	}{
+		{"unknown app", RunSpec{App: "fortnite"}, "unknown app"},
+		{"unknown machine", RunSpec{App: "stream", Machine: "cray1"}, "unknown machine"},
+		{"unknown compiler", RunSpec{App: "stream", Compiler: "gcc15"}, "unknown compiler"},
+		{"unknown size", RunSpec{App: "stream", Size: "galactic"}, "unknown size"},
+		{"bad fault", RunSpec{App: "stream", Fault: "chaos=yes"}, "fault"},
+		{"oversubscribed", RunSpec{App: "stream", Procs: 48, Threads: 48}, "exceeds"},
+	}
+	for _, tc := range cases {
+		_, _, err := tc.spec.Resolve()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

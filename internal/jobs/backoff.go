@@ -1,0 +1,75 @@
+package jobs
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes the delay before retry attempt n as a capped
+// exponential with equal jitter: the raw delay Base·2ⁿ is clamped to
+// Max, then the actual wait is drawn uniformly from [d/2, d). The
+// jitter half keeps a burst of failures from retrying in lockstep
+// (thundering herd against whatever resource just failed), while the
+// d/2 floor keeps the schedule recognisably exponential.
+//
+// The zero value is usable and picks DefaultBase/DefaultMax.
+type Backoff struct {
+	// Base is the raw delay of attempt 0; 0 picks DefaultBase.
+	Base time.Duration
+	// Max caps the raw (pre-jitter) delay; 0 picks DefaultMax.
+	Max time.Duration
+	// Rand supplies the jitter draw in [0,1); nil uses math/rand.
+	// Tests inject a fixed function to pin delays exactly.
+	Rand func() float64
+}
+
+// DefaultBase and DefaultMax are the zero-value Backoff schedule:
+// 100 ms doubling to a 10 s ceiling.
+const (
+	DefaultBase = 100 * time.Millisecond
+	DefaultMax  = 10 * time.Second
+)
+
+// Delay returns the jittered wait before retry attempt n (0-based).
+// Negative attempts are treated as 0.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	r := b.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	return d/2 + time.Duration(r()*float64(d/2))
+}
+
+// Sleep waits for d or until ctx is cancelled, whichever comes first,
+// returning ctx.Err() on cancellation. It is the context-honouring
+// replacement for time.Sleep in retry loops (see the nakedretry lint
+// rule): a Ctrl-C during backoff must abort the wait immediately, not
+// after the sleep finishes.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

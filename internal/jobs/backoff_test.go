@@ -1,0 +1,76 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	// Pin jitter at its extremes: r=0 gives d/2, r→1 gives just under d.
+	lo := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 0 }}
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 50 * time.Millisecond},  // 100ms/2
+		{1, 100 * time.Millisecond}, // 200ms/2
+		{2, 200 * time.Millisecond}, // 400ms/2
+		{4, 500 * time.Millisecond}, // capped at 1s, /2
+		{9, 500 * time.Millisecond}, // still capped
+		{-3, 50 * time.Millisecond}, // clamped to attempt 0
+	}
+	for _, tc := range cases {
+		if got := lo.Delay(tc.attempt); got != tc.want {
+			t.Errorf("Delay(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+
+	hi := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 0.999 }}
+	for attempt, rawMax := range map[int]time.Duration{0: 100 * time.Millisecond, 3: 800 * time.Millisecond} {
+		got := hi.Delay(attempt)
+		if got < rawMax/2 || got >= rawMax {
+			t.Errorf("Delay(%d) = %v, want in [%v, %v)", attempt, got, rawMax/2, rawMax)
+		}
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	d := b.Delay(0)
+	if d < DefaultBase/2 || d >= DefaultBase {
+		t.Errorf("zero-value Delay(0) = %v, want in [%v, %v)", d, DefaultBase/2, DefaultBase)
+	}
+	if d := b.Delay(1000); d >= DefaultMax {
+		t.Errorf("huge attempt Delay = %v, want < %v cap", d, DefaultMax)
+	}
+}
+
+func TestSleepHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Sleep(ctx, time.Hour)
+	if err != context.Canceled {
+		t.Fatalf("Sleep under cancel = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("Sleep took %v after cancel; must return immediately", waited)
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep = %v", err)
+	}
+	// A non-positive duration returns without arming a timer, but
+	// still reports an already-cancelled context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep(cancelled, 0) = %v, want context.Canceled", err)
+	}
+}

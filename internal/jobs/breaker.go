@@ -1,0 +1,119 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState enumerates the classic circuit-breaker states. The
+// numeric values are exported on /metrics (gauge per key), so they
+// are part of the observable contract: 0 closed, 1 half-open, 2 open.
+type BreakerState int
+
+const (
+	// BreakerClosed: normal operation, work admitted.
+	BreakerClosed BreakerState = 0
+	// BreakerHalfOpen: cooldown elapsed; one probe is in flight and
+	// its outcome decides between closed and open.
+	BreakerHalfOpen BreakerState = 1
+	// BreakerOpen: tripped; work for this key is refused until the
+	// cooldown elapses.
+	BreakerOpen BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Breaker is one (app, machine) key's circuit breaker: Threshold
+// consecutive failures trip it open, Cooldown later a single probe is
+// admitted (half-open), and the probe's outcome either closes the
+// breaker or re-opens it for another cooldown. All methods are safe
+// for concurrent use.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that trips the
+	// breaker; values < 1 are treated as 1.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe.
+	Cooldown time.Duration
+	// Now is the clock (tests inject a fake); nil uses time.Now.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether new work for this key may be admitted,
+// transitioning open → half-open when the cooldown has elapsed. In
+// half-open state exactly one caller is admitted as the probe; the
+// rest are refused until Record settles the probe's outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record feeds one execution outcome into the breaker.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.probing = false
+	b.failures++
+	threshold := b.Threshold
+	if threshold < 1 {
+		threshold = 1
+	}
+	if b.state == BreakerHalfOpen || b.failures >= threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current state (open → half-open promotion happens
+// lazily in Allow, so a cooled-down breaker still reads open here
+// until someone knocks).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

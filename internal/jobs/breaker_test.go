@@ -1,0 +1,83 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := &Breaker{Threshold: 3, Cooldown: 30 * time.Second, Now: func() time.Time { return clock }}
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker must be closed and admitting")
+	}
+	// Two failures: still closed.
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state after 2 failures = %v", b.State())
+	}
+	// A success resets the consecutive count.
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("success did not reset failures: %v", b.State())
+	}
+	// Third consecutive failure trips it.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted work before cooldown")
+	}
+	// Cooldown elapses: one half-open probe admitted, the rest refused.
+	clock = clock.Add(31 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted during probe")
+	}
+	// Probe fails: straight back to open for another cooldown.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("failed probe left state %v", b.State())
+	}
+	// Next probe succeeds: closed, admitting freely again.
+	clock = clock.Add(31 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() || !b.Allow() {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerHalfOpen: "half-open", BreakerOpen: "open",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+	// The numeric values are the /metrics contract.
+	if BreakerClosed != 0 || BreakerHalfOpen != 1 || BreakerOpen != 2 {
+		t.Error("breaker gauge values drifted")
+	}
+}
+
+func TestBreakerZeroThresholdTreatedAsOne(t *testing.T) {
+	b := &Breaker{Cooldown: time.Minute}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("threshold<1 breaker did not trip on first failure: %v", b.State())
+	}
+}

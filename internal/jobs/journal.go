@@ -1,0 +1,243 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"fibersim/internal/fault"
+)
+
+// JournalSchema identifies the job-journal record layout; bump on any
+// incompatible change.
+const JournalSchema = "fibersim/job-journal/v1"
+
+// Record is one journal line: a job state transition. The accepted
+// record carries the full Spec so replay needs nothing but the
+// journal; the done record carries the Result so a restarted daemon
+// can still serve completed jobs.
+type Record struct {
+	Schema  string  `json:"schema"`
+	ID      string  `json:"id"`
+	State   State   `json:"state"`
+	Attempt int     `json:"attempt,omitempty"`
+	Spec    *Spec   `json:"spec,omitempty"`
+	Err     string  `json:"error,omitempty"`
+	Result  *Result `json:"result,omitempty"`
+	// UnixNanos stamps the transition (informational; replay ignores
+	// it — ordering is the file order).
+	UnixNanos int64 `json:"unix_ns,omitempty"`
+}
+
+// Validate checks the invariants replay relies on.
+func (r Record) Validate() error {
+	if r.Schema != JournalSchema {
+		return fmt.Errorf("jobs: journal record schema %q, want %q", r.Schema, JournalSchema)
+	}
+	if r.ID == "" {
+		return fmt.Errorf("jobs: journal record has no job id")
+	}
+	if !r.State.valid() {
+		return fmt.Errorf("jobs: journal record %s has unknown state %q", r.ID, r.State)
+	}
+	if r.State == StateAccepted && r.Spec == nil {
+		return fmt.Errorf("jobs: journal record %s: accepted without spec", r.ID)
+	}
+	return nil
+}
+
+// SyncInterval derives the journal's fsync cadence from Daly's
+// checkpoint model (fault.CheckpointPolicy): the fsync is the
+// "checkpoint write" (cost = writeCost), a daemon crash is the
+// "failure" (rate = 1/mtbf), and the work lost to a crash is the
+// un-synced journal suffix. Daly's near-optimal interval
+// sqrt(2·δ·M) − δ balances fsync overhead against replayed work. A
+// zero or negative mtbf — "assume the daemon can die any instant" —
+// returns 0, which Journal treats as sync-every-append.
+func SyncInterval(writeCost, mtbf time.Duration) time.Duration {
+	if mtbf <= 0 {
+		return 0
+	}
+	if writeCost <= 0 {
+		writeCost = time.Millisecond // a conservative fsync estimate
+	}
+	tau := fault.OptimalInterval(writeCost.Seconds(), mtbf.Seconds())
+	return time.Duration(tau * float64(time.Second))
+}
+
+// Journal is the crash-safe transition log: one JSON line per Record,
+// append-only, fsynced on a Daly-derived cadence (terminal records
+// are always synced immediately — a completed job must never replay).
+// Like fibersweep's -resume checkpoint, a newline-terminated line is
+// complete and a torn (unterminated) tail is the signature of a
+// mid-write kill: Open truncates it away and the affected transition
+// simply reappears when the job re-runs.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	syncEvery time.Duration
+	lastSync  time.Time
+	dirty     bool
+	now       func() time.Time
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// every complete record, truncates a torn tail, and positions the
+// file for appending. syncEvery is the fsync cadence (see
+// SyncInterval); 0 syncs every append. A malformed record that IS
+// newline-terminated means the file is not a job journal — that is an
+// error, not data loss.
+func OpenJournal(path string, syncEvery time.Duration) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		_ = f.Close() // the original error is the one worth reporting
+		return nil, nil, err
+	}
+	var recs []Record
+	good, start, lineno := 0, 0, 0
+	for {
+		end := bytes.IndexByte(data[start:], '\n')
+		if end < 0 {
+			break // torn tail from a mid-write kill
+		}
+		lineno++
+		line := bytes.TrimSpace(data[start : start+end])
+		start += end + 1
+		if len(line) > 0 {
+			var r Record
+			if err := json.Unmarshal(line, &r); err != nil {
+				_ = f.Close() // the original error is the one worth reporting
+				return nil, nil, fmt.Errorf("jobs: %s:%d: not a job-journal line: %v", path, lineno, err)
+			}
+			if err := r.Validate(); err != nil {
+				_ = f.Close() // the original error is the one worth reporting
+				return nil, nil, fmt.Errorf("jobs: %s:%d: %w", path, lineno, err)
+			}
+			recs = append(recs, r)
+		}
+		good = start
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			_ = f.Close() // the original error is the one worth reporting
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		_ = f.Close() // the original error is the one worth reporting
+		return nil, nil, err
+	}
+	return &Journal{f: f, path: path, syncEvery: syncEvery, now: time.Now}, recs, nil
+}
+
+// Append writes one record (line plus newline in a single write, so
+// the torn-tail rule holds) and syncs according to the cadence.
+// Terminal records sync unconditionally: the done/failed line is the
+// exactly-once marker and must survive an immediate SIGKILL.
+func (j *Journal) Append(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("jobs: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	j.dirty = true
+	if r.State.Terminal() || j.syncEvery <= 0 || j.now().Sub(j.lastSync) >= j.syncEvery {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if !j.dirty {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.dirty = false
+	j.lastSync = j.now()
+	return nil
+}
+
+// Sync forces any buffered cadence window to disk.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+// Close syncs and closes the journal; further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	serr := j.syncLocked()
+	cerr := j.f.Close()
+	j.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Replay folds journal records into the jobs they describe, in first-
+// appearance order. A job whose last record is terminal is returned
+// as completed history; any other job was in flight when the previous
+// process died and comes back in StateAccepted with Recovered set, so
+// the manager re-queues it exactly once. Records for an unknown job
+// id without a preceding accepted record are tolerated (the accepted
+// line may have been in the torn tail) but produce no job — without a
+// spec there is nothing to re-run.
+func Replay(recs []Record) []*Job {
+	byID := map[string]*Job{}
+	var order []*Job
+	for _, r := range recs {
+		job := byID[r.ID]
+		if job == nil {
+			if r.Spec == nil {
+				continue // spec lost with the torn accepted line
+			}
+			job = &Job{ID: r.ID, Spec: *r.Spec}
+			byID[r.ID] = job
+			order = append(order, job)
+		}
+		job.State = r.State
+		if r.Attempt > 0 {
+			job.Attempt = r.Attempt
+		}
+		job.Err = r.Err
+		if r.Result != nil {
+			job.Result = r.Result
+		}
+	}
+	for _, job := range order {
+		if !job.State.Terminal() {
+			job.State = StateAccepted
+			job.Recovered = true
+		}
+	}
+	return order
+}

@@ -1,0 +1,266 @@
+package jobs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "jobs.journal")
+}
+
+func rec(id string, state State, spec *Spec) Record {
+	return Record{Schema: JournalSchema, ID: id, State: state, Spec: spec}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	j, recs, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	spec := &Spec{App: "stream", Machine: "a64fx", Procs: 4, Threads: 12, Size: "test"}
+	for _, r := range []Record{
+		rec("job-000001", StateAccepted, spec),
+		rec("job-000001", StateRunning, nil),
+		{Schema: JournalSchema, ID: "job-000001", State: StateDone,
+			Attempt: 1, Result: &Result{TimeSeconds: 0.5, GFlops: 80, Verified: true}},
+	} {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err = OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].State != StateDone || recs[2].Result == nil || !recs[2].Result.Verified {
+		t.Fatalf("replayed %+v", recs)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{App: "stream"}
+	if err := j.Append(rec("job-000001", StateAccepted, spec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a mid-write SIGKILL: an unterminated garbage tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":"fibersim/job-journal/v1","id":"job-0000`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if len(recs) != 1 || recs[0].ID != "job-000001" {
+		t.Fatalf("replayed %+v", recs)
+	}
+	// The tail was truncated away, and new appends land on a clean line.
+	if err := j2.Append(rec("job-000002", StateAccepted, spec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].ID != "job-000002" {
+		t.Fatalf("post-heal replay = %+v", recs)
+	}
+}
+
+func TestJournalMalformedTerminatedLineErrors(t *testing.T) {
+	path := tmpJournal(t)
+	if err := os.WriteFile(path, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path, 0); err == nil ||
+		!strings.Contains(err.Error(), "not a job-journal line") {
+		t.Fatalf("err = %v, want not-a-journal", err)
+	}
+	// Valid JSON with the wrong schema is also refused, with position.
+	if err := os.WriteFile(path, []byte(`{"schema":"bogus/v9","id":"x","state":"done"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path, 0); err == nil || !strings.Contains(err.Error(), ":1:") {
+		t.Fatalf("err = %v, want schema error at line 1", err)
+	}
+}
+
+func TestJournalSyncCadence(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, err := OpenJournal(path, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	clock := time.Unix(0, 0)
+	j.now = func() time.Time { return clock }
+	j.lastSync = clock
+
+	spec := &Spec{App: "stream"}
+	syncs := 0
+	// Count fsyncs indirectly: dirty flips false only in syncLocked.
+	checkDirty := func(wantDirty bool) {
+		t.Helper()
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if j.dirty != wantDirty {
+			t.Fatalf("dirty = %v, want %v (after %d syncs)", j.dirty, wantDirty, syncs)
+		}
+	}
+	// Within the cadence window, non-terminal records buffer.
+	if err := j.Append(rec("job-000001", StateAccepted, spec)); err != nil {
+		t.Fatal(err)
+	}
+	checkDirty(true)
+	// Past the window, the next append syncs.
+	clock = clock.Add(2 * time.Hour)
+	if err := j.Append(rec("job-000001", StateRunning, nil)); err != nil {
+		t.Fatal(err)
+	}
+	syncs++
+	checkDirty(false)
+	// Terminal records sync unconditionally, window or not.
+	if err := j.Append(rec("job-000001", StateDone, nil)); err != nil {
+		t.Fatal(err)
+	}
+	syncs++
+	checkDirty(false)
+}
+
+func TestSyncIntervalDaly(t *testing.T) {
+	// Daly: tau = sqrt(2*delta*M) - delta. With delta=1ms, M=100s:
+	// sqrt(0.2) - 0.001 ≈ 446ms.
+	got := SyncInterval(time.Millisecond, 100*time.Second)
+	if got < 400*time.Millisecond || got > 500*time.Millisecond {
+		t.Errorf("SyncInterval(1ms, 100s) = %v, want ≈446ms", got)
+	}
+	// "Crash any instant" → sync every append.
+	if got := SyncInterval(time.Millisecond, 0); got != 0 {
+		t.Errorf("SyncInterval(_, 0) = %v, want 0", got)
+	}
+	// Longer MTBF → longer cadence (monotone in M).
+	if a, b := SyncInterval(time.Millisecond, time.Minute), SyncInterval(time.Millisecond, time.Hour); a >= b {
+		t.Errorf("cadence not monotone in MTBF: %v vs %v", a, b)
+	}
+}
+
+func TestReplayExactlyOnce(t *testing.T) {
+	spec := &Spec{App: "stream"}
+	recs := []Record{
+		// Completed before the crash: stays done, never re-queued.
+		rec("job-000001", StateAccepted, spec),
+		rec("job-000001", StateRunning, nil),
+		{Schema: JournalSchema, ID: "job-000001", State: StateDone, Attempt: 1,
+			Result: &Result{TimeSeconds: 1}},
+		// Mid-flight at the crash: re-queued with attempts preserved.
+		rec("job-000002", StateAccepted, spec),
+		{Schema: JournalSchema, ID: "job-000002", State: StateRunning, Attempt: 2},
+		// Accepted, never started.
+		rec("job-000003", StateAccepted, spec),
+		// Failed terminally.
+		rec("job-000004", StateAccepted, spec),
+		{Schema: JournalSchema, ID: "job-000004", State: StateFailed, Attempt: 3, Err: "boom"},
+		// Orphan transition whose accepted line died in the torn tail:
+		// no spec, nothing to re-run, must not resurrect.
+		{Schema: JournalSchema, ID: "job-000099", State: StateRunning, Attempt: 1},
+	}
+	jobs := Replay(recs)
+	if len(jobs) != 4 {
+		t.Fatalf("replayed %d jobs, want 4: %+v", len(jobs), jobs)
+	}
+	byID := map[string]*Job{}
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	if j := byID["job-000001"]; j.State != StateDone || j.Recovered || j.Result == nil {
+		t.Errorf("done job mangled: %+v", j)
+	}
+	if j := byID["job-000002"]; j.State != StateAccepted || !j.Recovered || j.Attempt != 2 {
+		t.Errorf("mid-flight job not re-queued: %+v", j)
+	}
+	if j := byID["job-000003"]; j.State != StateAccepted || !j.Recovered {
+		t.Errorf("queued job not re-queued: %+v", j)
+	}
+	if j := byID["job-000004"]; j.State != StateFailed || j.Recovered || j.Err != "boom" {
+		t.Errorf("failed job mangled: %+v", j)
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	spec := &Spec{App: "stream"}
+	for _, tc := range []struct {
+		name string
+		r    Record
+	}{
+		{"bad schema", Record{Schema: "x", ID: "a", State: StateDone}},
+		{"no id", Record{Schema: JournalSchema, State: StateDone}},
+		{"bad state", Record{Schema: JournalSchema, ID: "a", State: "levitating"}},
+		{"accepted without spec", Record{Schema: JournalSchema, ID: "a", State: StateAccepted}},
+	} {
+		if err := tc.r.Validate(); err == nil {
+			t.Errorf("%s: Validate passed", tc.name)
+		}
+	}
+	if err := rec("a", StateAccepted, spec).Validate(); err != nil {
+		t.Errorf("good record: %v", err)
+	}
+}
+
+func TestJournalClosedAppendFails(t *testing.T) {
+	j, _, err := OpenJournal(tmpJournal(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec("a", StateAccepted, &Spec{App: "s"})); err == nil {
+		t.Fatal("append on closed journal passed")
+	}
+	if err := j.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestOpenJournalBadPath(t *testing.T) {
+	if _, _, err := OpenJournal(filepath.Join(t.TempDir(), "no", "such", "dir", "j"), 0); err == nil {
+		t.Fatal("open under missing dir passed")
+	}
+	var pe *os.PathError
+	_, _, err := OpenJournal(t.TempDir(), 0) // a directory, not a file
+	if err == nil || !errors.As(err, &pe) {
+		t.Fatalf("open of a directory = %v", err)
+	}
+}

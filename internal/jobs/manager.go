@@ -1,0 +1,539 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fibersim/internal/obs"
+)
+
+// Runner executes one attempt of a job. It must honour ctx (the
+// per-attempt deadline) on a best-effort basis; the manager also
+// guards every attempt with its own timer and panic recovery, so a
+// runner that ignores ctx costs an abandoned goroutine, not a stuck
+// worker. cmd/fiberd wires this to the harness/miniapps path.
+type Runner func(ctx context.Context, spec Spec) (Result, error)
+
+// Admission errors. The HTTP layer maps these to status codes:
+// ErrQueueFull → 429 + Retry-After, ErrBreakerOpen and ErrDraining →
+// 503 + Retry-After.
+var (
+	ErrQueueFull   = errors.New("jobs: admission queue full")
+	ErrDraining    = errors.New("jobs: draining, not accepting work")
+	ErrBreakerOpen = errors.New("jobs: circuit breaker open")
+	// ErrTimeout marks an attempt killed by its deadline; deadline
+	// failures are not retried (the simulator is deterministic — a
+	// rerun would time out again) and count against the breaker.
+	ErrTimeout = errors.New("jobs: attempt deadline exceeded")
+)
+
+// Config parameterises a Manager. Zero values get safe defaults.
+type Config struct {
+	// Runner executes attempts (required).
+	Runner Runner
+	// QueueCap bounds the admission queue (jobs accepted but not yet
+	// picked up); default 64. Recovered jobs bypass the bound — they
+	// were admitted by a previous life of the daemon.
+	QueueCap int
+	// Workers sizes the worker pool; default 2.
+	Workers int
+	// JobTimeout is the per-attempt deadline; default 5m.
+	JobTimeout time.Duration
+	// MaxRetries is the default and ceiling for per-job retries.
+	MaxRetries int
+	// Backoff schedules the wait between attempts.
+	Backoff Backoff
+	// BreakerThreshold trips a (app, machine) breaker after this many
+	// consecutive failures; default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker refuses work
+	// before the half-open probe; default 30s.
+	BreakerCooldown time.Duration
+	// Journal, when non-nil, records every state transition.
+	Journal *Journal
+	// Registry, when non-nil, receives the serving metrics
+	// (fiberd_jobs_*, fiberd_job_*, fiberd_breaker_state).
+	Registry *obs.Registry
+	// Now is the wall clock; nil uses time.Now (tests inject).
+	Now func() time.Time
+	// Logf, when non-nil, receives operational log lines (journal
+	// write failures, recovery summary).
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the job state machine: admission, execution, retry,
+// breaker and journal. Construct with NewManager, optionally feed it
+// OpenJournal's replayed records via Recover, then Start it.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*Job
+	order    []string
+	pending  []*Job
+	seq      int
+	breakers map[string]*Breaker
+	draining bool
+	running  int
+	ewmaSec  float64 // smoothed wall seconds per attempt, for Retry-After
+
+	drainCtx  context.Context
+	drainStop context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+// NewManager builds a Manager; it does not start workers.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("jobs: config has no Runner")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 5 * time.Minute
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	m := &Manager{
+		cfg:      cfg,
+		jobs:     map[string]*Job{},
+		breakers: map[string]*Breaker{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.drainCtx, m.drainStop = context.WithCancel(context.Background())
+	if r := cfg.Registry; r != nil {
+		// Eager registration so /metrics always exposes the queue
+		// shape, jobs or not.
+		r.Gauge("fiberd_jobs_queue_depth", "Jobs accepted and waiting for a worker.", nil).Set(0)
+		r.Gauge("fiberd_jobs_queue_capacity", "Admission queue bound; submissions beyond it are shed with 429.", nil).
+			Set(float64(cfg.QueueCap))
+		r.Gauge("fiberd_jobs_running", "Jobs currently executing an attempt.", nil).Set(0)
+	}
+	return m, nil
+}
+
+// Recover folds replayed journal records into the manager: terminal
+// jobs become servable history, in-flight jobs re-enter the queue
+// exactly once (their accepted record is already in the journal, so
+// nothing is re-appended). Call before Start.
+func (m *Manager) Recover(recs []Record) {
+	requeued := 0
+	m.mu.Lock()
+	for _, job := range Replay(recs) {
+		if _, dup := m.jobs[job.ID]; dup {
+			continue
+		}
+		m.jobs[job.ID] = job
+		m.order = append(m.order, job.ID)
+		var n int
+		if _, err := fmt.Sscanf(job.ID, "job-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+		if !job.State.Terminal() {
+			m.pending = append(m.pending, job)
+			requeued++
+		}
+	}
+	m.gaugeQueueLocked()
+	total := len(m.order)
+	m.mu.Unlock()
+	if requeued > 0 || total > 0 {
+		m.logf("jobs: recovered %d journaled jobs, re-queued %d incomplete", total, requeued)
+	}
+}
+
+// Start launches the worker pool.
+func (m *Manager) Start() {
+	for i := 0; i < m.cfg.Workers; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.workerLoop()
+		}()
+	}
+}
+
+// Submit admits one job: validate, consult the (app, machine)
+// breaker, enforce the queue bound, journal the accepted record, then
+// enqueue. The accepted record is durable before Submit returns, so
+// an acknowledged job can never be lost to a crash.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		m.countRejected("invalid")
+		return Job{}, err
+	}
+	if !m.breakerFor(spec.Key()).Allow() {
+		m.countRejected("breaker_open")
+		return Job{}, fmt.Errorf("%w for %s", ErrBreakerOpen, spec.Key())
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.countRejected("draining")
+		return Job{}, ErrDraining
+	}
+	if len(m.pending) >= m.cfg.QueueCap {
+		m.mu.Unlock()
+		m.countRejected("queue_full")
+		return Job{}, ErrQueueFull
+	}
+	m.seq++
+	job := &Job{
+		ID:    fmt.Sprintf("job-%06d", m.seq),
+		Spec:  spec,
+		State: StateAccepted,
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.pending = append(m.pending, job)
+	m.gaugeQueueLocked()
+	snapshot := *job
+	m.cond.Signal()
+	m.mu.Unlock()
+
+	m.append(Record{
+		Schema: JournalSchema, ID: snapshot.ID, State: StateAccepted,
+		Spec: &snapshot.Spec, UnixNanos: m.cfg.Now().UnixNano(),
+	})
+	m.countState(StateAccepted)
+	return snapshot, nil
+}
+
+// Get returns a copy of the job.
+func (m *Manager) Get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *job, true
+}
+
+// Jobs returns copies of every tracked job in submission order.
+func (m *Manager) Jobs() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, *m.jobs[id])
+	}
+	return out
+}
+
+// QueueDepth returns the number of jobs accepted but not yet running.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// Draining reports whether the manager has stopped accepting work.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// RetryAfter estimates when shed load is worth retrying: the queue's
+// expected drain time under the smoothed per-attempt latency, clamped
+// to [1s, 60s]. It is the Retry-After header on 429 responses.
+func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	depth, ewma := len(m.pending), m.ewmaSec
+	m.mu.Unlock()
+	if ewma <= 0 {
+		ewma = 1
+	}
+	d := time.Duration(float64(depth) * ewma / float64(m.cfg.Workers) * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// BreakerStates snapshots every breaker, keyed by "app|machine",
+// sorted for deterministic /healthz and /readyz bodies.
+func (m *Manager) BreakerStates() []struct {
+	Key   string
+	State BreakerState
+} {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.breakers))
+	for k := range m.breakers {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(keys)
+	out := make([]struct {
+		Key   string
+		State BreakerState
+	}, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, struct {
+			Key   string
+			State BreakerState
+		}{k, m.breakerFor(k).State()})
+	}
+	return out
+}
+
+// Drain stops admission, cancels retry backoffs, lets every running
+// attempt finish, and syncs the journal. Queued jobs stay journaled
+// as accepted — a restart re-queues them. Returns ctx.Err() if the
+// drain window expires with attempts still running.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.drainStop() // abort backoff sleeps; retrying jobs persist as such
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if m.cfg.Journal != nil {
+		if serr := m.cfg.Journal.Sync(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// workerLoop pulls jobs until drain. The draining check comes before
+// the queue check so a drain stops dequeueing even with work pending
+// — pending jobs are persisted, not raced to completion.
+func (m *Manager) workerLoop() {
+	for {
+		m.mu.Lock()
+		for !m.draining && len(m.pending) == 0 {
+			m.cond.Wait()
+		}
+		if m.draining {
+			m.mu.Unlock()
+			return
+		}
+		job := m.pending[0]
+		m.pending = m.pending[1:]
+		m.gaugeQueueLocked()
+		m.mu.Unlock()
+		m.execute(job)
+	}
+}
+
+// execute drives one job through attempts to a terminal state.
+func (m *Manager) execute(job *Job) {
+	m.setGaugeRunning(+1)
+	defer m.setGaugeRunning(-1)
+	key := job.Spec.Key()
+	for {
+		attempt := m.transitionRunning(job)
+		start := m.cfg.Now()
+		res, err := m.runAttempt(job.Spec)
+		m.observeAttempt(m.cfg.Now().Sub(start))
+		if err == nil {
+			m.breakerFor(key).Record(true)
+			m.setBreakerGauge(key)
+			m.transition(job, StateDone, "", &res)
+			return
+		}
+		m.breakerFor(key).Record(false)
+		m.setBreakerGauge(key)
+		retries := m.retriesFor(job.Spec)
+		if errors.Is(err, ErrTimeout) || attempt > retries {
+			m.transition(job, StateFailed, err.Error(), nil)
+			return
+		}
+		m.transition(job, StateRetrying, err.Error(), nil)
+		m.count("fiberd_job_retries_total", "Retry attempts scheduled after retryable failures.", nil)
+		if Sleep(m.drainCtx, m.cfg.Backoff.Delay(attempt-1)) != nil {
+			// Draining mid-backoff: the retrying record is already
+			// durable; recovery re-queues the job next start.
+			return
+		}
+	}
+}
+
+// runAttempt guards one Runner call with the deadline and panic
+// isolation. On timeout the attempt goroutine is abandoned — it holds
+// only its own stack and exits when the runner returns.
+func (m *Manager) runAttempt(spec Spec) (Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.JobTimeout)
+	defer cancel()
+	type outcome struct {
+		res Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("panic: %v", r)}
+			}
+		}()
+		res, err := m.cfg.Runner(ctx, spec)
+		ch <- outcome{res: res, err: err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		return Result{}, fmt.Errorf("%w after %s", ErrTimeout, m.cfg.JobTimeout)
+	}
+}
+
+func (m *Manager) retriesFor(spec Spec) int {
+	retries := m.cfg.MaxRetries
+	if spec.MaxRetries > 0 && spec.MaxRetries < retries {
+		retries = spec.MaxRetries
+	}
+	return retries
+}
+
+// transitionRunning bumps the attempt counter and journals the
+// running record, returning the attempt number.
+func (m *Manager) transitionRunning(job *Job) int {
+	m.mu.Lock()
+	job.Attempt++
+	job.State = StateRunning
+	attempt := job.Attempt
+	id := job.ID
+	m.mu.Unlock()
+	m.append(Record{
+		Schema: JournalSchema, ID: id, State: StateRunning,
+		Attempt: attempt, UnixNanos: m.cfg.Now().UnixNano(),
+	})
+	m.countState(StateRunning)
+	return attempt
+}
+
+func (m *Manager) transition(job *Job, state State, errText string, res *Result) {
+	m.mu.Lock()
+	job.State = state
+	job.Err = errText
+	if res != nil {
+		job.Result = res
+	}
+	attempt := job.Attempt
+	id := job.ID
+	m.mu.Unlock()
+	m.append(Record{
+		Schema: JournalSchema, ID: id, State: state, Attempt: attempt,
+		Err: errText, Result: res, UnixNanos: m.cfg.Now().UnixNano(),
+	})
+	m.countState(state)
+}
+
+// append journals one record; a journal failure is logged and counted
+// but does not stop execution — serving degrades to in-memory state
+// rather than refusing work.
+func (m *Manager) append(r Record) {
+	if m.cfg.Journal == nil {
+		return
+	}
+	if err := m.cfg.Journal.Append(r); err != nil {
+		m.logf("jobs: journal append %s/%s: %v", r.ID, r.State, err)
+		m.count("fiberd_journal_errors_total", "Journal appends that failed; durability is degraded.", nil)
+	}
+}
+
+func (m *Manager) breakerFor(key string) *Breaker {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.breakers[key]
+	if !ok {
+		b = &Breaker{
+			Threshold: m.cfg.BreakerThreshold,
+			Cooldown:  m.cfg.BreakerCooldown,
+			Now:       m.cfg.Now,
+		}
+		m.breakers[key] = b
+	}
+	return b
+}
+
+// observeAttempt records wall latency and refreshes the EWMA behind
+// Retry-After.
+func (m *Manager) observeAttempt(d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	if m.ewmaSec == 0 {
+		m.ewmaSec = sec
+	} else {
+		m.ewmaSec = 0.8*m.ewmaSec + 0.2*sec
+	}
+	m.mu.Unlock()
+	if r := m.cfg.Registry; r != nil {
+		r.Histogram("fiberd_job_seconds", "Wall-clock latency of job attempts.", obs.TimeBuckets(), nil).Observe(sec)
+	}
+}
+
+func (m *Manager) gaugeQueueLocked() {
+	if r := m.cfg.Registry; r != nil {
+		r.Gauge("fiberd_jobs_queue_depth", "", nil).Set(float64(len(m.pending)))
+	}
+}
+
+func (m *Manager) setGaugeRunning(delta int) {
+	m.mu.Lock()
+	m.running += delta
+	n := m.running
+	m.mu.Unlock()
+	if r := m.cfg.Registry; r != nil {
+		r.Gauge("fiberd_jobs_running", "", nil).Set(float64(n))
+	}
+}
+
+func (m *Manager) setBreakerGauge(key string) {
+	if r := m.cfg.Registry; r != nil {
+		r.Gauge("fiberd_breaker_state", "Circuit breaker per app|machine key: 0 closed, 1 half-open, 2 open.",
+			obs.Labels{"key": key}).Set(float64(m.breakerFor(key).State()))
+	}
+}
+
+func (m *Manager) countState(s State) {
+	m.count("fiberd_jobs_transitions_total", "Job state transitions.", obs.Labels{"state": string(s)})
+}
+
+func (m *Manager) countRejected(reason string) {
+	m.count("fiberd_jobs_rejected_total", "Submissions refused at admission.", obs.Labels{"reason": reason})
+}
+
+func (m *Manager) count(name, help string, labels obs.Labels) {
+	if r := m.cfg.Registry; r != nil {
+		r.Counter(name, help, labels).Inc()
+	}
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}

@@ -27,6 +27,10 @@
 //   - barepanic:  no bare panic(...) statements in internal/miniapps
 //     or internal/harness — model and harness failures travel as
 //     errors; Must* helpers are the sanctioned panic wrappers.
+//   - nakedretry: no time.Sleep inside for/range loops — a loop that
+//     sleeps is a retry/poll loop, and its wait must honour a context
+//     (jobs.Sleep or a select on ctx.Done()) so Ctrl-C and daemon
+//     drains abort it immediately.
 //
 // A diagnostic is suppressed with a comment on the offending line or
 // the line above:
@@ -78,7 +82,7 @@ type Analyzer struct {
 
 // DefaultAnalyzers returns the full rule set in reporting order.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{FloatCmp(), RawKernel(), MagicConst(), ErrCheckLite(), BarePanic()}
+	return []*Analyzer{FloatCmp(), RawKernel(), MagicConst(), ErrCheckLite(), BarePanic(), NakedRetry()}
 }
 
 // Run applies the analyzers to every package, drops suppressed

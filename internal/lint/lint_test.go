@@ -86,6 +86,8 @@ func TestAnalyzers(t *testing.T) {
 			asPath: "fibersim/cmd/httpserve_good", analyzer: lint.ErrCheckLite()},
 		{name: "barepanic_bad", dir: "internal/miniapps/barepanic_bad", analyzer: lint.BarePanic()},
 		{name: "barepanic_good", dir: "internal/miniapps/barepanic_good", analyzer: lint.BarePanic()},
+		{name: "nakedretry_bad", dir: "nakedretry_bad", analyzer: lint.NakedRetry()},
+		{name: "nakedretry_good", dir: "nakedretry_good", analyzer: lint.NakedRetry()},
 		{name: "suppress", dir: "suppress", analyzer: lint.FloatCmp()},
 
 		{name: "rawkernel_exempt_in_loopir", dir: "rawkernel_bad",
@@ -160,7 +162,7 @@ func TestDefaultAnalyzers(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	sort.Strings(names)
-	want := []string{"barepanic", "errchecklite", "floatcmp", "magicconst", "rawkernel"}
+	want := []string{"barepanic", "errchecklite", "floatcmp", "magicconst", "nakedretry", "rawkernel"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("got %v, want %v", names, want)
 	}

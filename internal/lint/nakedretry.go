@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NakedRetry returns the nakedretry analyzer: a time.Sleep call
+// statement lexically inside a for/range loop is flagged in non-test
+// files. A loop that sleeps is a retry/poll loop, and a bare
+// time.Sleep cannot be interrupted — Ctrl-C, SIGTERM drains and job
+// cancellation all stall until the full backoff schedule has slept
+// out. The sanctioned forms honour a context: jobs.Sleep(ctx, d), or
+// an explicit select on ctx.Done() against a timer.
+//
+// The scan stops at function boundaries, so a one-shot delay inside a
+// goroutine launched from a loop is not a retry wait and is not
+// flagged. A loop that genuinely has no context to honour can say so:
+//
+//	//fiberlint:ignore nakedretry <why there is no context here>
+func NakedRetry() *Analyzer {
+	return &Analyzer{
+		Name: "nakedretry",
+		Doc:  "flags time.Sleep inside retry/poll loops; waits there must honour a context (jobs.Sleep or select on ctx.Done())",
+		Run:  runNakedRetry,
+	}
+}
+
+func runNakedRetry(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		// Inspect with an explicit ancestor stack (pushed on entry,
+		// popped on the nil post-visit) so each Sleep call can ask
+		// whether a loop encloses it within the same function.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isTimeSleep(p.Info, call) && enclosedByLoop(stack) {
+				out = append(out, p.diag(call.Pos(), "nakedretry",
+					"time.Sleep in a loop cannot be interrupted; use jobs.Sleep(ctx, d) or select on ctx.Done() so cancellation aborts the wait"))
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return out
+}
+
+// enclosedByLoop reports whether the innermost enclosing construct
+// that is either a loop or a function is a loop.
+func enclosedByLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// isTimeSleep reports whether the call is time.Sleep from the standard
+// library (resolved through the type info, so import aliases are
+// handled and a local type's Sleep method is not confused for it).
+func isTimeSleep(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "time"
+}

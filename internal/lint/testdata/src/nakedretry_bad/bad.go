@@ -1,0 +1,48 @@
+// Package fixture is the nakedretry positive fixture: time.Sleep
+// inside for/range loops, in the forms retry loops actually take.
+package fixture
+
+import "time"
+
+func retry(f func() error) error {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := f(); err == nil {
+			return nil
+		}
+		time.Sleep(backoff) // want nakedretry
+		backoff *= 2
+	}
+	return nil
+}
+
+func poll(ready func() bool) {
+	for !ready() {
+		time.Sleep(time.Second) // want nakedretry
+	}
+}
+
+func drain(ch chan int) {
+	for range ch {
+		time.Sleep(time.Millisecond) // want nakedretry
+	}
+}
+
+func nested(f func() error) {
+	for {
+		if f() == nil {
+			return
+		}
+		if true {
+			// Depth does not matter: still lexically inside the loop.
+			time.Sleep(time.Millisecond) // want nakedretry
+		}
+	}
+}
+
+func suppressed(f func() error) {
+	for f() != nil {
+		//fiberlint:ignore nakedretry fixture: pretend no context exists here
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,61 @@
+// Package fixture is the nakedretry negative fixture: sleeps outside
+// loops, context-honouring waits inside them, and the function
+// boundary that separates a launched goroutine's one-shot delay from
+// the loop that launched it.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// A single delay outside any loop is not a retry wait.
+func pause() {
+	time.Sleep(time.Millisecond)
+}
+
+// wait is the sanctioned shape: the timer races the context.
+func wait(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func retry(ctx context.Context, f func() error) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := f(); err == nil {
+			return nil
+		}
+		if err := wait(ctx, time.Millisecond); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// The loop launches goroutines; each sleeps once. The sleep is not a
+// loop wait — the function boundary resets the scan.
+func launch(work func()) {
+	for i := 0; i < 3; i++ {
+		go func() {
+			time.Sleep(time.Millisecond)
+			work()
+		}()
+	}
+}
+
+// A local type's Sleep method is not time.Sleep.
+type snoozer struct{}
+
+func (snoozer) Sleep(time.Duration) {}
+
+func localSleep(s snoozer) {
+	for i := 0; i < 3; i++ {
+		s.Sleep(time.Millisecond)
+	}
+}

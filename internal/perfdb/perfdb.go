@@ -17,9 +17,10 @@
 package perfdb
 
 import (
-	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -121,35 +122,75 @@ type Trajectory struct {
 // Load reads the trajectory at path. A missing file is an empty
 // trajectory, not an error: the first `record` on a fresh checkout
 // starts the history.
+//
+// Load is torn-tail-tolerant, like every journal in this repo: Append
+// writes each record plus its newline in one call, so a
+// newline-terminated line is complete and parsed strictly (a malformed
+// terminated line means the file is not a trajectory — error, not data
+// loss), while an unterminated final fragment is the signature of a
+// mid-write crash. A fragment that still parses and validates lost
+// only its newline and is kept (and the newline restored); anything
+// else is dropped and truncated away so later appends start on a clean
+// line boundary. On a read-only file the repair is skipped and the
+// tolerance is in-memory only.
 func Load(path string) (*Trajectory, error) {
 	t := &Trajectory{Path: path}
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return t, nil
-	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	readOnly := false
 	if err != nil {
-		return nil, err
+		if errors.Is(err, os.ErrNotExist) {
+			return t, nil
+		}
+		// Permission trouble? Retry read-only: loading a committed
+		// history from a read-only checkout must work, it just cannot
+		// repair (and appends would fail there anyway).
+		if f, err = os.Open(path); err != nil {
+			return nil, err
+		}
+		readOnly = true
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("perfdb: %s: %w", path, err)
+	}
+	start, lineno := 0, 0
+	for {
+		end := bytes.IndexByte(data[start:], '\n')
+		if end < 0 {
+			break
+		}
+		lineno++
+		line := bytes.TrimSpace(data[start : start+end])
+		start += end + 1
+		if len(line) == 0 {
 			continue
 		}
 		var r Record
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			return nil, fmt.Errorf("perfdb: %s:%d: %w", path, line, err)
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("perfdb: %s:%d: %w", path, lineno, err)
 		}
 		if err := r.Validate(); err != nil {
-			return nil, fmt.Errorf("perfdb: %s:%d: %w", path, line, err)
+			return nil, fmt.Errorf("perfdb: %s:%d: %w", path, lineno, err)
 		}
 		t.Records = append(t.Records, r)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("perfdb: %s: %w", path, err)
+	if tail := bytes.TrimSpace(data[start:]); len(tail) > 0 {
+		var r Record
+		if json.Unmarshal(tail, &r) == nil && r.Validate() == nil {
+			// The record made it to disk whole; only its newline was
+			// lost. Keep it and terminate the line.
+			t.Records = append(t.Records, r)
+			if !readOnly {
+				if _, err := f.Write([]byte("\n")); err != nil {
+					return nil, fmt.Errorf("perfdb: %s: healing torn tail: %w", path, err)
+				}
+			}
+		} else if !readOnly {
+			if err := f.Truncate(int64(start)); err != nil {
+				return nil, fmt.Errorf("perfdb: %s: truncating torn tail: %w", path, err)
+			}
+		}
 	}
 	return t, nil
 }
