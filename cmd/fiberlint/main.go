@@ -1,24 +1,33 @@
 // Command fiberlint is fibersim's static-analysis suite. It runs two
 // prongs in one pass:
 //
-//   - five source analyzers (floatcmp, rawkernel, magicconst,
-//     errchecklite, barepanic) over the module's Go packages, built on go/parser
-//     and go/types only — see internal/lint;
+//   - nine source analyzers over the module's Go packages, built on
+//     go/parser and go/types only — see internal/lint. Six are
+//     single-package AST rules (floatcmp, rawkernel, magicconst,
+//     errchecklite, barepanic, nakedretry); three ride the dataflow
+//     engine (nondet, concsafety, unitcheck), which builds a module
+//     call graph and value-origin summaries across packages;
 //   - the kernel-IR verifier (rule kernelir): every registered
 //     miniapp's kernel descriptors, for every data-set size, are
 //     checked for physical plausibility — see loopir.AnalyzeKernels.
 //
 // Usage:
 //
-//	fiberlint [-rules list] [-no-ir] [-v] [packages]
+//	fiberlint [-rules list] [-format text|json|github] [-no-ir] [-v] [packages]
 //
 // where packages defaults to ./... resolved against the enclosing
 // module. Exit status is 1 when any diagnostic is reported, 2 on
 // driver errors. Suppress a finding with a trailing or preceding
 // comment: //fiberlint:ignore <rule> reason
+//
+// -format selects the output encoding: "text" (default) prints one
+// compiler-style line per finding; "json" emits one document with
+// schema fibersim/lint-findings/v1 for tooling; "github" emits GitHub
+// Actions workflow commands so findings surface as PR annotations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +42,10 @@ import (
 	_ "fibersim/internal/miniapps/all"
 )
 
+// FindingsSchema identifies the -format=json document layout; bump on
+// any incompatible change.
+const FindingsSchema = "fibersim/lint-findings/v1"
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -41,10 +54,16 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fiberlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	rules := fs.String("rules", "", "comma-separated rule subset (floatcmp,rawkernel,magicconst,errchecklite,barepanic,kernelir); empty = all")
+	rules := fs.String("rules", "", "comma-separated rule subset; empty = all (see -help for names)")
+	format := fs.String("format", "text", "output format: text, json (schema "+FindingsSchema+"), or github (workflow-command annotations)")
 	noIR := fs.Bool("no-ir", false, "skip the kernel-IR verifier over the registered miniapps")
 	verbose := fs.Bool("v", false, "report packages analyzed and soft type errors")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	emit, ok := emitters[*format]
+	if !ok {
+		fmt.Fprintf(stderr, "fiberlint: unknown format %q (known: text, json, github)\n", *format)
 		return 2
 	}
 	patterns := fs.Args()
@@ -53,8 +72,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	known := map[string]bool{loopir.RuleIR: true}
+	names := []string{loopir.RuleIR}
 	for _, a := range lint.DefaultAnalyzers() {
 		known[a.Name] = true
+		names = append(names, a.Name)
 	}
 	enabled := map[string]bool{}
 	for _, r := range strings.Split(*rules, ",") {
@@ -63,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		// A typo'd rule name must not silently disable the whole gate.
 		if !known[r] {
-			fmt.Fprintf(stderr, "fiberlint: unknown rule %q (known: floatcmp, rawkernel, magicconst, errchecklite, barepanic, kernelir)\n", r)
+			fmt.Fprintf(stderr, "fiberlint: unknown rule %q (known: %s)\n", r, strings.Join(names, ", "))
 			return 2
 		}
 		enabled[r] = true
@@ -117,14 +138,87 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diags = append(diags, irDiags...)
 	}
 
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if err := emit(stdout, diags); err != nil {
+		fmt.Fprintln(stderr, "fiberlint:", err)
+		return 2
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "fiberlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// emitters maps -format values to output encoders.
+var emitters = map[string]func(io.Writer, []lint.Diagnostic) error{
+	"text":   emitText,
+	"json":   emitJSON,
+	"github": emitGitHub,
+}
+
+// emitText prints one compiler-style line per finding.
+func emitText(w io.Writer, diags []lint.Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finding is one diagnostic in the JSON document.
+type finding struct {
+	File string `json:"file"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// emitJSON writes the whole run as one fibersim/lint-findings/v1
+// document; a clean run emits the document too (count zero), so
+// consumers need no exit-status special case.
+func emitJSON(w io.Writer, diags []lint.Diagnostic) error {
+	doc := struct {
+		Schema   string    `json:"schema"`
+		Findings []finding `json:"findings"`
+		Count    int       `json:"count"`
+	}{Schema: FindingsSchema, Findings: []finding{}, Count: len(diags)}
+	for _, d := range diags {
+		doc.Findings = append(doc.Findings, finding{
+			File: d.File, Line: d.Line, Col: d.Col, Rule: d.Rule, Msg: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// emitGitHub writes GitHub Actions workflow commands, one error
+// annotation per finding. Kernel-IR findings have no source position
+// (their File is an ir: locus), so they annotate without file/line and
+// carry the locus in the message.
+func emitGitHub(w io.Writer, diags []lint.Diagnostic) error {
+	for _, d := range diags {
+		var err error
+		if d.Line > 0 {
+			_, err = fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=fiberlint %s::%s\n",
+				d.File, d.Line, d.Col, d.Rule, escapeGitHub(d.Msg))
+		} else {
+			_, err = fmt.Fprintf(w, "::error title=fiberlint %s::%s: %s\n",
+				d.Rule, d.File, escapeGitHub(d.Msg))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeGitHub encodes the characters the workflow-command grammar
+// reserves in message data.
+func escapeGitHub(s string) string {
+	return strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(s)
 }
 
 // verifyKernelIR runs the semantic pass over every registered

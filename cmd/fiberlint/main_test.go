@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"regexp"
 	"strings"
 	"testing"
@@ -25,6 +26,9 @@ func TestBadFixturesFail(t *testing.T) {
 		{"rawkernel", "./internal/lint/testdata/src/rawkernel_bad"},
 		{"magicconst", "./internal/lint/testdata/src/internal/harness/magicconst_bad"},
 		{"errchecklite", "./internal/lint/testdata/src/errcheck_bad"},
+		{"nondet", "./internal/lint/testdata/src/internal/model/nondet_bad"},
+		{"concsafety", "./internal/lint/testdata/src/concsafety_bad"},
+		{"unitcheck", "./internal/lint/testdata/src/unitcheck_bad"},
 	}
 	loc := regexp.MustCompile(`bad\.go:\d+:\d+: `)
 	for _, tc := range cases {
@@ -74,5 +78,84 @@ func TestUnknownRuleExitsTwo(t *testing.T) {
 	}
 	if !strings.Contains(stderr, `unknown rule "floatcomp"`) {
 		t.Errorf("stderr lacks unknown-rule message:\n%s", stderr)
+	}
+	// The message must name every current rule, or the hint rots.
+	for _, rule := range []string{"nondet", "concsafety", "unitcheck", "kernelir"} {
+		if !strings.Contains(stderr, rule) {
+			t.Errorf("unknown-rule message does not list %q:\n%s", rule, stderr)
+		}
+	}
+}
+
+func TestUnknownFormatExitsTwo(t *testing.T) {
+	code, _, stderr := runLint(t, "-format", "xml")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown format "xml"`) {
+		t.Errorf("stderr lacks unknown-format message:\n%s", stderr)
+	}
+}
+
+// TestJSONFormat pins the fibersim/lint-findings/v1 document shape on
+// both a failing and a clean run: consumers get one well-formed
+// document either way.
+func TestJSONFormat(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-no-ir", "-format", "json",
+		"-rules", "floatcmp", "./internal/lint/testdata/src/floatcmp_bad")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	var doc struct {
+		Schema   string `json:"schema"`
+		Findings []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+			Rule string `json:"rule"`
+			Msg  string `json:"msg"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not one JSON document: %v\n%s", err, stdout)
+	}
+	if doc.Schema != FindingsSchema {
+		t.Errorf("schema %q, want %q", doc.Schema, FindingsSchema)
+	}
+	if doc.Count == 0 || doc.Count != len(doc.Findings) {
+		t.Errorf("count %d inconsistent with %d findings", doc.Count, len(doc.Findings))
+	}
+	for _, f := range doc.Findings {
+		if f.Rule != "floatcmp" || f.Line == 0 || !strings.HasSuffix(f.File, "bad.go") {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+
+	code, stdout, stderr = runLint(t, "-no-ir", "-format", "json",
+		"./internal/lint/testdata/src/rawkernel_good")
+	if code != 0 {
+		t.Fatalf("clean run exit %d, want 0; stderr: %s", code, stderr)
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("clean run stdout is not one JSON document: %v\n%s", err, stdout)
+	}
+	if doc.Count != 0 || doc.Findings == nil || len(doc.Findings) != 0 {
+		t.Errorf("clean run document should carry an empty findings array: %s", stdout)
+	}
+}
+
+// TestGitHubFormat pins the workflow-command annotation shape.
+func TestGitHubFormat(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-no-ir", "-format", "github",
+		"-rules", "floatcmp", "./internal/lint/testdata/src/floatcmp_bad")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	ann := regexp.MustCompile(`^::error file=.*bad\.go,line=\d+,col=\d+,title=fiberlint floatcmp::.+$`)
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if !ann.MatchString(line) {
+			t.Errorf("line is not a well-formed annotation: %q", line)
+		}
 	}
 }

@@ -42,7 +42,15 @@ func TableKernelProfile(o Options) (*Table, error) {
 			rows = append(rows, row{kn, s})
 			total += s.Seconds
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].s.Seconds > rows[j].s.Seconds })
+		// Name tie-break: rows come out of a map, so equal-time kernels
+		// would otherwise print in a different order on every run.
+		sort.Slice(rows, func(i, j int) bool {
+			//fiberlint:ignore floatcmp exact tie-break keeps the ordering deterministic
+			if rows[i].s.Seconds != rows[j].s.Seconds {
+				return rows[i].s.Seconds > rows[j].s.Seconds
+			}
+			return rows[i].name < rows[j].name
+		})
 		for i, r := range rows {
 			label := ""
 			if i == 0 {

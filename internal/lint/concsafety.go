@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ConcSafety returns the concsafety analyzer, hardening the packages
+// the sharded discrete-event scheduler refactor will lean on
+// (internal/mpi, internal/jobs, internal/obs) before that refactor
+// lands. Five sub-checks share the rule name:
+//
+//   - lock-by-value: a parameter or method receiver whose type
+//     contains a sync.Mutex, RWMutex, WaitGroup, Cond or Once by
+//     value — the copy has its own lock state, so the original's
+//     guarantees silently stop applying. Pass a pointer.
+//   - WaitGroup.Add inside the goroutine it guards: the spawner can
+//     reach Wait before the goroutine runs Add, so Wait returns while
+//     work is still in flight. Add before the go statement.
+//   - Cond.Wait outside a loop: a condition-variable wakeup does not
+//     imply the predicate holds (spurious and stolen wakeups); Wait
+//     must re-check in a for loop.
+//   - unbounded goroutine spawn: a go statement inside a loop with no
+//     visible collection or cancellation discipline — no
+//     sync.WaitGroup call in the loop, no context.Context referenced,
+//     no semaphore channel — accumulates goroutines with nothing to
+//     bound or drain them.
+//   - context-blind send: a bare channel send inside a loop, outside
+//     any select, in a function that has a context.Context to honour —
+//     the send blocks forever if the consumer is gone, pinning the
+//     goroutine past cancellation. Wrap in select with ctx.Done().
+func ConcSafety() *Analyzer {
+	return &Analyzer{
+		Name: "concsafety",
+		Doc:  "flags lock-containing values passed by copy, WaitGroup.Add inside the spawned goroutine, Cond.Wait outside a loop, unbounded goroutine spawns in loops, and context-blind channel sends in loops",
+		Run:  runConcSafety,
+	}
+}
+
+func runConcSafety(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		out = append(out, lockByValue(p, f)...)
+		out = append(out, addInsideGoroutine(p, f)...)
+		out = append(out, condWaitOutsideLoop(p, f)...)
+		out = append(out, unboundedSpawn(p, f)...)
+		out = append(out, contextBlindSend(p, f)...)
+	}
+	return out
+}
+
+// lockByValue flags function parameters and receivers whose type
+// carries lock state by value.
+func lockByValue(p *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	check := func(field *ast.Field, what string) {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		if name := containsLock(t, 0); name != "" {
+			out = append(out, p.diag(field.Pos(), "concsafety",
+				"%s copies a value containing sync.%s; the copy has independent lock state — pass a pointer", what, name))
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		if fd.Recv != nil {
+			for _, field := range fd.Recv.List {
+				check(field, "method receiver")
+			}
+		}
+		if fd.Type.Params != nil {
+			for _, field := range fd.Type.Params.List {
+				check(field, "parameter")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// containsLock returns the name of the sync type t carries by value
+// ("" when none): the sync types themselves, or structs/arrays holding
+// one. Pointers stop the search — a *T parameter shares, not copies.
+func containsLock(t types.Type, depth int) string {
+	if depth > 4 { // deep nesting: stop rather than recurse forever
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		if name := namedSyncType(named); name != "" {
+			return name
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := containsLock(u.Field(i).Type(), depth+1); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), depth+1)
+	}
+	return ""
+}
+
+// namedSyncType returns the name when named is one of the sync types
+// whose value semantics are copy-hostile.
+func namedSyncType(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once":
+		return obj.Name()
+	}
+	return ""
+}
+
+// addInsideGoroutine flags wg.Add calls lexically inside a go-func
+// body (nested literals are their own spawns and are visited on their
+// own go statements).
+func addInsideGoroutine(p *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		gostmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gostmt.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if inner, ok := m.(*ast.FuncLit); ok && inner != lit {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isSyncMethod(p.Info, call, "WaitGroup", "Add") {
+				out = append(out, p.diag(call.Pos(), "concsafety",
+					"WaitGroup.Add inside the goroutine it guards: Wait can return before this Add runs; call Add before the go statement"))
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// condWaitOutsideLoop flags sync.Cond Wait calls whose nearest
+// enclosing loop-or-function boundary is a function.
+func condWaitOutsideLoop(p *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isSyncMethod(p.Info, call, "Cond", "Wait") && !enclosedByLoop(stack) {
+			out = append(out, p.diag(call.Pos(), "concsafety",
+				"Cond.Wait outside a loop: wakeups do not imply the predicate holds; wrap in `for !predicate { c.Wait() }`"))
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return out
+}
+
+// isSyncMethod reports whether call invokes sync.<typ>.<method>.
+func isSyncMethod(info *types.Info, call *ast.CallExpr, typ, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typ && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// unboundedSpawn flags go statements inside loops that show no
+// collection or cancellation discipline anywhere in the enclosing
+// loop body.
+func unboundedSpawn(p *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	var loops []*ast.BlockStmt
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			switch top.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = loops[:len(loops)-1]
+			}
+			return true
+		}
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, l.Body)
+		case *ast.RangeStmt:
+			loops = append(loops, l.Body)
+		case *ast.GoStmt:
+			// enclosedByLoop keeps the check within one function: a go
+			// inside a func literal relates to the literal's own loops.
+			if len(loops) > 0 && enclosedByLoop(stack) && !disciplinedSpawn(p, loops[len(loops)-1]) {
+				out = append(out, p.diag(l.Pos(), "concsafety",
+					"goroutine spawned in a loop with no WaitGroup, context, or semaphore channel in sight: nothing bounds or drains these goroutines"))
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return out
+}
+
+// disciplinedSpawn reports whether the loop body shows any accepted
+// spawn discipline: a WaitGroup method call, a context.Context-typed
+// value, or a channel send/receive (semaphore or result handoff).
+func disciplinedSpawn(p *Package, loopBody *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(loopBody, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, m := range []string{"Add", "Done", "Wait"} {
+				if isSyncMethod(p.Info, n, "WaitGroup", m) {
+					ok = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			ok = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = true
+				return false
+			}
+		case *ast.Ident:
+			if t := p.Info.TypeOf(n); t != nil && isContext(t) {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// contextBlindSend flags bare channel sends inside loops, outside any
+// select, in functions that have a context.Context to honour. The
+// hot paths this protects (worker result fan-in, progress streaming)
+// must not block forever on a consumer that was cancelled away.
+func contextBlindSend(p *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !hasContextParam(p, fd) {
+			return true
+		}
+		var stack []ast.Node
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			if m == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if send, ok := m.(*ast.SendStmt); ok && sendInLoopNoSelect(stack) {
+				out = append(out, p.diag(send.Pos(), "concsafety",
+					"channel send in a loop ignores the function's context: if the consumer is cancelled away this blocks forever; use select with ctx.Done()"))
+			}
+			stack = append(stack, m)
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// hasContextParam reports whether fd takes a context.Context.
+func hasContextParam(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := p.Info.TypeOf(field.Type); t != nil && isContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// sendInLoopNoSelect reports whether the innermost enclosing
+// loop/select/function construct chain puts the send in a loop with no
+// intervening select.
+func sendInLoopNoSelect(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.SelectStmt:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,502 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the dataflow layer under the v2 rule families: a
+// package-level call-graph approximation plus value-origin (taint)
+// tracking across function boundaries. It is deliberately modest — no
+// SSA, no pointer analysis — because the properties the rules enforce
+// (wall-clock reachability, global-RNG reachability, value origins
+// through conversions and module-local calls) survive a conservative
+// lexical approximation, and a stdlib-only engine keeps fiberlint
+// dependency-free.
+
+// Taint is a bitmask of value origins the engine tracks.
+type Taint uint8
+
+const (
+	// TaintWallClock marks values derived from the wall clock
+	// (time.Now, time.Since, time.Until).
+	TaintWallClock Taint = 1 << iota
+	// TaintGlobalRand marks values drawn from math/rand's shared,
+	// implicitly seeded global source.
+	TaintGlobalRand
+)
+
+// String renders the taint set for diagnostics.
+func (t Taint) String() string {
+	var parts []string
+	if t&TaintWallClock != 0 {
+		parts = append(parts, "wall-clock")
+	}
+	if t&TaintGlobalRand != 0 {
+		parts = append(parts, "global-rand")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Engine is the shared dataflow state built once per lint run over
+// every loaded package: the call graph, per-function intrinsic and
+// transitive taints, and per-function return-value taints. Analyzers
+// that set RunAll receive it.
+type Engine struct {
+	pkgs []*Package
+
+	// decls maps every module function with a body to its declaration
+	// site (FuncLits are attributed to their enclosing declaration).
+	decls map[*types.Func]*funcDecl
+
+	// callees holds the call-graph edges out of each module function.
+	callees map[*types.Func][]*types.Func
+
+	// reach caches the transitive taint closure per function: the
+	// intrinsic taints of everything reachable through calls.
+	reach map[*types.Func]Taint
+
+	// returns holds the taints a function's return values may carry,
+	// computed to a fixpoint across the call graph.
+	returns map[*types.Func]Taint
+}
+
+// funcDecl is one declared function body and the package it lives in.
+type funcDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// NewEngine builds the dataflow state for one load: call graph first,
+// then the reachability closure, then return-taint summaries to a
+// fixpoint.
+func NewEngine(pkgs []*Package) *Engine {
+	e := &Engine{
+		pkgs:    pkgs,
+		decls:   map[*types.Func]*funcDecl{},
+		callees: map[*types.Func][]*types.Func{},
+		reach:   map[*types.Func]Taint{},
+		returns: map[*types.Func]Taint{},
+	}
+	e.buildCallGraph()
+	e.closeReachability()
+	e.solveReturnTaints()
+	return e
+}
+
+// buildCallGraph records one edge per lexical call site, attributing
+// calls inside function literals to the enclosing declared function
+// (the literal runs with the declaration's dynamic extent for every
+// property the rules care about).
+func (e *Engine) buildCallGraph() {
+	for _, p := range e.pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				e.decls[fn] = &funcDecl{pkg: p, decl: fd}
+				seen := map[*types.Func]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := CalleeOf(p.Info, call); callee != nil && !seen[callee] {
+						seen[callee] = true
+						e.callees[fn] = append(e.callees[fn], callee)
+					}
+					return true
+				})
+				// Deterministic edge order regardless of AST walk details.
+				sort.Slice(e.callees[fn], func(i, j int) bool {
+					return e.callees[fn][i].FullName() < e.callees[fn][j].FullName()
+				})
+			}
+		}
+	}
+}
+
+// CalleeOf resolves the static callee of a call expression, or nil for
+// conversions, builtins, and calls through function values.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Callees returns the static callees recorded for fn (module functions
+// only have outgoing edges; stdlib callees appear as leaves).
+func (e *Engine) Callees(fn *types.Func) []*types.Func { return e.callees[fn] }
+
+// DeclaredFuncs returns every module function the engine has a body
+// for, in deterministic order.
+func (e *Engine) DeclaredFuncs() []*types.Func {
+	fns := make([]*types.Func, 0, len(e.decls))
+	for fn := range e.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	return fns
+}
+
+// intrinsicTaint returns the taints a call to fn introduces by itself:
+// the wall clock readers in package time, and every package-level
+// math/rand function that draws from the shared global source
+// (constructors of private sources are exempt).
+func intrinsicTaint(fn *types.Func) Taint {
+	if fn == nil || fn.Pkg() == nil {
+		return 0
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return TaintWallClock
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return 0 // methods on *rand.Rand use an explicit source
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return 0
+		}
+		return TaintGlobalRand
+	}
+	return 0
+}
+
+// closeReachability propagates intrinsic taints backwards over call
+// edges until stable, so Reaches answers "does fn transitively call a
+// taint source" in O(1).
+func (e *Engine) closeReachability() {
+	// Reverse adjacency for worklist propagation.
+	callers := map[*types.Func][]*types.Func{}
+	var work []*types.Func
+	for fn, outs := range e.callees {
+		for _, callee := range outs {
+			callers[callee] = append(callers[callee], fn)
+			if t := intrinsicTaint(callee); t != 0 && e.reach[callee]&t != t {
+				e.reach[callee] |= t
+				work = append(work, callee)
+			}
+		}
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].FullName() < work[j].FullName() })
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		t := e.reach[fn]
+		for _, caller := range callers[fn] {
+			if e.reach[caller]&t != t {
+				e.reach[caller] |= t
+				work = append(work, caller)
+			}
+		}
+	}
+}
+
+// Reaches returns the taint sources fn can reach through any chain of
+// static calls, including fn's own intrinsic taint.
+func (e *Engine) Reaches(fn *types.Func) Taint {
+	if fn == nil {
+		return 0
+	}
+	return e.reach[fn] | intrinsicTaint(fn)
+}
+
+// PathTo returns one shortest call chain from fn to a function whose
+// intrinsic taint includes t, excluding fn itself; nil when no chain
+// exists. The chain is used to explain transitive findings.
+func (e *Engine) PathTo(fn *types.Func, t Taint) []*types.Func {
+	type hop struct {
+		fn   *types.Func
+		prev *hop
+	}
+	seen := map[*types.Func]bool{fn: true}
+	queue := []*hop{{fn: fn}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		for _, callee := range e.callees[h.fn] {
+			if seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			next := &hop{fn: callee, prev: h}
+			if intrinsicTaint(callee)&t != 0 {
+				var path []*types.Func
+				for n := next; n.prev != nil; n = n.prev {
+					path = append([]*types.Func{n.fn}, path...)
+				}
+				return path
+			}
+			if e.reach[callee]&t != 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil
+}
+
+// solveReturnTaints computes, to a fixpoint, the taints each module
+// function's return values can carry: a function returning
+// time.Now().UnixNano() through two helpers still summarizes as
+// wall-clock tainted at every level.
+func (e *Engine) solveReturnTaints() {
+	// len(decls)+1 rounds always suffice (each round can only add bits
+	// along acyclic summary chains; cycles converge because taint only
+	// grows); in practice two or three rounds settle.
+	for round := 0; round <= len(e.decls); round++ {
+		changed := false
+		for _, fn := range e.DeclaredFuncs() {
+			d := e.decls[fn]
+			tr := e.Track(d.pkg, d.decl)
+			var t Taint
+			ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					t |= tr.TaintOf(res)
+				}
+				return true
+			})
+			// Named results assigned then returned bare: union all locals
+			// bound to the result variables.
+			if res := d.decl.Type.Results; res != nil {
+				for _, field := range res.List {
+					for _, name := range field.Names {
+						if obj := d.pkg.Info.Defs[name]; obj != nil {
+							t |= tr.vars[obj]
+						}
+					}
+				}
+			}
+			if e.returns[fn]&t != t {
+				e.returns[fn] |= t
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// ReturnTaint returns the taints fn's results may carry: the solved
+// summary for module functions, the intrinsic taint for stdlib leaves.
+func (e *Engine) ReturnTaint(fn *types.Func) Taint {
+	if fn == nil {
+		return 0
+	}
+	return e.returns[fn] | intrinsicTaint(fn)
+}
+
+// Tracker evaluates value origins inside one function body: local
+// variables pick up the taints of what was assigned to them, and
+// TaintOf folds taints over any expression, following module calls
+// through the engine's return summaries.
+type Tracker struct {
+	pkg  *Package
+	eng  *Engine
+	vars map[types.Object]Taint
+}
+
+// Track builds a tracker for one declared function. Assignments are
+// folded in lexical order, twice, so simple loop-carried flows (x
+// assigned late in the loop, read early in the next iteration) settle
+// without a per-function fixpoint.
+func (e *Engine) Track(p *Package, decl *ast.FuncDecl) *Tracker {
+	tr := &Tracker{pkg: p, eng: e, vars: map[types.Object]Taint{}}
+	if decl.Body == nil {
+		return tr
+	}
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				tr.recordAssign(n)
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					for _, spec := range n.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							tr.recordValueSpec(vs)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// Range vars inherit the ranged value's taints.
+				t := tr.TaintOf(n.X)
+				for _, lhs := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						tr.bump(id, t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tr
+}
+
+// recordAssign folds one assignment into the variable taint map.
+func (tr *Tracker) recordAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				tr.bump(id, tr.TaintOf(as.Rhs[i]))
+			}
+		}
+		return
+	}
+	// Tuple assignment (x, y := f()): every LHS gets the union.
+	var t Taint
+	for _, rhs := range as.Rhs {
+		t |= tr.TaintOf(rhs)
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			tr.bump(id, t)
+		}
+	}
+}
+
+// recordValueSpec folds a var declaration with initializers.
+func (tr *Tracker) recordValueSpec(vs *ast.ValueSpec) {
+	var t Taint
+	for _, v := range vs.Values {
+		t |= tr.TaintOf(v)
+	}
+	if t == 0 {
+		return
+	}
+	for _, name := range vs.Names {
+		tr.bump(name, t)
+	}
+}
+
+// bump unions t into the taint of the object behind id (definition or
+// use, so `x = ...` after `x := ...` resolves to the same object).
+func (tr *Tracker) bump(id *ast.Ident, t Taint) {
+	if t == 0 {
+		return
+	}
+	obj := tr.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = tr.pkg.Info.Uses[id]
+	}
+	if obj != nil {
+		tr.vars[obj] |= t
+	}
+}
+
+// TaintOf folds value origins over an expression: calls contribute
+// their summaries, conversions and arithmetic are transparent, and
+// identifiers carry whatever has been assigned to them.
+func (tr *Tracker) TaintOf(e ast.Expr) Taint {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		if obj := tr.pkg.Info.Uses[e]; obj != nil {
+			return tr.vars[obj]
+		}
+		if obj := tr.pkg.Info.Defs[e]; obj != nil {
+			return tr.vars[obj]
+		}
+		return 0
+	case *ast.ParenExpr:
+		return tr.TaintOf(e.X)
+	case *ast.CallExpr:
+		// A conversion is transparent; a resolvable call contributes its
+		// return summary; a call through a function value falls back to
+		// the union of its arguments (conservative).
+		if tv, ok := tr.pkg.Info.Types[e.Fun]; ok && tv.IsType() {
+			var t Taint
+			for _, arg := range e.Args {
+				t |= tr.TaintOf(arg)
+			}
+			return t
+		}
+		if callee := CalleeOf(tr.pkg.Info, e); callee != nil {
+			if t := tr.eng.ReturnTaint(callee); t != 0 {
+				return t
+			}
+			if _, declared := tr.eng.decls[callee]; declared {
+				return 0 // module function with a solved clean summary
+			}
+			// A leaf whose body the engine has not seen (stdlib method,
+			// vendored helper): conservatively pass operand taints
+			// through, so now.UnixNano() keeps now's wall-clock taint.
+		}
+		var t Taint
+		t = tr.TaintOf(e.Fun)
+		for _, arg := range e.Args {
+			t |= tr.TaintOf(arg)
+		}
+		return t
+	case *ast.BinaryExpr:
+		return tr.TaintOf(e.X) | tr.TaintOf(e.Y)
+	case *ast.UnaryExpr:
+		return tr.TaintOf(e.X)
+	case *ast.StarExpr:
+		return tr.TaintOf(e.X)
+	case *ast.SelectorExpr:
+		// Field read off a tainted value stays tainted; a method value
+		// does not taint by itself.
+		return tr.TaintOf(e.X)
+	case *ast.IndexExpr:
+		return tr.TaintOf(e.X)
+	case *ast.SliceExpr:
+		return tr.TaintOf(e.X)
+	case *ast.TypeAssertExpr:
+		return tr.TaintOf(e.X)
+	case *ast.CompositeLit:
+		var t Taint
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				t |= tr.TaintOf(kv.Value)
+				continue
+			}
+			t |= tr.TaintOf(elt)
+		}
+		return t
+	}
+	return 0
+}
+
+// modelPackage reports whether path is model code: everything under
+// internal/ except the service layer, which legitimately reads the
+// wall clock (job deadlines, circuit breakers, journal timestamps —
+// all behind injected `now` fields for tests).
+func modelPackage(path string) bool {
+	if !strings.Contains(path, "/internal/") && !strings.HasPrefix(path, "internal/") {
+		return false
+	}
+	for _, exempt := range []string{"/internal/jobs"} {
+		if strings.Contains(path, exempt) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fibersim/internal/lint"
+)
+
+// loadDataflowFixture loads the dataflow test bed and builds an engine
+// over just that package.
+func loadDataflowFixture(t *testing.T) (*lint.Package, *lint.Engine) {
+	t.Helper()
+	m := loadModule(t)
+	dir := filepath.Join("testdata", "src", "dataflow")
+	p, err := m.LoadDir(dir, "fibersim/internal/lint/testdata/src/dataflow", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range p.TypeErrors {
+		t.Errorf("fixture does not type-check: %v", terr)
+	}
+	return p, lint.NewEngine([]*lint.Package{p})
+}
+
+// fn resolves a package-level function by name.
+func fn(t *testing.T, p *lint.Package, name string) *types.Func {
+	t.Helper()
+	obj := p.Types.Scope().Lookup(name)
+	f, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("no function %q in fixture (got %v)", name, obj)
+	}
+	return f
+}
+
+// TestCallGraphEdges pins the static call-graph construction: declared
+// callees appear as edges, stdlib callees appear as leaves, and calls
+// inside function literals are attributed to the enclosing declaration.
+func TestCallGraphEdges(t *testing.T) {
+	p, eng := loadDataflowFixture(t)
+	hasEdge := func(from, to *types.Func) bool {
+		for _, c := range eng.Callees(from) {
+			if c == to {
+				return true
+			}
+		}
+		return false
+	}
+	wallDirect := fn(t, p, "wallDirect")
+	if !hasEdge(fn(t, p, "wallIndirect"), wallDirect) {
+		t.Errorf("wallIndirect -> wallDirect edge missing: %v", eng.Callees(fn(t, p, "wallIndirect")))
+	}
+	if !hasEdge(fn(t, p, "cleanCaller"), fn(t, p, "clean")) {
+		t.Error("cleanCaller -> clean edge missing")
+	}
+	if !hasEdge(fn(t, p, "spawnerCalls"), wallDirect) {
+		t.Error("call inside a func literal not attributed to the enclosing declaration")
+	}
+	// A stdlib leaf shows up as an edge target by name.
+	var sawNow bool
+	for _, c := range eng.Callees(wallDirect) {
+		if c.FullName() == "time.Now" {
+			sawNow = true
+		}
+	}
+	if !sawNow {
+		t.Errorf("wallDirect should have a time.Now leaf edge, got %v", eng.Callees(wallDirect))
+	}
+}
+
+// TestReachability pins the transitive taint closure over the call
+// graph.
+func TestReachability(t *testing.T) {
+	p, eng := loadDataflowFixture(t)
+	cases := []struct {
+		fn   string
+		want lint.Taint
+	}{
+		{"wallDirect", lint.TaintWallClock},
+		{"wallIndirect", lint.TaintWallClock},
+		{"wallDeep", lint.TaintWallClock},
+		{"randDirect", lint.TaintGlobalRand},
+		{"mixed", lint.TaintWallClock | lint.TaintGlobalRand},
+		{"clean", 0},
+		{"cleanCaller", 0},
+		{"spawnerCalls", lint.TaintWallClock},
+	}
+	for _, c := range cases {
+		if got := eng.Reaches(fn(t, p, c.fn)); got != c.want {
+			t.Errorf("Reaches(%s) = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}
+
+// TestPathTo pins the diagnostic call chain: shortest path from the
+// caller to the intrinsic source, excluding the caller itself.
+func TestPathTo(t *testing.T) {
+	p, eng := loadDataflowFixture(t)
+	path := eng.PathTo(fn(t, p, "wallDeep"), lint.TaintWallClock)
+	var names []string
+	for _, f := range path {
+		names = append(names, f.Name())
+	}
+	if got, want := strings.Join(names, " -> "), "wallIndirect -> wallDirect -> Now"; got != want {
+		t.Errorf("PathTo(wallDeep) = %q, want %q", got, want)
+	}
+	if path := eng.PathTo(fn(t, p, "clean"), lint.TaintWallClock); path != nil {
+		t.Errorf("PathTo(clean) = %v, want nil", path)
+	}
+}
+
+// TestReturnTaints pins the cross-function value-origin summaries: a
+// taint produced three calls deep and laundered through locals,
+// conversions and arithmetic still marks the return value.
+func TestReturnTaints(t *testing.T) {
+	p, eng := loadDataflowFixture(t)
+	cases := []struct {
+		fn   string
+		want lint.Taint
+	}{
+		{"wallDirect", lint.TaintWallClock},
+		{"wallDeep", lint.TaintWallClock},
+		{"launder", lint.TaintWallClock},
+		{"mixed", lint.TaintWallClock | lint.TaintGlobalRand},
+		{"clean", 0},
+		{"cleanCaller", 0},
+	}
+	for _, c := range cases {
+		if got := eng.ReturnTaint(fn(t, p, c.fn)); got != c.want {
+			t.Errorf("ReturnTaint(%s) = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}
+
+// TestTrackerTaintOf pins the per-function tracker: the expression
+// returned by launder carries wall-clock taint through two local
+// assignments, while a pure parameter stays clean.
+func TestTrackerTaintOf(t *testing.T) {
+	p, eng := loadDataflowFixture(t)
+	decl := func(name string) *ast.FuncDecl {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+					return fd
+				}
+			}
+		}
+		t.Fatalf("no declaration %q", name)
+		return nil
+	}
+	returnExpr := func(fd *ast.FuncDecl) ast.Expr {
+		var expr ast.Expr
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+				expr = ret.Results[0]
+			}
+			return true
+		})
+		return expr
+	}
+	launder := decl("launder")
+	tr := eng.Track(p, launder)
+	if got := tr.TaintOf(returnExpr(launder)); got != lint.TaintWallClock {
+		t.Errorf("TaintOf(launder return) = %v, want %v", got, lint.TaintWallClock)
+	}
+	clean := decl("clean")
+	if got := eng.Track(p, clean).TaintOf(returnExpr(clean)); got != 0 {
+		t.Errorf("TaintOf(clean return) = %v, want 0", got)
+	}
+}

@@ -38,7 +38,12 @@ func runFloatCmp(p *Package) []Diagnostic {
 			if isExactZero(p.Info, be.X) || isExactZero(p.Info, be.Y) {
 				return true
 			}
-			out = append(out, p.diag(be.OpPos, "floatcmp",
+			// Anchor at the expression start, not the operator: a
+			// multi-line comparison would otherwise report on a later
+			// line than the one a line-above ignore directive covers,
+			// which is how floatcmp and nakedretry historically drifted
+			// apart on placement.
+			out = append(out, p.diag(be.Pos(), "floatcmp",
 				"floating-point %s comparison; compare with a tolerance (or against exact zero)", be.Op))
 			return true
 		})

@@ -32,12 +32,32 @@
 //     (jobs.Sleep or a select on ctx.Done()) so Ctrl-C and daemon
 //     drains abort it immediately.
 //
-// A diagnostic is suppressed with a comment on the offending line or
-// the line above:
+// On top of the per-file rules, a dataflow layer (dataflow.go: a
+// package-level call-graph approximation plus value-origin tracking
+// across function boundaries) carries three v2 rule families:
+//
+//   - nondet:     nondeterminism sources reaching output paths —
+//     wall clock or global math/rand reached (transitively) from model
+//     code, map-iteration order escaping into writers or returned
+//     values, goroutine result collection ordered by completion.
+//   - concsafety: lock-containing values passed by copy, WaitGroup
+//     and Cond misuse, unbounded goroutine spawns in loops, and
+//     context-blind channel sends on hot paths.
+//   - unitcheck:  dimensional consistency over internal/units' named
+//     quantity types — cross-unit arithmetic and comparison (seen
+//     even through float64(...) laundering), dimension- or
+//     scale-changing conversions, magic unit-less constants.
+//
+// A diagnostic is suppressed with the directive
 //
 //	//fiberlint:ignore <rule>[,<rule>...] reason
 //
-// where <rule> may be "all".
+// where <rule> may be "all". The one true placement form: the
+// directive covers findings anchored on its own line (trailing
+// comment) and on the line directly below (directive alone on the
+// line above). Every rule anchors its finding at the first line of
+// the offending construct, so both forms work for every rule,
+// multi-line expressions included.
 package lint
 
 import (
@@ -70,7 +90,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.File, d.Rule, d.Msg)
 }
 
-// Analyzer is one named source rule.
+// Analyzer is one named source rule. Exactly one of Run and RunAll is
+// set: Run inspects packages independently, RunAll sees the whole load
+// at once plus the shared dataflow engine (call graph, value origins).
 type Analyzer struct {
 	// Name is the rule key used in diagnostics and suppressions.
 	Name string
@@ -78,25 +100,43 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one type-checked package.
 	Run func(p *Package) []Diagnostic
+	// RunAll inspects the full load with the dataflow engine.
+	RunAll func(pkgs []*Package, eng *Engine) []Diagnostic
 }
 
 // DefaultAnalyzers returns the full rule set in reporting order.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{FloatCmp(), RawKernel(), MagicConst(), ErrCheckLite(), BarePanic(), NakedRetry()}
+	return []*Analyzer{
+		FloatCmp(), RawKernel(), MagicConst(), ErrCheckLite(), BarePanic(), NakedRetry(),
+		NonDet(), ConcSafety(), UnitCheck(),
+	}
 }
 
 // Run applies the analyzers to every package, drops suppressed
-// findings, and returns the remainder sorted by position.
+// findings, and returns the remainder sorted by position. The dataflow
+// engine is built once, lazily, the first time a RunAll analyzer needs
+// it.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	sup := suppressions(pkgs)
+	var eng *Engine
 	var out []Diagnostic
-	for _, p := range pkgs {
-		sup := p.suppressions()
-		for _, a := range analyzers {
-			for _, d := range a.Run(p) {
-				if !sup.covers(d) {
-					out = append(out, d)
-				}
+	keep := func(ds []Diagnostic) {
+		for _, d := range ds {
+			if !sup.covers(d) {
+				out = append(out, d)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunAll != nil {
+			if eng == nil {
+				eng = NewEngine(pkgs)
+			}
+			keep(a.RunAll(pkgs, eng))
+			continue
+		}
+		for _, p := range pkgs {
+			keep(a.Run(p))
 		}
 	}
 	Sort(out)
@@ -126,46 +166,58 @@ func Sort(ds []Diagnostic) {
 // ignorePrefix introduces a suppression comment.
 const ignorePrefix = "//fiberlint:ignore"
 
-// suppression records which rules are ignored on which lines.
-type suppression map[string]map[int]bool // rule -> set of suppressed lines
+// fileLine keys a suppression to one line of one file.
+type fileLine struct {
+	file string
+	line int
+}
+
+// suppression records which rules are ignored on which lines of which
+// files, across the whole load (RunAll analyzers report findings from
+// any package in one batch).
+type suppression map[string]map[fileLine]bool // rule -> suppressed positions
 
 func (s suppression) covers(d Diagnostic) bool {
 	if d.Line == 0 {
 		return false
 	}
+	at := fileLine{file: d.File, line: d.Line}
 	for _, rule := range []string{d.Rule, "all"} {
-		if lines := s[rule]; lines != nil && lines[d.Line] {
+		if lines := s[rule]; lines != nil && lines[at] {
 			return true
 		}
 	}
 	return false
 }
 
-// suppressions scans the package's comments for ignore directives. A
+// suppressions scans every package's comments for ignore directives. A
 // directive suppresses the named rules on its own line and on the line
 // below, so it works both as a trailing comment and on a line of its
-// own above the finding.
-func (p *Package) suppressions() suppression {
+// own above the finding (rules anchor findings at the first line of
+// the offending construct, making the two forms equivalent).
+func suppressions(pkgs []*Package) suppression {
 	s := suppression{}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-				rules, _, _ := strings.Cut(rest, " ")
-				line := p.Fset.Position(c.Pos()).Line
-				for _, rule := range strings.Split(rules, ",") {
-					rule = strings.TrimSpace(rule)
-					if rule == "" {
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
 						continue
 					}
-					if s[rule] == nil {
-						s[rule] = map[int]bool{}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+					rules, _, _ := strings.Cut(rest, " ")
+					pos := p.Fset.Position(c.Pos())
+					for _, rule := range strings.Split(rules, ",") {
+						rule = strings.TrimSpace(rule)
+						if rule == "" {
+							continue
+						}
+						if s[rule] == nil {
+							s[rule] = map[fileLine]bool{}
+						}
+						s[rule][fileLine{pos.Filename, pos.Line}] = true
+						s[rule][fileLine{pos.Filename, pos.Line + 1}] = true
 					}
-					s[rule][line] = true
-					s[rule][line+1] = true
 				}
 			}
 		}

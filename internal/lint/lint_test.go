@@ -90,6 +90,20 @@ func TestAnalyzers(t *testing.T) {
 		{name: "nakedretry_good", dir: "nakedretry_good", analyzer: lint.NakedRetry()},
 		{name: "suppress", dir: "suppress", analyzer: lint.FloatCmp()},
 
+		{name: "nondet_bad", dir: "internal/model/nondet_bad", analyzer: lint.NonDet()},
+		{name: "nondet_good", dir: "internal/model/nondet_good", analyzer: lint.NonDet()},
+		{name: "concsafety_bad", dir: "concsafety_bad", analyzer: lint.ConcSafety()},
+		{name: "concsafety_good", dir: "concsafety_good", analyzer: lint.ConcSafety()},
+		{name: "unitcheck_bad", dir: "unitcheck_bad", analyzer: lint.UnitCheck()},
+		{name: "unitcheck_good", dir: "unitcheck_good", analyzer: lint.UnitCheck()},
+		{name: "suppress_nondet", dir: "internal/model/suppress_nondet", analyzer: lint.NonDet()},
+		{name: "suppress_concsafety", dir: "suppress_concsafety", analyzer: lint.ConcSafety()},
+		{name: "suppress_unitcheck", dir: "suppress_unitcheck", analyzer: lint.UnitCheck()},
+
+		{name: "nondet_exempt_in_jobs", dir: "nondet_service",
+			asPath: "fibersim/internal/jobs/fixture", analyzer: lint.NonDet(), wantNone: true},
+		{name: "nondet_out_of_model", dir: "nondet_service",
+			asPath: "fibersim/cmd/fixture", analyzer: lint.NonDet(), wantNone: true},
 		{name: "rawkernel_exempt_in_loopir", dir: "rawkernel_bad",
 			asPath: "fibersim/test/internal/loopir", analyzer: lint.RawKernel(), wantNone: true},
 		{name: "magicconst_out_of_scope", dir: "internal/harness/magicconst_bad",
@@ -162,7 +176,8 @@ func TestDefaultAnalyzers(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	sort.Strings(names)
-	want := []string{"barepanic", "errchecklite", "floatcmp", "magicconst", "nakedretry", "rawkernel"}
+	want := []string{"barepanic", "concsafety", "errchecklite", "floatcmp", "magicconst",
+		"nakedretry", "nondet", "rawkernel", "unitcheck"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("got %v, want %v", names, want)
 	}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NonDet returns the nondet analyzer, the determinism gate under the
+// ROADMAP's next wave: a content-hash result cache keyed on
+// nondeterministic output is silently wrong, and a sharded
+// discrete-event scheduler replaying a nondeterministic journal is
+// silently broken. Three sub-checks share the rule name:
+//
+//   - wall-clock/global-RNG in model code: a call in a model package
+//     (internal/... minus the service layer) that reaches time.Now,
+//     time.Since, time.Until or a global-source math/rand function —
+//     directly or through any chain of module calls (the call graph
+//     answers the transitive case). Model time comes from vtime
+//     clocks; randomness comes from an explicitly seeded *rand.Rand.
+//   - map-order exposition: ranging over a map while emitting to a
+//     writer, or returning a value built from the range variables
+//     (which error a validator reports first must not depend on map
+//     iteration order). Collect keys, sort, then range the slice.
+//   - goroutine result collection: a goroutine appending to a slice
+//     captured from the enclosing function — completion order decides
+//     element order (and the append races). Collect by index or
+//     through a channel drained by one reader.
+func NonDet() *Analyzer {
+	return &Analyzer{
+		Name:   "nondet",
+		Doc:    "flags nondeterminism sources: wall clock/global RNG reaching model code, map-iteration-ordered output, and order-dependent goroutine result collection",
+		RunAll: runNonDet,
+	}
+}
+
+func runNonDet(pkgs []*Package, eng *Engine) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		model := modelPackage(p.Path)
+		for _, f := range p.Files {
+			if p.IsTestFile(f) {
+				continue
+			}
+			if model {
+				out = append(out, nondetClockCalls(p, eng, f)...)
+			}
+			out = append(out, nondetMapOrder(p, f)...)
+			out = append(out, nondetGoCollect(p, f)...)
+		}
+	}
+	return out
+}
+
+// nondetClockCalls flags calls in model code that reach a wall-clock
+// or global-RNG source, naming the chain for transitive hits.
+func nondetClockCalls(p *Package, eng *Engine, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := CalleeOf(p.Info, call)
+		if callee == nil {
+			return true
+		}
+		if t := intrinsicTaint(callee); t != 0 {
+			out = append(out, p.diag(call.Pos(), "nondet",
+				"%s is a %s source; model code must take time from injected clocks and randomness from a seeded *rand.Rand",
+				callee.FullName(), t))
+			return true
+		}
+		if t := eng.Reaches(callee) & (TaintWallClock | TaintGlobalRand); t != 0 {
+			out = append(out, p.diag(call.Pos(), "nondet",
+				"call to %s reaches a %s source (via %s); model code must not depend on wall clock or global RNG",
+				callee.Name(), t, chainString(callee, eng.PathTo(callee, t))))
+		}
+		return true
+	})
+	return out
+}
+
+// chainString renders a call chain for a transitive diagnostic.
+func chainString(from *types.Func, path []*types.Func) string {
+	names := []string{from.Name()}
+	for _, fn := range path {
+		names = append(names, fn.Name())
+	}
+	return strings.Join(names, " -> ")
+}
+
+// nondetMapOrder flags map-range loops whose iteration order escapes:
+// through an emit call in the body, or through a return statement that
+// uses the range variables.
+func nondetMapOrder(p *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := p.Info.TypeOf(rng.X); t == nil || !isMap(t) {
+			return true
+		}
+		rangeVars := map[types.Object]bool{}
+		for _, v := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+				if obj := p.Info.Defs[id]; obj != nil {
+					rangeVars[obj] = true
+				}
+			}
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // its own execution context
+			case *ast.CallExpr:
+				if isEmitCall(p.Info, m) {
+					out = append(out, p.diag(m.Pos(), "nondet",
+						"emitting inside a map range makes output order follow map iteration order; collect keys, sort, then range the slice"))
+				}
+			case *ast.ReturnStmt:
+				for _, res := range m.Results {
+					if usesAny(p.Info, res, rangeVars) {
+						out = append(out, p.diag(m.Pos(), "nondet",
+							"returning a value built from map-range variables: which element is picked depends on map iteration order; iterate sorted keys"))
+						break
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// usesAny reports whether expr references any of the given objects.
+func usesAny(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isEmitCall reports whether the call writes formatted output: the
+// fmt print family with an output destination, or a Write*/Encode
+// method (io.Writer implementations, JSON/gob encoders, hashes).
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return true
+	}
+	return false
+}
+
+// nondetGoCollect flags goroutines that append to a slice variable
+// captured from the enclosing scope: the slice's element order follows
+// goroutine completion order (and the append itself races).
+func nondetGoCollect(p *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		gostmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gostmt.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		localDefs := map[types.Object]bool{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					localDefs[obj] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || localDefs[obj] {
+				return true // defined inside the goroutine: no capture
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" || p.Info.Uses[fun] != types.Universe.Lookup("append") {
+				return true
+			}
+			out = append(out, p.diag(as.Pos(), "nondet",
+				"append to captured %q inside a goroutine: element order follows completion order (and the append races); assign by index or drain a channel in one reader", id.Name))
+			return true
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,69 @@
+// Package fixture exercises every concsafety sub-check.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// guarded carries a mutex by value in its struct; copying it forks the
+// lock state.
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+// byValueParam copies the caller's lock.
+func byValueParam(g guarded) int { // want concsafety
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}
+
+// byValueReceiver copies the receiver's lock on every call.
+func (g guarded) snapshot() int { // want concsafety
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}
+
+// bareMutexParam passes sync.Mutex itself by value.
+func bareMutexParam(mu sync.Mutex) { // want concsafety
+	mu.Lock()
+	mu.Unlock()
+}
+
+// addInside races Add against Wait: the spawner can reach Wait first.
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want concsafety
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// waitNoLoop treats one wakeup as proof of the predicate.
+func waitNoLoop(c *sync.Cond, ready *bool) {
+	c.L.Lock()
+	if !*ready {
+		c.Wait() // want concsafety
+	}
+	c.L.Unlock()
+}
+
+// spawnAll launches a goroutine per item with nothing to bound or
+// drain them.
+func spawnAll(items []int, f func(int)) {
+	for _, it := range items {
+		it := it
+		go f(it) // want concsafety
+	}
+}
+
+// stream sends on a bare channel in a loop while holding a context it
+// never consults: a cancelled consumer pins this goroutine forever.
+func stream(ctx context.Context, out chan<- int, n int) {
+	for i := 0; i < n; i++ {
+		out <- i // want concsafety
+	}
+}

@@ -1,0 +1,72 @@
+// Package fixture shows the disciplined counterparts concsafety
+// accepts: pointers to lock-bearing types, Add before go, Wait in a
+// loop, bounded spawns, and context-aware sends.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+// byPointer shares the lock instead of copying it.
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}
+
+// pointer receivers share the receiver's lock state.
+func (g *guarded) snapshot() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}
+
+// addBefore establishes the count before the goroutine exists.
+func addBefore(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// waitInLoop re-checks the predicate on every wakeup.
+func waitInLoop(c *sync.Cond, ready *bool) {
+	c.L.Lock()
+	for !*ready {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+// spawnBounded pairs every spawn with WaitGroup accounting in the same
+// loop body.
+func spawnBounded(items []int, f func(int)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		it := it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// stream honours its context on every send.
+func stream(ctx context.Context, out chan<- int, n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case out <- i:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

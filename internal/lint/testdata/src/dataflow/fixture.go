@@ -1,0 +1,38 @@
+// Package fixture is the dataflow-engine test bed: call chains of
+// known shape reaching wall-clock and global-RNG sources, plus clean
+// functions the engine must leave untainted.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallDirect() time.Time { return time.Now() }
+
+func wallIndirect() int64 { return wallDirect().UnixNano() }
+
+func wallDeep() float64 { return float64(wallIndirect()) }
+
+func randDirect() float64 { return rand.Float64() }
+
+func mixed() float64 { return float64(wallIndirect()) * randDirect() }
+
+func clean(x float64) float64 { return x * x }
+
+func cleanCaller(x float64) float64 { return clean(x) + 1 }
+
+// launder moves a tainted return through locals and arithmetic; the
+// tracker must keep the taint attached.
+func launder() float64 {
+	t := wallDeep()
+	u := t + 1
+	return u
+}
+
+// spawnerCalls attributes calls made inside a function literal to the
+// enclosing declaration.
+func spawnerCalls() {
+	f := func() { _ = wallDirect() }
+	f()
+}

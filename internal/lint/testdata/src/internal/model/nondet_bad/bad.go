@@ -1,0 +1,68 @@
+// Package fixture exercises every nondet sub-check; it is loaded under
+// a model import path (internal/... outside the service layer).
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock directly.
+func stamp() int64 {
+	return time.Now().UnixNano() // want nondet
+}
+
+// jitter draws from the global RNG directly.
+func jitter() float64 {
+	return rand.Float64() // want nondet
+}
+
+// perturb reaches the global RNG transitively through jitter; the
+// diagnostic names the chain.
+func perturb(x float64) float64 {
+	return x + jitter() // want nondet
+}
+
+// age reaches the wall clock transitively through stamp.
+func age(born int64) int64 {
+	return stamp() - born // want nondet
+}
+
+// report emits inside a map range: output order follows map iteration
+// order.
+func report(w io.Writer, shares map[string]float64) {
+	for k, v := range shares {
+		fmt.Fprintf(w, "%s %g\n", k, v) // want nondet
+	}
+}
+
+// firstError returns a value built from map-range variables: which
+// error wins depends on iteration order.
+func firstError(checks map[string]error) error {
+	for name, err := range checks {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err) // want nondet
+		}
+	}
+	return nil
+}
+
+// gather appends to a captured slice from goroutines: element order
+// follows completion order, and the append races.
+func gather(parts []string) []string {
+	var out []string
+	done := make(chan struct{})
+	for _, part := range parts {
+		part := part
+		go func() {
+			out = append(out, part) // want nondet
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Package fixture shows the deterministic counterparts the nondet rule
+// accepts: injected clocks, seeded private RNGs, sorted map iteration,
+// and indexed goroutine result collection.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// clock is the injected-time seam: model code asks the simulation for
+// time instead of the host.
+type clock struct {
+	now func() time.Time
+}
+
+// stamp reads the injected clock, not the wall clock (a call through a
+// function value is not a time.Now call site).
+func stamp(c clock) int64 {
+	return c.now().UnixNano()
+}
+
+// jitter draws from an explicitly seeded private source.
+func jitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// report iterates sorted keys, so output order is reproducible.
+func report(w io.Writer, shares map[string]float64) {
+	keys := make([]string, 0, len(shares))
+	for k := range shares {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %g\n", k, shares[k])
+	}
+}
+
+// firstError checks names in sorted order, so the reported error is
+// stable.
+func firstError(checks map[string]error) error {
+	names := make([]string, 0, len(checks))
+	for name := range checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := checks[name]; err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// gather collects results by index: element order is the input order
+// regardless of completion order.
+func gather(parts []string) []string {
+	out := make([]string, len(parts))
+	done := make(chan struct{})
+	for i, part := range parts {
+		i, part := i, part
+		go func() {
+			out[i] = part
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+// Package fixture exercises //fiberlint:ignore for the nondet rule in
+// both documented placements; only the unsuppressed sites may report.
+package fixture
+
+import "time"
+
+func trailing() int64 {
+	return time.Now().UnixNano() //fiberlint:ignore nondet boot stamp, never enters the model
+}
+
+func preceding() int64 {
+	//fiberlint:ignore nondet boot stamp, never enters the model
+	return time.Now().UnixNano()
+}
+
+func unsuppressed() int64 {
+	return time.Now().UnixNano() // want nondet
+}

@@ -1,0 +1,10 @@
+// Package fixture holds a wall-clock read with no want markers: loaded
+// under a service-layer or cmd import path, the nondet clock check must
+// stay silent (those layers legitimately read the host clock).
+package fixture
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

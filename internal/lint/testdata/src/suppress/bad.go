@@ -23,3 +23,17 @@ func wrongRule(a, b float64) bool {
 func unsuppressed(a, b float64) bool {
 	return a == b // want floatcmp
 }
+
+// The anchor for a multi-line comparison is the first line of the
+// expression, so the directive above that line covers it even when the
+// operator sits further down.
+func multiline(sum, b float64) bool {
+	//fiberlint:ignore floatcmp the directive anchors at the expression start
+	return sum+
+		1.0 == b
+}
+
+func multilineUnsuppressed(sum, b float64) bool {
+	return sum+ // want floatcmp
+		1.0 == b
+}

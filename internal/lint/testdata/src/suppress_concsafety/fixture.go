@@ -1,0 +1,25 @@
+// Package fixture exercises //fiberlint:ignore for the concsafety rule
+// in both documented placements; only the unsuppressed site may report.
+package fixture
+
+func trailing(items []int, f func(int)) {
+	for _, it := range items {
+		it := it
+		go f(it) //fiberlint:ignore concsafety fire-and-forget telemetry, loss is fine
+	}
+}
+
+func preceding(items []int, f func(int)) {
+	for _, it := range items {
+		it := it
+		//fiberlint:ignore concsafety fire-and-forget telemetry, loss is fine
+		go f(it)
+	}
+}
+
+func unsuppressed(items []int, f func(int)) {
+	for _, it := range items {
+		it := it
+		go f(it) // want concsafety
+	}
+}

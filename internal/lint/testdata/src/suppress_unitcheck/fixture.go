@@ -1,0 +1,18 @@
+// Package fixture exercises //fiberlint:ignore for the unitcheck rule
+// in both documented placements; only the unsuppressed site may report.
+package fixture
+
+import "fibersim/internal/units"
+
+func trailing(t units.Seconds) units.Seconds {
+	return t + 1.5 //fiberlint:ignore unitcheck calibration fudge pending a named constant
+}
+
+func preceding(t units.Seconds) units.Seconds {
+	//fiberlint:ignore unitcheck calibration fudge pending a named constant
+	return t + 1.5
+}
+
+func unsuppressed(t units.Seconds) units.Seconds {
+	return t + 1.5 // want unitcheck
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises every unitcheck sub-check.
+package fixture
+
+import (
+	"time"
+
+	"fibersim/internal/units"
+)
+
+// mixAdd adds a time to a volume through float64 laundering; the
+// tracker sees through the conversions.
+func mixAdd(t units.Seconds, b units.Bytes) float64 {
+	return float64(t) + float64(b) // want unitcheck
+}
+
+// mixCompare compares across dimensions.
+func mixCompare(t units.Seconds, f units.Flops) bool {
+	return float64(t) < float64(f) // want unitcheck
+}
+
+// pad mixes a magic unit-less constant into dimensioned arithmetic.
+func pad(t units.Seconds) units.Seconds {
+	return t + 1.5 // want unitcheck
+}
+
+// relabel pretends a cast can re-dimension a quantity.
+func relabel(b units.Bytes) units.Seconds {
+	return units.Seconds(b) // want unitcheck
+}
+
+// fromDuration reinterprets a nanosecond count as seconds.
+func fromDuration(d time.Duration) units.Seconds {
+	return units.Seconds(d) // want unitcheck
+}
+
+// launder tracks dimensions through intermediate float64 locals.
+func launder(t units.Seconds, b units.Bytes) float64 {
+	raw := float64(t)
+	vol := float64(b)
+	return raw + vol // want unitcheck
+}
+
+// misderived declares a flop rate where a byte rate was computed.
+func misderived(b units.Bytes, t units.Seconds) units.FlopsPerSec {
+	return units.FlopsPerSec(float64(b) / float64(t)) // want unitcheck
+}

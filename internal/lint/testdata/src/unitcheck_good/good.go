@@ -1,0 +1,44 @@
+// Package fixture shows the unit-consistent forms unitcheck accepts.
+package fixture
+
+import (
+	"fibersim/internal/units"
+)
+
+// sum combines like with like.
+func sum(a, b units.Seconds) units.Seconds {
+	return a + b
+}
+
+// boundary drops the dimension through Raw() on purpose — the
+// sanctioned launder at untyped interfaces.
+func boundary(t units.Seconds, b units.Bytes) float64 {
+	return t.Raw() + b.Raw()
+}
+
+// derived names the quotient's dimension with the constructor methods.
+func derived(b units.Bytes, t units.Seconds) units.BytesPerSec {
+	return b.Over(t)
+}
+
+// scaled multiplies by a dimensionless factor.
+func scaled(t units.Seconds, levels int) units.Seconds {
+	return t.Times(float64(levels))
+}
+
+// guard compares against the zero init/guard sentinel.
+func guard(t units.Seconds) bool {
+	return t > 0
+}
+
+// rederive converts a plain ratio whose derived dimension matches the
+// declared target.
+func rederive(b units.Bytes, r units.BytesPerSec) units.Seconds {
+	return units.Seconds(float64(b) / float64(r))
+}
+
+// entry types an untyped constant: the sanctioned way quantities are
+// born.
+func entry() units.Seconds {
+	return units.Seconds(0.49e-6)
+}

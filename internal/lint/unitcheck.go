@@ -1,0 +1,408 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// unitsPkg is the module package defining the named quantity types the
+// dimensional analysis governs.
+const unitsPkg = "fibersim/internal/units"
+
+// UnitCheck returns the unitcheck analyzer: dimensional-consistency
+// checking over the model's named quantity types (units.Seconds,
+// Bytes, Flops and their rates, plus time.Duration). The ECM-style
+// attribution arithmetic in internal/core, internal/simnet and
+// internal/vtime mixes seconds, bytes and flops in one soup; a single
+// unit mix-up corrupts every downstream estimate while staying valid
+// float64 arithmetic. Three sub-checks share the rule name:
+//
+//   - cross-unit addition/subtraction/comparison: both operands carry
+//     known, different dimensions — including values laundered through
+//     float64(...) conversions, which the value-origin tracker sees
+//     through (the sanctioned launder is the Raw() method, which
+//     deliberately drops the dimension at a documented boundary).
+//   - unit-changing conversion: units.Seconds(x) where x is a
+//     units.Bytes, or any cast whose target dimension disagrees with
+//     the operand's — and any raw cast between time.Duration and a
+//     units type, which silently changes scale (nanosecond count
+//     reinterpreted as seconds).
+//   - magic unit-less arithmetic: a bare non-zero numeric literal
+//     added to or subtracted from a dimensioned value; quantities are
+//     named constants or typed values, not inline magic (zero is the
+//     universal init/guard sentinel and stays legal). Multiplying or
+//     dividing by a dimensionless factor is fine, and derived
+//     dimensions are checked: units.Seconds(b/r) for b units.Bytes and
+//     r units.BytesPerSec passes, units.FlopsPerSec(b/r) does not.
+func UnitCheck() *Analyzer {
+	return &Analyzer{
+		Name: "unitcheck",
+		Doc:  "flags cross-unit arithmetic/comparison, dimension- or scale-changing conversions, and magic unit-less constants mixed into dimensioned expressions",
+		Run:  runUnitCheck,
+	}
+}
+
+// dim is a dimension vector: exponents of time, bytes and flops.
+// Seconds = {1,0,0}; BytesPerSec = {-1,1,0}; a dimensionless ratio =
+// {0,0,0}.
+type dim struct{ t, b, f int8 }
+
+var dimless = dim{}
+
+// String renders the dimension for diagnostics.
+func (d dim) String() string {
+	if d == dimless {
+		return "dimensionless"
+	}
+	out := ""
+	for _, c := range []struct {
+		name string
+		exp  int8
+	}{{"s", d.t}, {"B", d.b}, {"flop", d.f}} {
+		if c.exp == 0 {
+			continue
+		}
+		if out != "" {
+			out += "·"
+		}
+		out += c.name
+		if c.exp != 1 {
+			out += fmt.Sprintf("^%d", c.exp)
+		}
+	}
+	return out
+}
+
+// add and sub combine dimension vectors for * and /.
+func (d dim) add(o dim) dim { return dim{d.t + o.t, d.b + o.b, d.f + o.f} }
+func (d dim) sub(o dim) dim { return dim{d.t - o.t, d.b - o.b, d.f - o.f} }
+
+// dimOfType returns the dimension a named type declares, if any.
+func dimOfType(t types.Type) (dim, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return dim{}, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return dim{}, false
+	}
+	switch obj.Pkg().Path() {
+	case unitsPkg:
+		switch obj.Name() {
+		case "Seconds":
+			return dim{t: 1}, true
+		case "Bytes":
+			return dim{b: 1}, true
+		case "Flops":
+			return dim{f: 1}, true
+		case "BytesPerSec":
+			return dim{t: -1, b: 1}, true
+		case "FlopsPerSec":
+			return dim{t: -1, f: 1}, true
+		}
+	case "time":
+		if obj.Name() == "Duration" {
+			return dim{t: 1}, true
+		}
+	}
+	return dim{}, false
+}
+
+// isUnitsType reports whether t is one of the units package's named
+// types (not time.Duration).
+func isUnitsType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == unitsPkg
+}
+
+// isDuration reports whether t is time.Duration.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func runUnitCheck(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			dt := newDimTracker(p, fd)
+			out = append(out, dt.check(fd.Body)...)
+			return false // check() walked the body; don't revisit nested decls
+		})
+	}
+	return out
+}
+
+// dimTracker resolves expression dimensions inside one function,
+// remembering locals that carry a dimension through plain-float
+// laundering conversions (x := float64(secs) keeps x's dimension; the
+// Raw() method is the sanctioned drop).
+type dimTracker struct {
+	pkg  *Package
+	vars map[types.Object]dim
+	dead map[types.Object]bool // conflicting re-assignments: unknown
+}
+
+// newDimTracker folds the function's assignments twice (settling
+// simple loop-carried flows) before checking.
+func newDimTracker(p *Package, fd *ast.FuncDecl) *dimTracker {
+	dt := &dimTracker{pkg: p, vars: map[types.Object]dim{}, dead: map[types.Object]bool{}}
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil || dt.dead[obj] {
+					continue
+				}
+				// Only track dims for plain-numeric locals; unit-typed
+				// ones answer from their static type.
+				if _, ok := dimOfType(obj.Type()); ok {
+					continue
+				}
+				d, ok := dt.dimOf(as.Rhs[i])
+				if !ok || d == dimless {
+					continue
+				}
+				if prev, seen := dt.vars[obj]; seen && prev != d {
+					dt.dead[obj] = true
+					delete(dt.vars, obj)
+					continue
+				}
+				dt.vars[obj] = d
+			}
+			return true
+		})
+	}
+	return dt
+}
+
+// dimOf resolves the dimension of an expression; ok is false when the
+// dimension is unknown (plain numerics with no tracked origin).
+func (dt *dimTracker) dimOf(e ast.Expr) (dim, bool) {
+	info := dt.pkg.Info
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		// A literal is a dimensionless scalar even when Go's constant
+		// typing gives it a unit type from context: the 2 in d/2 is a
+		// halving factor, not two nanoseconds.
+		return dimless, true
+	case *ast.ParenExpr:
+		return dt.dimOf(e.X)
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj != nil {
+			if c, ok := obj.(*types.Const); ok {
+				// A named constant carries the dimension its declared
+				// type states (time.Second is 1s); untyped named
+				// constants are dimensionless scalars.
+				if d, ok := dimOfType(c.Type()); ok {
+					return d, true
+				}
+				return dimless, true
+			}
+			if dt.dead[obj] {
+				return dim{}, false
+			}
+			if d, ok := dt.vars[obj]; ok {
+				return d, true
+			}
+			if d, ok := dimOfType(obj.Type()); ok {
+				return d, true
+			}
+		}
+		return dim{}, false
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion: the target's declared dimension wins when it
+			// has one; a plain-numeric target keeps the operand's
+			// dimension (tracked laundering).
+			if d, ok := dimOfType(tv.Type); ok {
+				return d, true
+			}
+			if len(e.Args) == 1 {
+				return dt.dimOf(e.Args[0])
+			}
+			return dim{}, false
+		}
+		// The Raw() method deliberately drops the dimension.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Raw" {
+			if t := info.TypeOf(sel.X); t != nil && isUnitsType(t) {
+				return dim{}, false
+			}
+		}
+		// Any other call: dimension of the (single) result type.
+		if t := info.TypeOf(e); t != nil {
+			if d, ok := dimOfType(t); ok {
+				return d, true
+			}
+		}
+		return dim{}, false
+	case *ast.BinaryExpr:
+		dx, okx := dt.dimOf(e.X)
+		dy, oky := dt.dimOf(e.Y)
+		switch e.Op {
+		case token.MUL:
+			if okx && oky {
+				return dx.add(dy), true
+			}
+		case token.QUO:
+			if okx && oky {
+				return dx.sub(dy), true
+			}
+		case token.ADD, token.SUB:
+			if okx && oky && dx == dy {
+				return dx, true
+			}
+		}
+		return dim{}, false
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return dt.dimOf(e.X)
+		}
+		return dim{}, false
+	case *ast.SelectorExpr:
+		if t := info.TypeOf(e); t != nil {
+			if d, ok := dimOfType(t); ok {
+				return d, true
+			}
+		}
+		return dim{}, false
+	case *ast.IndexExpr, *ast.StarExpr:
+		if t := info.TypeOf(e); t != nil {
+			if d, ok := dimOfType(t); ok {
+				return d, true
+			}
+		}
+		return dim{}, false
+	}
+	return dim{}, false
+}
+
+// check walks one function body and reports dimensional violations.
+func (dt *dimTracker) check(body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	info := dt.pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			dx, okx := dt.dimOf(n.X)
+			dy, oky := dt.dimOf(n.Y)
+			if !okx || !oky || dx == dy {
+				return true
+			}
+			// A zero literal is the universal init/guard sentinel.
+			if isZeroConst(info, n.X) || isZeroConst(info, n.Y) {
+				return true
+			}
+			if mag, isMagic := magicSide(info, n.X, n.Y, dx, dy); isMagic {
+				out = append(out, dt.pkg.diag(n.Pos(), "unitcheck",
+					"magic unit-less constant %s mixed into %s arithmetic; name it as a typed quantity", mag, nonDimless(dx, dy)))
+				return true
+			}
+			out = append(out, dt.pkg.diag(n.Pos(), "unitcheck",
+				"%s between %s and %s operands; convert through Raw() at a documented boundary if the mixing is intended", n.Op, dx, dy))
+		case *ast.CallExpr:
+			tv, ok := info.Types[n.Fun]
+			if !ok || !tv.IsType() || len(n.Args) != 1 {
+				return true
+			}
+			target := tv.Type
+			dTarget, okTarget := dimOfType(target)
+			if !okTarget {
+				return true
+			}
+			arg := n.Args[0]
+			// Duration <-> units casts change scale even when the
+			// dimension matches (ns count read as seconds).
+			argT := info.TypeOf(arg)
+			if argT != nil && ((isDuration(argT) && isUnitsType(target)) || (isDuration(target) && isUnitsType(argT))) {
+				out = append(out, dt.pkg.diag(n.Pos(), "unitcheck",
+					"raw cast between time.Duration and %s changes scale (nanosecond count reinterpreted); convert through seconds explicitly", target))
+				return true
+			}
+			if tvArg, ok := info.Types[arg]; ok && tvArg.Value != nil && !isUnitsType(tvArg.Type) {
+				return true // typing an untyped constant is the entry point
+			}
+			dArg, okArg := dt.dimOf(arg)
+			if okArg && dArg != dimless && dArg != dTarget {
+				out = append(out, dt.pkg.diag(n.Pos(), "unitcheck",
+					"conversion to %s changes dimension (%s -> %s); a cast cannot re-dimension a quantity — fix the arithmetic or launder explicitly via Raw()", target, dArg, dTarget))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isZeroConst reports whether e is a compile-time constant zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// magicSide reports whether one side is a bare untyped non-zero
+// numeric literal while the other is dimensioned, returning the
+// literal's text.
+func magicSide(info *types.Info, x, y ast.Expr, dx, dy dim) (string, bool) {
+	if lit, ok := ast.Unparen(x).(*ast.BasicLit); ok && dy != dimless && dx == dimless {
+		return lit.Value, true
+	}
+	if lit, ok := ast.Unparen(y).(*ast.BasicLit); ok && dx != dimless && dy == dimless {
+		return lit.Value, true
+	}
+	return "", false
+}
+
+// nonDimless picks the dimensioned side for the magic-constant
+// message.
+func nonDimless(dx, dy dim) dim {
+	if dx != dimless {
+		return dx
+	}
+	return dy
+}

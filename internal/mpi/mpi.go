@@ -260,7 +260,7 @@ func (w *World) hopExtra(a, b int) float64 {
 	if hops <= 1 {
 		return 0
 	}
-	return float64(hops-1) * w.cfg.Fabric.HopLatency
+	return w.cfg.Fabric.HopLatency.Times(float64(hops - 1)).Raw()
 }
 
 // collectiveFabric returns the transport for a collective over the

@@ -100,10 +100,17 @@ func (m *Manifest) Validate() error {
 		return fmt.Errorf("obs: manifest time %g invalid", m.TimeSeconds)
 	}
 	if f := m.Fault; f != nil {
-		for name, v := range map[string]float64{
-			"straggler_seconds": f.StragglerSeconds,
-			"noise_seconds":     f.NoiseSeconds,
+		// An ordered slice, not a map literal: with several invalid
+		// fields, which one the error names must not depend on map
+		// iteration order (the fiberlint nondet rule enforces this).
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{
+			{"straggler_seconds", f.StragglerSeconds},
+			{"noise_seconds", f.NoiseSeconds},
 		} {
+			name, v := c.name, c.v
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 				return fmt.Errorf("obs: manifest fault %s=%g invalid", name, v)
 			}

@@ -86,18 +86,30 @@ func (r Record) Validate() error {
 	if r.Procs < 1 || r.Threads < 1 {
 		return fmt.Errorf("perfdb: record %q decomposition %dx%d invalid", r.Key(), r.Procs, r.Threads)
 	}
-	for name, v := range map[string]float64{"time_seconds": r.TimeSeconds, "gflops": r.GFlops} {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("perfdb: record %q %s=%g: %w", r.Key(), name, v, ErrNonFinite)
+	// Ordered slices / sorted keys, not bare map ranges: with several
+	// invalid fields, which one the error names must not depend on map
+	// iteration order (the fiberlint nondet rule enforces this).
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"time_seconds", r.TimeSeconds}, {"gflops", r.GFlops}} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("perfdb: record %q %s=%g: %w", r.Key(), c.name, c.v, ErrNonFinite)
 		}
-		if v < 0 {
-			return fmt.Errorf("perfdb: record %q %s=%g negative", r.Key(), name, v)
+		if c.v < 0 {
+			return fmt.Errorf("perfdb: record %q %s=%g negative", r.Key(), c.name, c.v)
 		}
 	}
 	if r.TimeSeconds == 0 {
 		return fmt.Errorf("perfdb: record %q has zero runtime", r.Key())
 	}
-	for res, v := range r.Attribution {
+	resources := make([]string, 0, len(r.Attribution))
+	for res := range r.Attribution {
+		resources = append(resources, res)
+	}
+	sort.Strings(resources)
+	for _, res := range resources {
+		v := r.Attribution[res]
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("perfdb: record %q attribution[%s]=%g: %w", r.Key(), res, v, ErrNonFinite)
 		}

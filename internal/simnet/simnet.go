@@ -13,28 +13,34 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"fibersim/internal/units"
 )
 
-// Fabric is a network cost model.
+// Fabric is a network cost model. The cost parameters carry their
+// dimensions as internal/units types, so the LogP arithmetic below is
+// checked for unit consistency by the fiberlint unitcheck rule; the
+// exported cost methods return raw float64 seconds, the convention
+// the virtual clocks in internal/vtime charge in.
 type Fabric struct {
 	// Name is the registry key.
 	Name string
 	// Label describes the fabric in reports.
 	Label string
-	// Latency is the one-way small-message latency in seconds.
-	Latency float64
-	// Bandwidth is the per-link bandwidth in bytes/s.
-	Bandwidth float64
-	// MsgOverhead is the per-message software overhead (s) charged to
+	// Latency is the one-way small-message latency.
+	Latency units.Seconds
+	// Bandwidth is the per-link bandwidth.
+	Bandwidth units.BytesPerSec
+	// MsgOverhead is the per-message software overhead charged to
 	// both endpoints (the "o" of LogP).
-	MsgOverhead float64
+	MsgOverhead units.Seconds
 	// EagerLimit is the message size (bytes) below which the eager
 	// protocol applies; larger messages pay one extra rendezvous
 	// round-trip of Latency.
 	EagerLimit int64
 	// HopLatency is the added latency per network hop beyond the first
 	// (used with a Topology; zero for flat fabrics).
-	HopLatency float64
+	HopLatency units.Seconds
 }
 
 // Validate reports structural problems with a fabric description.
@@ -49,10 +55,10 @@ func (f *Fabric) Validate() error {
 		v    float64
 		what string
 	}{
-		{f.Latency, "latency"},
-		{f.Bandwidth, "bandwidth"},
-		{f.MsgOverhead, "message overhead"},
-		{f.HopLatency, "hop latency"},
+		{f.Latency.Raw(), "latency"},
+		{f.Bandwidth.Raw(), "bandwidth"},
+		{f.MsgOverhead.Raw(), "message overhead"},
+		{f.HopLatency.Raw(), "hop latency"},
 	} {
 		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
 			return fmt.Errorf("simnet: fabric %q has non-finite %s (%g)", f.Name, c.what, c.v)
@@ -64,14 +70,13 @@ func (f *Fabric) Validate() error {
 	return nil
 }
 
-// PointToPoint returns the time for one message of n bytes to travel
-// from send-post to receive-completion, excluding any waiting for the
-// partner (internal/mpi handles matching).
-func (f *Fabric) PointToPoint(n int64) float64 {
+// pointToPoint is PointToPoint in dimensioned form, for composition
+// inside the package.
+func (f *Fabric) pointToPoint(n int64) units.Seconds {
 	if n < 0 {
 		n = 0
 	}
-	t := f.Latency + float64(n)/f.Bandwidth + 2*f.MsgOverhead
+	t := f.Latency + f.Bandwidth.Time(units.Bytes(n)) + 2*f.MsgOverhead
 	if n > f.EagerLimit {
 		// Rendezvous: request + clear-to-send round trip.
 		t += 2 * f.Latency
@@ -79,9 +84,16 @@ func (f *Fabric) PointToPoint(n int64) float64 {
 	return t
 }
 
-// SendOverhead returns the sender-side software cost charged even when
-// the transfer itself is pipelined.
-func (f *Fabric) SendOverhead() float64 { return f.MsgOverhead }
+// PointToPoint returns the time in seconds for one message of n bytes
+// to travel from send-post to receive-completion, excluding any
+// waiting for the partner (internal/mpi handles matching).
+func (f *Fabric) PointToPoint(n int64) float64 {
+	return f.pointToPoint(n).Raw()
+}
+
+// SendOverhead returns the sender-side software cost in seconds,
+// charged even when the transfer itself is pipelined.
+func (f *Fabric) SendOverhead() float64 { return f.MsgOverhead.Raw() }
 
 // ceilLog2 returns ceil(log2(p)) for p >= 1.
 func ceilLog2(p int) int {
@@ -91,67 +103,74 @@ func ceilLog2(p int) int {
 	return int(math.Ceil(math.Log2(float64(p))))
 }
 
-// Barrier returns the cost of a dissemination barrier over p ranks.
+// Barrier returns the cost in seconds of a dissemination barrier over
+// p ranks.
 func (f *Fabric) Barrier(p int) float64 {
 	if p <= 1 {
 		return 0
 	}
-	return float64(ceilLog2(p)) * (f.Latency + 2*f.MsgOverhead)
+	return (f.Latency + 2*f.MsgOverhead).Times(float64(ceilLog2(p))).Raw()
 }
 
-// Bcast returns the cost of a binomial-tree broadcast of n bytes to p
-// ranks.
+// Bcast returns the cost in seconds of a binomial-tree broadcast of n
+// bytes to p ranks.
 func (f *Fabric) Bcast(p int, n int64) float64 {
 	if p <= 1 {
 		return 0
 	}
-	return float64(ceilLog2(p)) * f.PointToPoint(n)
+	return f.pointToPoint(n).Times(float64(ceilLog2(p))).Raw()
 }
 
-// Reduce returns the cost of a binomial-tree reduction of n bytes over
-// p ranks; gamma is the per-byte local combine cost (charged once per
-// tree level).
+// Reduce returns the cost in seconds of a binomial-tree reduction of n
+// bytes over p ranks; gamma is the per-byte local combine cost in
+// seconds/byte (charged once per tree level).
 func (f *Fabric) Reduce(p int, n int64, gamma float64) float64 {
 	if p <= 1 {
 		return 0
 	}
-	return float64(ceilLog2(p)) * (f.PointToPoint(n) + gamma*float64(n))
+	combine := units.Seconds(gamma * float64(n))
+	return (f.pointToPoint(n) + combine).Times(float64(ceilLog2(p))).Raw()
 }
 
-// Allreduce returns the cost of a recursive-doubling allreduce.
+// Allreduce returns the cost in seconds of a recursive-doubling
+// allreduce; gamma as in Reduce.
 func (f *Fabric) Allreduce(p int, n int64, gamma float64) float64 {
 	if p <= 1 {
 		return 0
 	}
-	return float64(ceilLog2(p)) * (f.PointToPoint(n) + gamma*float64(n))
+	combine := units.Seconds(gamma * float64(n))
+	return (f.pointToPoint(n) + combine).Times(float64(ceilLog2(p))).Raw()
 }
 
-// Gather returns the cost of gathering n bytes from each of p ranks to
-// the root (binomial tree; data volume doubles towards the root, so the
-// bandwidth term covers the full (p-1)n bytes at the root's link).
+// Gather returns the cost in seconds of gathering n bytes from each of
+// p ranks to the root (binomial tree; data volume doubles towards the
+// root, so the bandwidth term covers the full (p-1)n bytes at the
+// root's link).
 func (f *Fabric) Gather(p int, n int64) float64 {
 	if p <= 1 {
 		return 0
 	}
-	levels := float64(ceilLog2(p))
-	return levels*(f.Latency+2*f.MsgOverhead) + float64(p-1)*float64(n)/f.Bandwidth
+	levels := (f.Latency + 2*f.MsgOverhead).Times(float64(ceilLog2(p)))
+	drain := f.Bandwidth.Time(units.Bytes(int64(p-1) * n))
+	return (levels + drain).Raw()
 }
 
-// Allgather returns the cost of a ring allgather of n bytes per rank.
+// Allgather returns the cost in seconds of a ring allgather of n bytes
+// per rank.
 func (f *Fabric) Allgather(p int, n int64) float64 {
 	if p <= 1 {
 		return 0
 	}
-	return float64(p-1) * f.PointToPoint(n)
+	return f.pointToPoint(n).Times(float64(p - 1)).Raw()
 }
 
-// Alltoall returns the cost of a pairwise-exchange alltoall with n
-// bytes per pair.
+// Alltoall returns the cost in seconds of a pairwise-exchange alltoall
+// with n bytes per pair.
 func (f *Fabric) Alltoall(p int, n int64) float64 {
 	if p <= 1 {
 		return 0
 	}
-	return float64(p-1) * f.PointToPoint(n)
+	return f.pointToPoint(n).Times(float64(p - 1)).Raw()
 }
 
 var (

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"fibersim/internal/units"
 )
 
 func TestRegistryPresent(t *testing.T) {
@@ -53,7 +55,7 @@ func TestRendezvousKink(t *testing.T) {
 	f := MustLookup("infiniband")
 	small := f.PointToPoint(f.EagerLimit)
 	large := f.PointToPoint(f.EagerLimit + 1)
-	if large-small < 2*f.Latency {
+	if large-small < 2*f.Latency.Raw() {
 		t.Errorf("rendezvous should add 2 latencies: small=%g large=%g", small, large)
 	}
 }
@@ -121,7 +123,7 @@ func TestTofuDLowerLatencyThanIB(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	nan, inf := math.NaN(), math.Inf(1)
+	nan, inf := units.Seconds(math.NaN()), units.Seconds(math.Inf(1))
 	bad := []*Fabric{
 		{Name: "", Bandwidth: 1},
 		{Name: "x", Bandwidth: 0},
@@ -131,10 +133,10 @@ func TestValidate(t *testing.T) {
 		// NaN fails every </<= comparison, so without the explicit guard
 		// these all slipped through Validate.
 		{Name: "x", Bandwidth: 1, Latency: nan},
-		{Name: "x", Bandwidth: nan},
+		{Name: "x", Bandwidth: units.BytesPerSec(math.NaN())},
 		{Name: "x", Bandwidth: 1, MsgOverhead: nan},
 		{Name: "x", Bandwidth: 1, HopLatency: nan},
-		{Name: "x", Bandwidth: inf},
+		{Name: "x", Bandwidth: units.BytesPerSec(math.Inf(1))},
 		{Name: "x", Bandwidth: 1, Latency: inf},
 	}
 	for i, f := range bad {

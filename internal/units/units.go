@@ -1,0 +1,83 @@
+// Package units names the physical quantities the performance model
+// mixes in one arithmetic soup: seconds, bytes, flops, and their
+// rates. The ECM-style attribution the harness reports (compute time,
+// memory traffic time, achieved GF/s) is only as trustworthy as the
+// dimensional consistency of the expressions that produce it — adding
+// a latency to a byte count, or declaring a bytes/flop balance where a
+// flops/byte one was computed, silently corrupts every downstream
+// estimate while remaining perfectly valid float64 arithmetic.
+//
+// Each quantity is a defined type over float64, so the compiler
+// rejects accidental cross-unit mixing, and the `unitcheck` analyzer
+// in internal/lint rejects the remaining launder routes (conversions
+// between unit types, float64(...) round trips, derived-dimension
+// mismatches in multiplication and division). The sanctioned escape
+// hatch is Raw(): it returns the bare float64 *and* drops the value's
+// tracked dimension, marking the boundary where typed model arithmetic
+// meets untyped interfaces (virtual clocks, JSON, tables) on purpose.
+//
+// Derived quantities are built with methods rather than raw division
+// so the result type states the dimension: b.Over(t) is a BytesPerSec,
+// r.Time(b) is a Seconds. Plain `*` and `/` still work inside a
+// dimension (scaling by a dimensionless factor) and across dimensions
+// when the result is immediately given its correct derived type —
+// unitcheck verifies the declared type matches the derived dimension.
+package units
+
+// Seconds is a span of (virtual or modelled) time.
+type Seconds float64
+
+// Bytes is a volume of data moved or resident.
+type Bytes float64
+
+// Flops is a count of floating-point operations.
+type Flops float64
+
+// BytesPerSec is a data rate (bandwidths, achieved traffic rates).
+type BytesPerSec float64
+
+// FlopsPerSec is an arithmetic rate (peaks, achieved GF/s before
+// scaling to giga).
+type FlopsPerSec float64
+
+// Raw returns the bare float64 and deliberately drops the tracked
+// dimension; use it only at boundaries into untyped interfaces.
+func (s Seconds) Raw() float64 { return float64(s) }
+
+// Raw returns the bare float64, dropping the dimension.
+func (b Bytes) Raw() float64 { return float64(b) }
+
+// Raw returns the bare float64, dropping the dimension.
+func (f Flops) Raw() float64 { return float64(f) }
+
+// Raw returns the bare float64, dropping the dimension.
+func (r BytesPerSec) Raw() float64 { return float64(r) }
+
+// Raw returns the bare float64, dropping the dimension.
+func (r FlopsPerSec) Raw() float64 { return float64(r) }
+
+// Times scales the span by a dimensionless factor (tree levels, hop
+// counts, retry multipliers).
+func (s Seconds) Times(k float64) Seconds { return Seconds(float64(s) * k) }
+
+// Over returns the rate that moves b bytes in t seconds. A zero t
+// yields +Inf (or NaN for 0/0), mirroring float64 division; callers
+// guard zero times the same way they would with raw floats.
+func (b Bytes) Over(t Seconds) BytesPerSec {
+	return BytesPerSec(float64(b) / float64(t))
+}
+
+// Over returns the rate that retires f flops in t seconds.
+func (f Flops) Over(t Seconds) FlopsPerSec {
+	return FlopsPerSec(float64(f) / float64(t))
+}
+
+// Time returns how long moving b bytes takes at rate r.
+func (r BytesPerSec) Time(b Bytes) Seconds {
+	return Seconds(float64(b) / float64(r))
+}
+
+// Time returns how long retiring f flops takes at rate r.
+func (r FlopsPerSec) Time(f Flops) Seconds {
+	return Seconds(float64(f) / float64(r))
+}

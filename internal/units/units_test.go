@@ -1,0 +1,32 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b)) }
+
+func TestDerivedRates(t *testing.T) {
+	if r := Bytes(1e9).Over(Seconds(0.5)); !approx(r.Raw(), 2e9) {
+		t.Errorf("Bytes.Over = %g, want 2e9", r.Raw())
+	}
+	if r := Flops(4e9).Over(Seconds(2)); !approx(r.Raw(), 2e9) {
+		t.Errorf("Flops.Over = %g, want 2e9", r.Raw())
+	}
+	if s := BytesPerSec(2e9).Time(Bytes(1e9)); !approx(s.Raw(), 0.5) {
+		t.Errorf("BytesPerSec.Time = %g, want 0.5", s.Raw())
+	}
+	if s := FlopsPerSec(2e9).Time(Flops(4e9)); !approx(s.Raw(), 2) {
+		t.Errorf("FlopsPerSec.Time = %g, want 2", s.Raw())
+	}
+}
+
+func TestZeroTimeMirrorsFloatDivision(t *testing.T) {
+	if r := Bytes(1).Over(Seconds(0)); !math.IsInf(r.Raw(), 1) {
+		t.Errorf("1B over 0s = %g, want +Inf", r.Raw())
+	}
+	if r := Bytes(0).Over(Seconds(0)); !math.IsNaN(r.Raw()) {
+		t.Errorf("0B over 0s = %g, want NaN", r.Raw())
+	}
+}
