@@ -1,0 +1,98 @@
+package main
+
+// The job event feed: GET /jobs/{id}/events streams one SSE event per
+// state transition ("state") and one per completed trace span ("span")
+// while a job executes. The hub fans events out to per-subscriber
+// buffered channels with drop-on-full semantics — a stalled client
+// loses events (counted) rather than stalling the job engine, whose
+// OnTransition/OnSpanEnd hooks run on the worker path.
+
+import (
+	"sync"
+
+	"fibersim/internal/jobs"
+	"fibersim/internal/obs"
+)
+
+// jobEvent is one SSE payload. Exactly one of Job/Span is set.
+type jobEvent struct {
+	// Type is the SSE event name: "state" or "span".
+	Type string `json:"type"`
+	// Job is the transition snapshot for state events.
+	Job *jobs.Job `json:"job,omitempty"`
+	// Span is the completed span for span events.
+	Span *obs.SpanRecord `json:"span,omitempty"`
+	// TraceID accompanies span events (the record itself carries only
+	// the span's own ids).
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// eventHub routes jobEvents to subscribers by key. State events are
+// published under "job:<id>", span completions under "trace:<id>"; a
+// /jobs/{id}/events handler subscribes to both keys for its job.
+type eventHub struct {
+	mu      sync.Mutex
+	subs    map[string]map[chan jobEvent]struct{}
+	dropped int64
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: map[string]map[chan jobEvent]struct{}{}}
+}
+
+// subBuffer is each subscriber's channel depth. A job's full lifecycle
+// is a few dozen events; the buffer absorbs bursts (retry storms)
+// while the client catches up.
+const subBuffer = 256
+
+// subscribe registers one channel under every key. The returned cancel
+// must be called exactly once; after it returns no further sends reach
+// the channel.
+func (h *eventHub) subscribe(keys ...string) (chan jobEvent, func()) {
+	ch := make(chan jobEvent, subBuffer)
+	h.mu.Lock()
+	for _, k := range keys {
+		set := h.subs[k]
+		if set == nil {
+			set = map[chan jobEvent]struct{}{}
+			h.subs[k] = set
+		}
+		set[ch] = struct{}{}
+	}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		for _, k := range keys {
+			if set := h.subs[k]; set != nil {
+				delete(set, ch)
+				if len(set) == 0 {
+					delete(h.subs, k)
+				}
+			}
+		}
+		h.mu.Unlock()
+	}
+}
+
+// publish delivers ev to every subscriber of key without blocking: a
+// full subscriber buffer drops the event and bumps the counter. The
+// send happens under the hub lock, which is safe precisely because it
+// can never block.
+func (h *eventHub) publish(key string, ev jobEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs[key] {
+		select {
+		case ch <- ev:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// droppedCount reports events lost to slow subscribers.
+func (h *eventHub) droppedCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}

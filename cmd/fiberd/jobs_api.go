@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"fibersim/internal/jobs"
+	"fibersim/internal/obs"
 )
 
 // maxSpecBytes bounds a POST /jobs body; a run spec is a handful of
@@ -28,50 +29,94 @@ const maxSpecBytes = 1 << 20
 //	400 malformed spec
 //	429 queue full          (Retry-After: estimated drain time)
 //	503 breaker open        (Retry-After), draining, or no job engine
+//
+// When tracing is on, admission opens the request's root span (the
+// "admission" phase of the trace). A traceparent request header makes
+// the trace a child of the caller's; the response echoes the job's
+// trace id both in the body (trace_id) and as a traceparent header so
+// clients can fetch GET /traces/{id} later. On a 202 the span's
+// ownership passes to the job manager, which ends it at the terminal
+// journal write; on a shed or error the handler annotates the outcome
+// and ends the span itself.
 func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if s.jobs == nil {
 		http.Error(w, "job execution not configured", http.StatusServiceUnavailable)
 		return
 	}
+	var span *obs.Span
+	if s.tracer != nil {
+		var remote obs.SpanContext
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			// A malformed header is the caller's problem, not a reason
+			// to refuse the job: fall back to a fresh root.
+			remote, _ = obs.ParseTraceparent(tp)
+		}
+		span = s.tracer.StartTrace("job", remote)
+		span.SetAttr("route", "/jobs")
+	}
+	reject := func(outcome, msg string, code int) {
+		span.SetAttr("outcome", outcome)
+		span.SetAttr("error", msg)
+		span.End()
+		s.log.Info("job rejected", "outcome", outcome, "status", code,
+			"error", msg, "trace_id", traceIDOf(span))
+		http.Error(w, msg, code)
+	}
 	var spec jobs.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		http.Error(w, fmt.Sprintf("bad spec: %v", err), http.StatusBadRequest)
+		reject("bad-spec", fmt.Sprintf("bad spec: %v", err), http.StatusBadRequest)
 		return
 	}
 	if err := spec.Validate(); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		reject("bad-spec", err.Error(), http.StatusBadRequest)
 		return
 	}
+	span.SetAttr("app", spec.App)
 	if s.resolve != nil {
 		if err := s.resolve(spec); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			reject("unresolvable", err.Error(), http.StatusBadRequest)
 			return
 		}
 	}
-	job, err := s.jobs.Submit(spec)
+	job, err := s.jobs.SubmitTraced(spec, span)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.jobs))
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		reject("shed-queue-full", err.Error(), http.StatusTooManyRequests)
 		return
 	case errors.Is(err, jobs.ErrBreakerOpen):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.jobs))
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		reject("shed-breaker-open", err.Error(), http.StatusServiceUnavailable)
 		return
 	case errors.Is(err, jobs.ErrDraining):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		reject("shed-draining", err.Error(), http.StatusServiceUnavailable)
 		return
 	case err != nil:
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		reject("rejected", err.Error(), http.StatusBadRequest)
 		return
+	}
+	// Admitted: the manager owns the span from here.
+	s.log.Info("job accepted", "job_id", job.ID, "app", spec.App,
+		"trace_id", job.TraceID)
+	if sc := span.Context(); sc.Valid() {
+		w.Header().Set("traceparent", sc.Traceparent())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	if err := json.NewEncoder(w).Encode(job); err != nil {
 		return
 	}
+}
+
+// traceIDOf renders a possibly-nil span's trace id for log lines.
+func traceIDOf(span *obs.Span) string {
+	sc := span.Context()
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.TraceID.String()
 }
 
 // retryAfterSeconds renders the manager's drain estimate as the

@@ -4,8 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -268,21 +271,32 @@ func TestJobNotFound(t *testing.T) {
 }
 
 // TestRunSpecRunnerExecutes pins the production runner: a resolved
-// spec actually runs a miniapp and reports a plausible result.
+// spec actually runs a miniapp, reports a plausible result, and — with
+// a save directory — leaves a valid manifest behind.
 func TestRunSpecRunnerExecutes(t *testing.T) {
-	res, err := runSpec(context.Background(), jobs.Spec{App: "stream"})
+	dir := t.TempDir()
+	logger := slog.New(slog.NewJSONHandler(io.Discard, nil))
+	run := newRunner(dir, logger)
+	res, err := run(context.Background(), jobs.Spec{App: "stream"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.TimeSeconds <= 0 || !res.Verified {
 		t.Errorf("runner result = %+v", res)
 	}
-	if _, err := runSpec(context.Background(), jobs.Spec{App: "fortnite"}); err == nil {
+	names, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("saved manifests = %v, err %v, want exactly one", names, err)
+	}
+	if m, err := obs.ReadManifestFile(names[0]); err != nil || m.App != "stream" {
+		t.Errorf("saved manifest invalid: %v %+v", err, m)
+	}
+	if _, err := run(context.Background(), jobs.Spec{App: "fortnite"}); err == nil {
 		t.Error("unknown app did not error")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := runSpec(ctx, jobs.Spec{App: "stream"}); !errors.Is(err, context.Canceled) {
+	if _, err := run(ctx, jobs.Spec{App: "stream"}); !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled runner err = %v", err)
 	}
 }

@@ -33,9 +33,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -58,28 +60,50 @@ func main() {
 	jobRetries := flag.Int("job-retries", 2, "default and ceiling for per-job retries")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that trip an (app, machine) circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker refuses work before probing")
+	traceCap := flag.Int("trace-ring", 256, "finished service traces kept in memory for GET /traces; oldest evicted first")
+	saveManifests := flag.Bool("save-manifests", false, "write each completed job's run manifest into the -manifests directory")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	reg := obs.NewRegistry()
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		logger.Warn(fmt.Sprintf(format, args...))
+	}
+	hub := newEventHub()
+	tracer, err := obs.NewTracer(obs.TracerConfig{
+		Now:      time.Now,
+		Seed:     time.Now().UnixNano(),
+		Capacity: *traceCap,
+		OnSpanEnd: func(sc obs.SpanContext, rec obs.SpanRecord) {
+			hub.publish("trace:"+sc.TraceID.String(), jobEvent{
+				Type: "span", Span: &rec, TraceID: sc.TraceID.String(),
+			})
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fiberd:", err)
+		os.Exit(1)
 	}
 
 	var journal *jobs.Journal
 	var recovered []jobs.Record
 	if *journalPath != "" {
-		var err error
 		journal, recovered, err = jobs.OpenJournal(*journalPath, jobs.SyncInterval(time.Millisecond, *journalMTBF))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fiberd:", err)
 			os.Exit(1)
 		}
 	}
+	saveDir := ""
+	if *saveManifests {
+		saveDir = *manifests
+	}
 	manager, err := jobs.NewManager(jobs.Config{
-		Runner:           runSpec,
+		Runner:           newRunner(saveDir, logger),
 		QueueCap:         *queueCap,
 		Workers:          *workers,
 		JobTimeout:       *jobTimeout,
@@ -89,6 +113,11 @@ func main() {
 		Journal:          journal,
 		Registry:         reg,
 		Logf:             logf,
+		OnTransition: func(job jobs.Job) {
+			hub.publish("job:"+job.ID, jobEvent{Type: "state", Job: &job})
+			logger.Info("job transition", "job_id", job.ID, "state", string(job.State),
+				"attempt", job.Attempt, "error", job.Err, "trace_id", job.TraceID)
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fiberd:", err)
@@ -98,6 +127,10 @@ func main() {
 	manager.Start()
 
 	s := newServer(reg, *manifests, *progress, *poll, manager, resolveSpec)
+	s.tracer = tracer
+	s.events = hub
+	s.log = logger
+	s.pprofOn = *pprofOn
 	code := serve(ctx, *addr, s.handler(), *drain, os.Stderr, manager)
 	if journal != nil {
 		if err := journal.Close(); err != nil {
@@ -125,23 +158,41 @@ func resolveSpec(spec jobs.Spec) error {
 	return err
 }
 
-// runSpec executes one attempt through the harness/miniapps path. The
-// simulation itself is not cancellable, so ctx is consulted only at
-// the door — the manager's deadline guard handles runaway attempts by
+// newRunner builds the manager's Runner: each attempt goes through
+// harness.RunSpec.Execute, which hangs a "run" span under the attempt
+// span riding ctx and returns the full run manifest. With saveDir set,
+// the manifest lands there as run-<span id>.json (the run span's id is
+// unique per attempt) so GET /runs serves service-executed runs too,
+// each carrying the trace link back to its request. The simulation
+// itself is not cancellable, so ctx is consulted only at the door —
+// the manager's deadline guard handles runaway attempts by
 // abandonment.
-func runSpec(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
-	if err := ctx.Err(); err != nil {
-		return jobs.Result{}, err
+func newRunner(saveDir string, logger *slog.Logger) jobs.Runner {
+	return func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+		doc, err := toRunSpec(spec).Execute(ctx)
+		if err != nil {
+			return jobs.Result{}, err
+		}
+		if saveDir != "" {
+			name := manifestName(doc)
+			if werr := doc.WriteFile(filepath.Join(saveDir, name)); werr != nil {
+				// A failed manifest write degrades observability, not
+				// the job: the result still flows back to the caller.
+				logger.Warn("manifest write failed", "file", name, "error", werr.Error())
+			}
+		}
+		return jobs.Result{TimeSeconds: doc.TimeSeconds, GFlops: doc.GFlops, Verified: doc.Verified}, nil
 	}
-	app, rc, err := toRunSpec(spec).Resolve()
-	if err != nil {
-		return jobs.Result{}, err
+}
+
+// manifestName picks a collision-free file name for a saved manifest:
+// the run span id is unique per traced attempt; untraced runs fall
+// back to a timestamp.
+func manifestName(doc *obs.Manifest) string {
+	if doc.Trace != nil {
+		return "run-" + doc.Trace.SpanID + ".json"
 	}
-	res, err := app.Run(rc)
-	if err != nil {
-		return jobs.Result{}, err
-	}
-	return jobs.Result{TimeSeconds: res.Time, GFlops: res.GFlops(), Verified: res.Verified}, nil
+	return "run-" + time.Now().UTC().Format("20060102T150405.000000000") + ".json"
 }
 
 // serve runs the HTTP server until the context is cancelled (signal)
@@ -149,8 +200,10 @@ func runSpec(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
 // stops admission and finishes running jobs while the HTTP server
 // completes in-flight requests, both bounded by the drain window. It
 // returns the process exit code rather than calling os.Exit so tests
-// can drive it.
+// can drive it. Operational lines go to stderr as JSON (log/slog),
+// matching the per-request and per-transition logs.
 func serve(ctx context.Context, addr string, h http.Handler, drain time.Duration, stderr io.Writer, manager *jobs.Manager) int {
+	logger := slog.New(slog.NewJSONHandler(stderr, nil))
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           h,
@@ -158,12 +211,12 @@ func serve(ctx context.Context, addr string, h http.Handler, drain time.Duration
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(stderr, "fiberd: listening on %s\n", addr)
+	logger.Info("listening", "addr", addr)
 
 	select {
 	case err := <-errc:
 		// The listener died on its own (bad address, port in use).
-		fmt.Fprintf(stderr, "fiberd: %v\n", err)
+		logger.Error("listener failed", "error", err.Error())
 		return 1
 	case <-ctx.Done():
 	}
@@ -183,19 +236,19 @@ func serve(ctx context.Context, addr string, h http.Handler, drain time.Duration
 	}()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		// Drain window expired with requests still in flight.
-		fmt.Fprintf(stderr, "fiberd: shutdown: %v\n", err)
+		logger.Error("shutdown incomplete", "error", err.Error())
 		code = 1
 	}
 	if err := <-jobsDrained; err != nil {
-		fmt.Fprintf(stderr, "fiberd: job drain: %v\n", err)
+		logger.Error("job drain incomplete", "error", err.Error())
 		code = 1
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(stderr, "fiberd: %v\n", err)
+		logger.Error("listener failed", "error", err.Error())
 		code = 1
 	}
 	if code == 0 {
-		fmt.Fprintln(stderr, "fiberd: clean shutdown")
+		logger.Info("clean shutdown")
 	}
 	return code
 }

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
@@ -35,6 +37,18 @@ type server struct {
 	// compiler/size/fault against the registries); nil skips — bad
 	// specs then fail at execution instead of 400 at the door.
 	resolve func(jobs.Spec) error
+	// tracer owns the service traces behind GET /traces; nil disables
+	// request tracing (jobs still run, untraced).
+	tracer *obs.Tracer
+	// events fans job transitions and span completions out to
+	// /jobs/{id}/events subscribers.
+	events *eventHub
+	// log is the structured operational log; every line about a traced
+	// request carries its trace_id so logs and traces join on it.
+	log *slog.Logger
+	// pprofOn mounts net/http/pprof under /debug/pprof/ (opt-in: the
+	// profiling surface stays off unless -pprof was given).
+	pprofOn bool
 }
 
 func newServer(reg *obs.Registry, manifestDir, progressPath string, pollEvery time.Duration,
@@ -47,6 +61,8 @@ func newServer(reg *obs.Registry, manifestDir, progressPath string, pollEvery ti
 		pollEvery:    pollEvery,
 		jobs:         jm,
 		resolve:      resolve,
+		events:       newEventHub(),
+		log:          slog.New(slog.NewJSONHandler(io.Discard, nil)),
 	}
 }
 
@@ -64,6 +80,18 @@ func (s *server) handler() http.Handler {
 	mux.Handle("POST /jobs", s.instrument("/jobs", s.handleSubmitJob))
 	mux.Handle("GET /jobs", s.instrument("/jobs", s.handleJobs))
 	mux.Handle("GET /jobs/{id}", s.instrument("/jobs/{id}", s.handleJob))
+	mux.Handle("GET /jobs/{id}/events", s.instrument("/jobs/{id}/events", s.handleJobEvents))
+	mux.Handle("GET /traces", s.instrument("/traces", s.handleTraces))
+	mux.Handle("GET /traces/{id}", s.instrument("/traces/{id}", s.handleTrace))
+	if s.pprofOn {
+		// The pprof mux is intentionally unmetered: profiling traffic
+		// would pollute the serving histograms it exists to explain.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -104,9 +132,28 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.Handler {
 		}
 		s.reg.Counter("fiberd_http_requests_total", "HTTP requests served, by route and status code.",
 			obs.Labels{"path": route, "code": strconv.Itoa(sr.code)}).Inc()
+		// The class counter is the alerting-friendly rollup of the
+		// per-code counter above: "5xx rate on /jobs" is one series.
+		s.reg.Counter("fiberd_http_responses_total", "HTTP responses by route and status class (2xx..5xx).",
+			obs.Labels{"path": route, "class": statusClass(sr.code)}).Inc()
 		s.reg.Histogram("fiberd_http_request_seconds", "Wall-clock request latency.",
 			obs.TimeBuckets(), obs.Labels{"path": route}).Observe(s.now().Sub(start).Seconds())
 	})
+}
+
+// statusClass buckets an HTTP status code into its class label.
+func statusClass(code int) string {
+	switch {
+	case code >= 200 && code < 300:
+		return "2xx"
+	case code >= 300 && code < 400:
+		return "3xx"
+	case code >= 400 && code < 500:
+		return "4xx"
+	case code >= 500 && code < 600:
+		return "5xx"
+	}
+	return "other"
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -115,6 +162,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.tracer != nil {
+		// The tracer is registry-agnostic; mirror its counters into
+		// gauges at scrape time so eviction pressure is observable.
+		st := s.tracer.Stats()
+		s.reg.Gauge("fiberd_traces_active", "Traces with an open root span.", nil).Set(float64(st.Active))
+		s.reg.Gauge("fiberd_traces_stored", "Finished traces held in the ring.", nil).Set(float64(st.Stored))
+		s.reg.Gauge("fiberd_traces_evicted", "Finished traces evicted from the ring, cumulative.", nil).Set(float64(st.Evicted))
+		s.reg.Gauge("fiberd_trace_spans_dropped", "Spans dropped at per-trace capacity or after finalization, cumulative.", nil).Set(float64(st.SpansDropped))
+	}
+	if s.events != nil {
+		s.reg.Gauge("fiberd_job_events_dropped", "Job events dropped on slow /jobs/{id}/events subscribers, cumulative.", nil).
+			Set(float64(s.events.droppedCount()))
+	}
 	// Render to a buffer first so a slow client cannot hold the
 	// registry in a half-written state, then send in one go.
 	var buf bytes.Buffer

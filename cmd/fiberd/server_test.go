@@ -41,6 +41,11 @@ func testServer(t *testing.T) (*server, http.Handler) {
 	}
 	s := newServer(reg, t.TempDir(), "", time.Millisecond, jm, nil)
 	s.now = fakeClock()
+	tracer, err := obs.NewTracer(obs.TracerConfig{Now: s.now, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.tracer = tracer
 	return s, s.handler()
 }
 
@@ -69,6 +74,12 @@ fiberd_http_request_seconds_count{path="/healthz"} 1
 # HELP fiberd_http_requests_total HTTP requests served, by route and status code.
 # TYPE fiberd_http_requests_total counter
 fiberd_http_requests_total{code="200",path="/healthz"} 1
+# HELP fiberd_http_responses_total HTTP responses by route and status class (2xx..5xx).
+# TYPE fiberd_http_responses_total counter
+fiberd_http_responses_total{class="2xx",path="/healthz"} 1
+# HELP fiberd_job_events_dropped Job events dropped on slow /jobs/{id}/events subscribers, cumulative.
+# TYPE fiberd_job_events_dropped gauge
+fiberd_job_events_dropped 0
 # HELP fiberd_jobs_queue_capacity Admission queue bound; submissions beyond it are shed with 429.
 # TYPE fiberd_jobs_queue_capacity gauge
 fiberd_jobs_queue_capacity 16
@@ -78,6 +89,18 @@ fiberd_jobs_queue_depth 0
 # HELP fiberd_jobs_running Jobs currently executing an attempt.
 # TYPE fiberd_jobs_running gauge
 fiberd_jobs_running 0
+# HELP fiberd_trace_spans_dropped Spans dropped at per-trace capacity or after finalization, cumulative.
+# TYPE fiberd_trace_spans_dropped gauge
+fiberd_trace_spans_dropped 0
+# HELP fiberd_traces_active Traces with an open root span.
+# TYPE fiberd_traces_active gauge
+fiberd_traces_active 0
+# HELP fiberd_traces_evicted Finished traces evicted from the ring, cumulative.
+# TYPE fiberd_traces_evicted gauge
+fiberd_traces_evicted 0
+# HELP fiberd_traces_stored Finished traces held in the ring.
+# TYPE fiberd_traces_stored gauge
+fiberd_traces_stored 0
 `
 
 func TestMetricsGolden(t *testing.T) {

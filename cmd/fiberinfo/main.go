@@ -6,7 +6,8 @@
 //	fiberinfo -machines                   # Table 1
 //	fiberinfo -apps                       # Table 2 (kernel descriptors)
 //	fiberinfo -experiments                # the table/figure index
-//	fiberinfo -validate-manifest run.json # schema + invariant check
+//	fiberinfo -validate-manifest run.json  # schema + invariant check
+//	fiberinfo -validate-trace trace.json   # service-trace schema check
 package main
 
 import (
@@ -28,10 +29,14 @@ func main() {
 	pw := flag.Bool("power", false, "print the power profiles and A64FX operating modes")
 	size := flag.String("size", "small", "data set for kernel descriptors: test, small, medium")
 	validate := flag.String("validate-manifest", "", "parse and validate a run manifest, exiting non-zero on failure")
+	validateTrace := flag.String("validate-trace", "", "parse and validate a service trace export, exiting non-zero on failure")
 	flag.Parse()
 
 	if *validate != "" {
 		os.Exit(runValidate(*validate, os.Stdout, os.Stderr))
+	}
+	if *validateTrace != "" {
+		os.Exit(runValidateTrace(*validateTrace, os.Stdout, os.Stderr))
 	}
 
 	if !*machines && !*apps && !*exps && !*pw {
@@ -98,6 +103,31 @@ func runValidate(path string, stdout, stderr io.Writer) int {
 	}
 	if !m.Verified {
 		fmt.Fprintf(stderr, "fiberinfo: %s: run did NOT verify (check=%g)\n", path, m.Check)
+		return 1
+	}
+	return 0
+}
+
+// runValidateTrace checks a fibersim/service-trace/v1 document: the
+// schema, the span tree invariants (one root, resolvable parents), and
+// that the trace is actually finished (no open spans — an export with
+// open spans means the producer serialized a live trace).
+func runValidateTrace(path string, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "fiberinfo:", err)
+		return 1
+	}
+	defer f.Close()
+	tr, err := obs.ParseTrace(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "fiberinfo:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: valid trace %s (%q): %d spans, %.6fs\n",
+		path, tr.ID, tr.Name, len(tr.Spans), tr.DurationSeconds)
+	if tr.OpenSpans > 0 {
+		fmt.Fprintf(stderr, "fiberinfo: %s: trace finalized with %d spans still open\n", path, tr.OpenSpans)
 		return 1
 	}
 	return 0

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"fibersim/internal/obs"
 )
@@ -86,6 +88,78 @@ func TestValidateFailsUnverifiedRun(t *testing.T) {
 func TestValidateMissingFile(t *testing.T) {
 	var out, errb strings.Builder
 	if code := runValidate(filepath.Join(t.TempDir(), "none.json"), &out, &errb); code != 1 {
+		t.Fatal("missing file must fail")
+	}
+}
+
+// exportTrace builds one finished trace under an injected clock and
+// writes its fibersim/service-trace/v1 export to a temp file. With
+// leaveOpen the root ends while a child is still running, which a
+// valid export must flag.
+func exportTrace(t *testing.T, leaveOpen bool) string {
+	t.Helper()
+	clock := time.Unix(1700000000, 0)
+	tracer, err := obs.NewTracer(obs.TracerConfig{
+		Now:  func() time.Time { clock = clock.Add(time.Millisecond); return clock },
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tracer.StartTrace("job", obs.SpanContext{})
+	child := root.StartChild("queue-wait")
+	if !leaveOpen {
+		child.End()
+	}
+	root.End()
+	tr, ok := tracer.Trace(root.Context().TraceID.String())
+	if !ok {
+		t.Fatal("trace not stored after root End")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateTraceAcceptsFinishedTrace(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runValidateTrace(exportTrace(t, false), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "valid trace") || !strings.Contains(out.String(), "2 spans") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestValidateTraceFlagsOpenSpans(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runValidateTrace(exportTrace(t, true), &out, &errb); code != 1 {
+		t.Fatalf("open-span export exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "still open") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestValidateTraceRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := runValidateTrace(path, &out, &errb); code != 1 {
+		t.Fatal("bad schema must fail")
+	}
+	if code := runValidateTrace(filepath.Join(t.TempDir(), "none.json"), &out, &errb); code != 1 {
 		t.Fatal("missing file must fail")
 	}
 }

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fibersim/internal/obs"
+)
+
+func TestExecuteUntraced(t *testing.T) {
+	doc, err := RunSpec{App: "stream"}.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if doc.Trace != nil {
+		t.Errorf("untraced run carries a trace link: %+v", doc.Trace)
+	}
+	if len(doc.Profile.Kernels) == 0 {
+		t.Error("manifest has no kernel profile")
+	}
+}
+
+func TestExecuteTracedLinksManifestToSpan(t *testing.T) {
+	tracer, err := obs.NewTracer(obs.TracerConfig{Now: time.Now, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tracer.StartTrace("job", obs.SpanContext{})
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	doc, err := RunSpec{App: "stream"}.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if doc.Trace == nil {
+		t.Fatal("traced run produced no trace link")
+	}
+	if doc.Trace.TraceID != root.Context().TraceID.String() {
+		t.Errorf("link trace id %q != root %q", doc.Trace.TraceID, root.Context().TraceID)
+	}
+
+	// The link is bidirectional: the trace must contain a run span with
+	// the linked id carrying the app/outcome attributes.
+	trace, ok := tracer.Trace(doc.Trace.TraceID)
+	if !ok {
+		t.Fatal("trace not in ring after root End")
+	}
+	var run *obs.SpanRecord
+	for i, sp := range trace.Spans {
+		if sp.ID == doc.Trace.SpanID {
+			run = &trace.Spans[i]
+		}
+	}
+	if run == nil {
+		t.Fatalf("linked span %s not in trace", doc.Trace.SpanID)
+	}
+	if run.Name != "run" {
+		t.Errorf("linked span name = %q, want run", run.Name)
+	}
+	attrs := map[string]string{}
+	for _, a := range run.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["app"] != "stream" || attrs["outcome"] != "ok" {
+		t.Errorf("run span attrs = %v", attrs)
+	}
+	if run.DurationSeconds < 0 {
+		t.Errorf("run span duration = %g", run.DurationSeconds)
+	}
+}
+
+func TestExecuteResolveErrorStillSpans(t *testing.T) {
+	tracer, err := obs.NewTracer(obs.TracerConfig{Now: time.Now, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tracer.StartTrace("job", obs.SpanContext{})
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	if _, err := (RunSpec{App: "fortnite"}).Execute(ctx); err == nil {
+		t.Fatal("unknown app executed")
+	}
+	// Resolve fails before the run span opens; the root must still be
+	// endable with no open children.
+	root.End()
+	doc, ok := tracer.Trace(root.Context().TraceID.String())
+	if !ok {
+		t.Fatal("trace not finalized")
+	}
+	if doc.OpenSpans != 0 {
+		t.Errorf("open spans = %d", doc.OpenSpans)
+	}
+}
+
+func TestExecuteCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (RunSpec{App: "stream"}).Execute(ctx); err == nil {
+		t.Fatal("cancelled context executed")
+	}
+}

@@ -28,6 +28,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
+
+	"fibersim/internal/obs"
 )
 
 // State is one node of the job state machine.
@@ -128,4 +131,14 @@ type Job struct {
 	Result *Result `json:"result,omitempty"`
 	// Recovered marks a job re-queued from the journal after a crash.
 	Recovered bool `json:"recovered,omitempty"`
+	// TraceID names the service trace covering this job's lifecycle
+	// (GET /traces/{id}); empty when the job was submitted untraced or
+	// recovered from a journal written by a dead process.
+	TraceID string `json:"trace_id,omitempty"`
+
+	// Service-trace plumbing, alive only in the submitting process (a
+	// recovered job's trace died with the daemon that opened it).
+	span      *obs.Span // root span; the manager ends it at the terminal transition
+	queueSpan *obs.Span // queue-wait child, open between enqueue and dequeue
+	enqueued  time.Time // wall time of admission, for the queue-wait histogram
 }

@@ -30,6 +30,11 @@ type Record struct {
 	// UnixNanos stamps the transition (informational; replay ignores
 	// it — ordering is the file order).
 	UnixNanos int64 `json:"unix_ns,omitempty"`
+	// TraceID, on the accepted record, links the journal to the
+	// service trace that admitted the job, so post-mortem triage can
+	// pair journal lines with trace exports. Informational: the trace
+	// itself is in-memory and does not survive the daemon.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Validate checks the invariants replay relies on.
@@ -220,7 +225,7 @@ func Replay(recs []Record) []*Job {
 			if r.Spec == nil {
 				continue // spec lost with the torn accepted line
 			}
-			job = &Job{ID: r.ID, Spec: *r.Spec}
+			job = &Job{ID: r.ID, Spec: *r.Spec, TraceID: r.TraceID}
 			byID[r.ID] = job
 			order = append(order, job)
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -63,6 +64,10 @@ type Config struct {
 	// Logf, when non-nil, receives operational log lines (journal
 	// write failures, recovery summary).
 	Logf func(format string, args ...any)
+	// OnTransition, when non-nil, observes every job state change with
+	// a snapshot taken just after the transition (the SSE event feed).
+	// Called without manager locks held; must not block for long.
+	OnTransition func(Job)
 }
 
 // Manager owns the job state machine: admission, execution, retry,
@@ -146,6 +151,9 @@ func (m *Manager) Recover(recs []Record) {
 			m.seq = n
 		}
 		if !job.State.Terminal() {
+			// Queue wait for a recovered job is measured from recovery,
+			// not from its original (dead-process) admission.
+			job.enqueued = m.cfg.Now()
 			m.pending = append(m.pending, job)
 			requeued++
 		}
@@ -169,11 +177,24 @@ func (m *Manager) Start() {
 	}
 }
 
-// Submit admits one job: validate, consult the (app, machine)
-// breaker, enforce the queue bound, journal the accepted record, then
-// enqueue. The accepted record is durable before Submit returns, so
-// an acknowledged job can never be lost to a crash.
+// Submit admits one job untraced; see SubmitTraced.
 func (m *Manager) Submit(spec Spec) (Job, error) {
+	return m.SubmitTraced(spec, nil)
+}
+
+// SubmitTraced admits one job: validate, consult the (app, machine)
+// breaker, enforce the queue bound, journal the accepted record, then
+// enqueue. The accepted record is durable before SubmitTraced
+// returns, so an acknowledged job can never be lost to a crash.
+//
+// span, when non-nil, is the job's root trace span (opened by the
+// transport at the request door). On success the manager takes
+// ownership — it annotates the span across the whole lifecycle
+// (queue wait with depth at enqueue, each attempt, backoff sleeps,
+// journal writes) and ends it at the terminal transition. On error
+// ownership stays with the caller, which should annotate the
+// rejection and end the span itself.
+func (m *Manager) SubmitTraced(spec Spec, span *obs.Span) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		m.countRejected("invalid")
 		return Job{}, err
@@ -194,24 +215,38 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		return Job{}, ErrQueueFull
 	}
 	m.seq++
+	now := m.cfg.Now()
 	job := &Job{
-		ID:    fmt.Sprintf("job-%06d", m.seq),
-		Spec:  spec,
-		State: StateAccepted,
+		ID:       fmt.Sprintf("job-%06d", m.seq),
+		Spec:     spec,
+		State:    StateAccepted,
+		span:     span,
+		enqueued: now,
 	}
+	if ctx := span.Context(); ctx.Valid() {
+		job.TraceID = ctx.TraceID.String()
+	}
+	span.SetAttr("job_id", job.ID)
+	depth := len(m.pending)
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
 	m.pending = append(m.pending, job)
+	// The queue-wait span opens at enqueue and is ended by the worker
+	// that dequeues the job; the depth attribute is the backlog this
+	// job queued behind.
+	job.queueSpan = span.StartChild("queue-wait")
+	job.queueSpan.SetAttr("depth_at_enqueue", strconv.Itoa(depth))
 	m.gaugeQueueLocked()
 	snapshot := *job
 	m.cond.Signal()
 	m.mu.Unlock()
 
-	m.append(Record{
+	m.append(span, Record{
 		Schema: JournalSchema, ID: snapshot.ID, State: StateAccepted,
-		Spec: &snapshot.Spec, UnixNanos: m.cfg.Now().UnixNano(),
+		Spec: &snapshot.Spec, UnixNanos: now.UnixNano(), TraceID: snapshot.TraceID,
 	})
 	m.countState(StateAccepted)
+	m.notify(snapshot)
 	return snapshot, nil
 }
 
@@ -343,7 +378,21 @@ func (m *Manager) workerLoop() {
 		job := m.pending[0]
 		m.pending = m.pending[1:]
 		m.gaugeQueueLocked()
+		queueSpan := job.queueSpan
+		job.queueSpan = nil
+		enqueued := job.enqueued
 		m.mu.Unlock()
+		// Close the queue-wait measurement before the first attempt:
+		// the span for the trace, the histogram for /metrics (so "is
+		// latency queueing or running" is answerable without a trace).
+		wait := m.cfg.Now().Sub(enqueued)
+		queueSpan.SetAttr("wait_seconds", fmt.Sprintf("%.6f", wait.Seconds()))
+		queueSpan.End()
+		if r := m.cfg.Registry; r != nil && !enqueued.IsZero() {
+			r.Histogram("fiberd_jobs_queue_wait_seconds",
+				"Wall-clock time jobs spend between admission and first pickup.",
+				obs.TimeBuckets(), nil).Observe(wait.Seconds())
+		}
 		m.execute(job)
 	}
 }
@@ -355,15 +404,23 @@ func (m *Manager) execute(job *Job) {
 	key := job.Spec.Key()
 	for {
 		attempt := m.transitionRunning(job)
+		attemptSpan := job.span.StartChild("attempt")
+		attemptSpan.SetAttr("attempt", strconv.Itoa(attempt))
+		attemptSpan.SetAttr("key", key)
 		start := m.cfg.Now()
-		res, err := m.runAttempt(job.Spec)
+		res, err := m.runAttempt(job.Spec, attemptSpan)
 		m.observeAttempt(m.cfg.Now().Sub(start))
 		if err == nil {
+			attemptSpan.SetAttr("outcome", "ok")
+			attemptSpan.End()
 			m.breakerFor(key).Record(true)
 			m.setBreakerGauge(key)
 			m.transition(job, StateDone, "", &res)
 			return
 		}
+		attemptSpan.SetAttr("outcome", "error")
+		attemptSpan.SetAttr("error", err.Error())
+		attemptSpan.End()
 		m.breakerFor(key).Record(false)
 		m.setBreakerGauge(key)
 		retries := m.retriesFor(job.Spec)
@@ -373,7 +430,12 @@ func (m *Manager) execute(job *Job) {
 		}
 		m.transition(job, StateRetrying, err.Error(), nil)
 		m.count("fiberd_job_retries_total", "Retry attempts scheduled after retryable failures.", nil)
-		if Sleep(m.drainCtx, m.cfg.Backoff.Delay(attempt-1)) != nil {
+		delay := m.cfg.Backoff.Delay(attempt - 1)
+		backoffSpan := job.span.StartChild("backoff")
+		backoffSpan.SetAttr("delay_seconds", fmt.Sprintf("%.6f", delay.Seconds()))
+		err = Sleep(m.drainCtx, delay)
+		backoffSpan.End()
+		if err != nil {
 			// Draining mid-backoff: the retrying record is already
 			// durable; recovery re-queues the job next start.
 			return
@@ -383,10 +445,13 @@ func (m *Manager) execute(job *Job) {
 
 // runAttempt guards one Runner call with the deadline and panic
 // isolation. On timeout the attempt goroutine is abandoned — it holds
-// only its own stack and exits when the runner returns.
-func (m *Manager) runAttempt(spec Spec) (Result, error) {
+// only its own stack and exits when the runner returns. The attempt
+// span rides the context so the runner can hang child spans (the
+// harness-run span) under it.
+func (m *Manager) runAttempt(spec Spec, span *obs.Span) (Result, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.JobTimeout)
 	defer cancel()
+	ctx = obs.ContextWithSpan(ctx, span)
 	type outcome struct {
 		res Result
 		err error
@@ -424,13 +489,14 @@ func (m *Manager) transitionRunning(job *Job) int {
 	job.Attempt++
 	job.State = StateRunning
 	attempt := job.Attempt
-	id := job.ID
+	snapshot := *job
 	m.mu.Unlock()
-	m.append(Record{
-		Schema: JournalSchema, ID: id, State: StateRunning,
+	m.append(job.span, Record{
+		Schema: JournalSchema, ID: snapshot.ID, State: StateRunning,
 		Attempt: attempt, UnixNanos: m.cfg.Now().UnixNano(),
 	})
 	m.countState(StateRunning)
+	m.notify(snapshot)
 	return attempt
 }
 
@@ -441,26 +507,54 @@ func (m *Manager) transition(job *Job, state State, errText string, res *Result)
 	if res != nil {
 		job.Result = res
 	}
-	attempt := job.Attempt
-	id := job.ID
+	snapshot := *job
 	m.mu.Unlock()
-	m.append(Record{
-		Schema: JournalSchema, ID: id, State: state, Attempt: attempt,
+	m.append(job.span, Record{
+		Schema: JournalSchema, ID: snapshot.ID, State: state, Attempt: snapshot.Attempt,
 		Err: errText, Result: res, UnixNanos: m.cfg.Now().UnixNano(),
 	})
 	m.countState(state)
+	// Notify before closing the root span: subscribers treat the root
+	// span's completion as end-of-stream, so the terminal state event
+	// must already be on the wire when it fires.
+	m.notify(snapshot)
+	if state.Terminal() {
+		// The root span closes only after the terminal journal write:
+		// the trace's claim "this job is done" must not precede the
+		// record that makes it durable.
+		job.span.SetAttr("state", string(state))
+		job.span.SetAttr("attempts", strconv.Itoa(snapshot.Attempt))
+		if errText != "" {
+			job.span.SetAttr("error", errText)
+		}
+		job.span.End()
+	}
 }
 
-// append journals one record; a journal failure is logged and counted
-// but does not stop execution — serving degrades to in-memory state
-// rather than refusing work.
-func (m *Manager) append(r Record) {
+// append journals one record under a "journal-append" child span; a
+// journal failure is logged and counted but does not stop execution —
+// serving degrades to in-memory state rather than refusing work.
+func (m *Manager) append(parent *obs.Span, r Record) {
 	if m.cfg.Journal == nil {
 		return
 	}
-	if err := m.cfg.Journal.Append(r); err != nil {
+	span := parent.StartChild("journal-append")
+	span.SetAttr("state", string(r.State))
+	err := m.cfg.Journal.Append(r)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	if err != nil {
 		m.logf("jobs: journal append %s/%s: %v", r.ID, r.State, err)
 		m.count("fiberd_journal_errors_total", "Journal appends that failed; durability is degraded.", nil)
+	}
+}
+
+// notify delivers one transition snapshot to the OnTransition hook.
+func (m *Manager) notify(job Job) {
+	if m.cfg.OnTransition != nil {
+		m.cfg.OnTransition(job)
 	}
 }
 

@@ -3,7 +3,10 @@
 // forbidden.
 package fixture
 
-import "errors"
+import (
+	"errors"
+	"io"
+)
 
 func mayFail() error { return errors.New("boom") }
 
@@ -12,4 +15,15 @@ func pair() (int, error) { return 0, errors.New("boom") }
 func bad() {
 	mayFail() // want errchecklite
 	pair()    // want errchecklite
+}
+
+type export struct{}
+
+func (export) Encode(w io.Writer) error { _, err := w.Write(nil); return err }
+
+// exportTrace drops the encoder error: a trace export that silently
+// truncates is worse than none.
+func exportTrace(w io.Writer) {
+	var e export
+	e.Encode(w) // want errchecklite
 }

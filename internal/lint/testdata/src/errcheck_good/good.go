@@ -2,7 +2,10 @@
 // errors, explicit discards and error-free calls.
 package fixture
 
-import "errors"
+import (
+	"errors"
+	"io"
+)
 
 func mayFail() error { return errors.New("boom") }
 
@@ -18,4 +21,18 @@ func good() error {
 		return err
 	}
 	return mayFail()
+}
+
+type export struct{}
+
+func (export) Encode(w io.Writer) error { _, err := w.Write(nil); return err }
+
+// exportTrace handles the encoder error the way the service's trace
+// exporters must: a failed export is a failed request, not a shrug.
+func exportTrace(w io.Writer) error {
+	var e export
+	if err := e.Encode(w); err != nil {
+		return err
+	}
+	return nil
 }

@@ -49,6 +49,21 @@ func firstError(checks map[string]error) error {
 	return nil
 }
 
+// lazySpan is the tracing anti-pattern: instead of taking the clock as
+// configuration it falls back to the host wall clock, so two replays
+// of the same model never produce the same span.
+type lazySpan struct {
+	start time.Time
+	id    uint64
+}
+
+func openLazySpan() lazySpan {
+	return lazySpan{
+		start: time.Now(),    // want nondet
+		id:    rand.Uint64(), // want nondet
+	}
+}
+
 // gather appends to a captured slice from goroutines: element order
 // follows completion order, and the append races.
 func gather(parts []string) []string {

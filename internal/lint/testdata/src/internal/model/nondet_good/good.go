@@ -57,6 +57,40 @@ func firstError(checks map[string]error) error {
 	return nil
 }
 
+// tracerConfig mirrors the service tracing layer's clock seam: model
+// code that wants wall-clock spans must take the clock as
+// configuration, never read it ambiently.
+type tracerConfig struct {
+	now  func() time.Time
+	seed int64
+}
+
+type spanStamp struct {
+	start time.Time
+	end   time.Time
+}
+
+// newSpanner validates the seam the way obs.NewTracer does: a nil
+// clock is a construction error, not a silent time.Now fallback.
+func newSpanner(cfg tracerConfig) (*spanner, error) {
+	if cfg.now == nil {
+		return nil, fmt.Errorf("spanner: clock required")
+	}
+	return &spanner{cfg: cfg, rng: rand.New(rand.NewSource(cfg.seed))}, nil
+}
+
+type spanner struct {
+	cfg tracerConfig
+	rng *rand.Rand
+}
+
+// stampSpan reads only the injected clock and the seeded private RNG,
+// so identical configs replay identical traces.
+func (s *spanner) stampSpan() (spanStamp, uint64) {
+	start := s.cfg.now()
+	return spanStamp{start: start, end: s.cfg.now()}, s.rng.Uint64()
+}
+
 // gather collects results by index: element order is the input order
 // regardless of completion order.
 func gather(parts []string) []string {

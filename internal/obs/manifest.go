@@ -51,6 +51,18 @@ type FaultSummary struct {
 	Crashes          int64   `json:"crashes,omitempty"`
 }
 
+// TraceLink ties a run manifest to the service trace that executed
+// it: TraceID names the job's trace (GET /traces/{id} on fiberd),
+// SpanID the harness-run span within it. The link is bidirectional —
+// the trace's run span carries the manifest's app/config attributes,
+// and the manifest carries the span's identity — so a latency
+// investigation can jump from "where did this request's wall time go"
+// straight into "where did the run's virtual time go".
+type TraceLink struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+}
+
 // Manifest is the one-JSON-document-per-run evidence record: what ran,
 // whether it verified, where the virtual time went and what the
 // communication volume was. It is the machine-readable substrate for
@@ -80,6 +92,9 @@ type Manifest struct {
 	TraceDropped int64 `json:"trace_dropped,omitempty"`
 	// Fault summarizes injected perturbations; nil on clean runs.
 	Fault *FaultSummary `json:"fault,omitempty"`
+	// Trace links the run to the service trace whose span executed
+	// it; nil on runs outside the service path.
+	Trace *TraceLink `json:"trace,omitempty"`
 }
 
 // Validate checks the structural invariants downstream tooling relies
@@ -129,6 +144,14 @@ func (m *Manifest) Validate() error {
 		if f.StragglerSeconds == 0 && f.NoiseSeconds == 0 &&
 			f.NoiseEvents == 0 && f.DegradedSends == 0 && f.Crashes == 0 {
 			return fmt.Errorf("obs: manifest carries an empty fault block; clean runs must omit it")
+		}
+	}
+	if tl := m.Trace; tl != nil {
+		if len(tl.TraceID) != 32 || !isLowerHex(tl.TraceID) {
+			return fmt.Errorf("obs: manifest trace link id %q: want 32 lowercase hex digits", tl.TraceID)
+		}
+		if len(tl.SpanID) != 16 || !isLowerHex(tl.SpanID) {
+			return fmt.Errorf("obs: manifest trace link span %q: want 16 lowercase hex digits", tl.SpanID)
 		}
 	}
 	for _, k := range m.Profile.Kernels {
