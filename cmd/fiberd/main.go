@@ -11,20 +11,33 @@
 //	GET  /healthz     liveness probe (the process answers)
 //	GET  /readyz      readiness probe (ready | degraded | draining)
 //	GET  /metrics     Prometheus exposition of serving metrics
-//	POST /jobs        submit a run spec; 202 + job id, 429/503 on shed
-//	GET  /jobs        list jobs
+//	POST /jobs        submit a run spec; 202 + job id (200 when served
+//	                  from the result cache), 429/503 on shed
+//	GET  /jobs        list jobs (?limit=N, ?tenant=name; newest 100
+//	                  by default)
 //	GET  /jobs/{id}   one job's state
 //	GET  /runs        JSON listing of the manifest directory
 //	GET  /runs/{name} one manifest, parsed and validated
 //	GET  /runs/live   SSE stream of fibersweep -progress output
 //
 // Every job state transition is appended to the -journal JSONL file
-// (schema fibersim/job-journal/v1). The journal is torn-tail-tolerant:
-// a SIGKILL'd daemon replays it on restart and re-queues incomplete
-// jobs exactly once, so no accepted job is ever lost or completed
-// twice. On SIGINT/SIGTERM fiberd drains gracefully: it refuses new
-// work, finishes running jobs, persists the queue and syncs the
-// journal before exiting.
+// (schema fibersim/job-journal/v2; v1 files replay cleanly). The
+// journal is torn-tail-tolerant: a SIGKILL'd daemon replays it on
+// restart and re-queues incomplete jobs exactly once, so no accepted
+// job is ever lost or completed twice. With -journal-retention set,
+// startup first compacts the journal, dropping jobs settled longer ago
+// than the retention. On SIGINT/SIGTERM fiberd drains gracefully: it
+// refuses new work, finishes running jobs, persists the queue and
+// syncs the journal before exiting.
+//
+// Multi-tenant overload protection: specs may carry a tenant name;
+// -tenant-rate/-tenant-burst rate-limit each tenant's submissions
+// (429 + Retry-After), -tenant-queue bounds each tenant's share of the
+// admission queue, and -tenant-weights sets the weighted fair-queueing
+// shares workers drain tenants by. -result-cache enables idempotent
+// result serving: duplicate specs coalesce onto the in-flight job, and
+// completed specs are answered from the cache — including, marked
+// degraded, when a breaker is open or the queue is saturated.
 package main
 
 import (
@@ -44,6 +57,7 @@ import (
 	"fibersim/internal/harness"
 	"fibersim/internal/jobs"
 	"fibersim/internal/obs"
+	"fibersim/internal/tenant"
 )
 
 func main() {
@@ -60,6 +74,12 @@ func main() {
 	jobRetries := flag.Int("job-retries", 2, "default and ceiling for per-job retries")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that trip an (app, machine) circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker refuses work before probing")
+	journalRetention := flag.Duration("journal-retention", 0, "compact the journal on startup, dropping jobs settled longer ago than this; 0 never compacts")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant submission rate limit in requests/second; 0 disables rate limiting")
+	tenantBurst := flag.Float64("tenant-burst", 8, "per-tenant token-bucket burst (max back-to-back submissions)")
+	tenantQueue := flag.Int("tenant-queue", 0, "per-tenant lane bound within the admission queue; 0 applies only the global -queue bound")
+	tenantWeights := flag.String("tenant-weights", "", "WDRR tenant weights, e.g. 'alice:3,bob'; unlisted tenants get weight 1")
+	resultCache := flag.String("result-cache", "", "idempotent result cache: a perfdb JSONL path, 'mem' for in-memory only, or empty to disable")
 	traceCap := flag.Int("trace-ring", 256, "finished service traces kept in memory for GET /traces; oldest evicted first")
 	saveManifests := flag.Bool("save-manifests", false, "write each completed job's run manifest into the -manifests directory")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
@@ -92,11 +112,43 @@ func main() {
 	var journal *jobs.Journal
 	var recovered []jobs.Record
 	if *journalPath != "" {
+		if *journalRetention > 0 {
+			// Compaction runs before the journal opens for appending:
+			// a rewrite under an open O_APPEND handle would race it.
+			kept, dropped, cerr := jobs.CompactJournal(*journalPath, *journalRetention, time.Now())
+			if cerr != nil {
+				fmt.Fprintln(os.Stderr, "fiberd: journal compaction:", cerr)
+				os.Exit(1)
+			}
+			logger.Info("journal compacted", "path", *journalPath,
+				"kept", kept, "dropped", dropped, "retention", journalRetention.String())
+		}
 		journal, recovered, err = jobs.OpenJournal(*journalPath, jobs.SyncInterval(time.Millisecond, *journalMTBF))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fiberd:", err)
 			os.Exit(1)
 		}
+	}
+	var cache *jobs.ResultCache
+	if *resultCache != "" {
+		cachePath := *resultCache
+		if cachePath == "mem" {
+			cachePath = ""
+		}
+		cache, err = jobs.OpenResultCache(cachePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fiberd: result cache:", err)
+			os.Exit(1)
+		}
+	}
+	var weights map[string]int
+	if *tenantWeights != "" {
+		ws, werr := tenant.ParseWeights(*tenantWeights)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "fiberd:", werr)
+			os.Exit(1)
+		}
+		weights = tenant.Map(ws)
 	}
 	saveDir := ""
 	if *saveManifests {
@@ -105,6 +157,9 @@ func main() {
 	manager, err := jobs.NewManager(jobs.Config{
 		Runner:           newRunner(saveDir, logger),
 		QueueCap:         *queueCap,
+		TenantQueueCap:   *tenantQueue,
+		TenantWeights:    weights,
+		Cache:            cache,
 		Workers:          *workers,
 		JobTimeout:       *jobTimeout,
 		MaxRetries:       *jobRetries,
@@ -131,6 +186,13 @@ func main() {
 	s.events = hub
 	s.log = logger
 	s.pprofOn = *pprofOn
+	if *tenantRate > 0 {
+		s.limiter, err = tenant.NewLimiter(tenant.Bucket{Rate: *tenantRate, Burst: *tenantBurst}, time.Now)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fiberd:", err)
+			os.Exit(1)
+		}
+	}
 	code := serve(ctx, *addr, s.handler(), *drain, os.Stderr, manager)
 	if journal != nil {
 		if err := journal.Close(); err != nil {

@@ -1,0 +1,194 @@
+package main
+
+// Tests for the multi-tenant overload-protection surface of the job
+// API: per-tenant rate limiting, the bounded GET /jobs listing, and
+// cached/coalesced submission responses.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fibersim/internal/jobs"
+	"fibersim/internal/obs"
+	"fibersim/internal/tenant"
+)
+
+// lockedClock is a hand-advanced clock for the limiter tests.
+type lockedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *lockedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *lockedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestSubmitJobRateLimited(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, h, _ := apiServer(t, jobs.Config{Registry: reg}, false)
+	clk := &lockedClock{t: time.Unix(1700000000, 0)}
+	lim, err := tenant.NewLimiter(tenant.Bucket{Rate: 0.5, Burst: 1}, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.limiter = lim
+
+	if rr := postJob(t, h, `{"app":"stream","tenant":"alice"}`); rr.Code != http.StatusAccepted {
+		t.Fatalf("first alice submit = %d: %s", rr.Code, rr.Body.String())
+	}
+	rr := postJob(t, h, `{"app":"stream","tenant":"alice"}`)
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("second alice submit = %d, want 429", rr.Code)
+	}
+	// At 0.5 tokens/s from empty, the next token is 2s away; the
+	// header rounds up and is per-tenant, not the queue estimate.
+	if got := rr.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q, want 2", got)
+	}
+	if got := reg.Counter("fiberd_tenant_shed_total", "",
+		obs.Labels{"tenant": "alice", "reason": "rate_limit"}).Value(); got != 1 {
+		t.Fatalf("rate-limit shed counter %v, want 1", got)
+	}
+	// Another tenant's bucket is untouched.
+	if rr := postJob(t, h, `{"app":"stream","tenant":"bob"}`); rr.Code != http.StatusAccepted {
+		t.Fatalf("bob submit = %d, want 202", rr.Code)
+	}
+	// And alice recovers once her bucket refills.
+	clk.advance(2 * time.Second)
+	if rr := postJob(t, h, `{"app":"stream","tenant":"alice"}`); rr.Code != http.StatusAccepted {
+		t.Fatalf("refilled alice submit = %d, want 202", rr.Code)
+	}
+}
+
+func TestJobsListLimitAndTenantFilter(t *testing.T) {
+	_, h, _ := apiServer(t, jobs.Config{QueueCap: 256}, false)
+	for i := 0; i < 3; i++ {
+		if rr := postJob(t, h, `{"app":"stream","tenant":"alice"}`); rr.Code != http.StatusAccepted {
+			t.Fatalf("alice submit %d = %d", i, rr.Code)
+		}
+	}
+	if rr := postJob(t, h, `{"app":"mvmc","tenant":"bob"}`); rr.Code != http.StatusAccepted {
+		t.Fatalf("bob submit = %d", rr.Code)
+	}
+
+	list := func(url string) []jobs.Job {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", url, rr.Code, rr.Body.String())
+		}
+		var out []jobs.Job
+		if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if got := list("/jobs"); len(got) != 4 {
+		t.Fatalf("GET /jobs returned %d jobs, want 4", len(got))
+	}
+	recent := list("/jobs?limit=2")
+	if len(recent) != 2 || recent[1].Spec.Tenant != "bob" {
+		t.Fatalf("limit=2 returned %+v, want the 2 most recent ending with bob's", recent)
+	}
+	alice := list("/jobs?tenant=alice")
+	if len(alice) != 3 {
+		t.Fatalf("tenant=alice returned %d jobs, want 3", len(alice))
+	}
+	if got := list("/jobs?tenant=alice&limit=1"); len(got) != 1 || got[0].ID != alice[2].ID {
+		t.Fatalf("tenant+limit returned %+v, want alice's newest", got)
+	}
+	if got := list("/jobs?tenant=nobody"); len(got) != 0 {
+		t.Fatalf("unknown tenant returned %d jobs, want 0", len(got))
+	}
+	// The default window caps the listing: a long-lived daemon's full
+	// history no longer comes back on a bare GET /jobs.
+	for i := 0; i < defaultJobsLimit; i++ {
+		if rr := postJob(t, h, `{"app":"stream"}`); rr.Code != http.StatusAccepted {
+			t.Fatalf("filler submit %d = %d", i, rr.Code)
+		}
+	}
+	if got := list("/jobs"); len(got) != defaultJobsLimit {
+		t.Fatalf("default listing returned %d jobs, want %d", len(got), defaultJobsLimit)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/jobs?limit=x", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d, want 400", rr.Code)
+	}
+}
+
+func TestSubmitJobCachedAndCoalescedResponses(t *testing.T) {
+	cache, err := jobs.OpenResultCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	_, h, _ := apiServer(t, jobs.Config{
+		Cache:   cache,
+		Workers: 1,
+		Runner: func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+			started <- struct{}{}
+			<-release
+			return jobs.Result{TimeSeconds: 1.25, GFlops: 5, Verified: true}, nil
+		},
+	}, true)
+
+	first := postJob(t, h, `{"app":"stream","tenant":"alice"}`)
+	if first.Code != http.StatusAccepted {
+		t.Fatalf("first submit = %d: %s", first.Code, first.Body.String())
+	}
+	var firstJob jobs.Job
+	if err := json.Unmarshal(first.Body.Bytes(), &firstJob); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Duplicate while in flight: 202 + the same job, marked coalesced
+	// (tenant differs, but tenant is not an experiment axis).
+	dup := postJob(t, h, `{"app":"stream","tenant":"bob"}`)
+	if dup.Code != http.StatusAccepted {
+		t.Fatalf("coalesced submit = %d: %s", dup.Code, dup.Body.String())
+	}
+	var dupJob jobs.Job
+	if err := json.Unmarshal(dup.Body.Bytes(), &dupJob); err != nil {
+		t.Fatal(err)
+	}
+	if !dupJob.Coalesced || dupJob.ID != firstJob.ID {
+		t.Fatalf("coalesced response %+v, want coalesced onto %s", dupJob, firstJob.ID)
+	}
+
+	close(release)
+	waitJobState(t, h, firstJob.ID)
+
+	// Duplicate after completion: 200 + the cached result, complete.
+	cached := postJob(t, h, `{"app":"stream"}`)
+	if cached.Code != http.StatusOK {
+		t.Fatalf("cached submit = %d: %s", cached.Code, cached.Body.String())
+	}
+	var cachedJob jobs.Job
+	if err := json.Unmarshal(cached.Body.Bytes(), &cachedJob); err != nil {
+		t.Fatal(err)
+	}
+	if !cachedJob.Cached || cachedJob.Degraded || cachedJob.State != jobs.StateDone {
+		t.Fatalf("cached response %+v, want cached non-degraded done", cachedJob)
+	}
+	if cachedJob.Result == nil || cachedJob.Result.TimeSeconds != 1.25 {
+		t.Fatalf("cached result %+v, want the original", cachedJob.Result)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"fibersim/internal/jobs"
 	"fibersim/internal/obs"
+	"fibersim/internal/tenant"
 )
 
 // ReportSchema identifies the load report layout; bump on any
@@ -50,6 +51,23 @@ func parseMix(s, size string) ([]weightedSpec, error) {
 		return nil, fmt.Errorf("fiberload: empty spec mix")
 	}
 	return mix, nil
+}
+
+// pickTenant draws one tenant name by weight using r. Empty list
+// means the run is untenanted and every spec keeps Tenant == "".
+func pickTenant(ws []tenant.Weight, r *rand.Rand) string {
+	total := 0
+	for _, w := range ws {
+		total += w.Weight
+	}
+	n := r.Intn(total)
+	for _, w := range ws {
+		n -= w.Weight
+		if n < 0 {
+			return w.Name
+		}
+	}
+	return ws[len(ws)-1].Name
 }
 
 // pick draws one spec by weight using r.
@@ -123,22 +141,63 @@ type TraceSplit struct {
 	JournalSeconds   float64 `json:"journal_seconds"`
 }
 
+// TenantReport is one tenant's slice of the run: how much of the load
+// it offered, how much was admitted, and what latency it saw. The
+// queue-wait percentiles come from the terminal jobs' own accounting
+// (QueueWaitSeconds), so a noisy neighbor shows up here as a fat
+// queue-wait tail on the victim tenant.
+type TenantReport struct {
+	Requests   int         `json:"requests"`
+	Accepted   int         `json:"accepted"`
+	Shed429    int         `json:"shed_429"`
+	Errors     int         `json:"errors"`
+	JobsDone   int         `json:"jobs_done"`
+	JobsFailed int         `json:"jobs_failed"`
+	Cached     int         `json:"cached"`
+	Coalesced  int         `json:"coalesced"`
+	ShedRate   float64     `json:"shed_rate"`
+	ErrorRate  float64     `json:"error_rate"`
+	Latency    Percentiles `json:"latency_seconds"`
+	QueueWait  Percentiles `json:"queue_wait_seconds"`
+}
+
 // Report is fiberload's machine-readable output.
 type Report struct {
-	Schema     string  `json:"schema"`
-	Requests   int     `json:"requests"`
-	Accepted   int     `json:"accepted"`
-	Shed429    int     `json:"shed_429"`
-	Errors     int     `json:"errors"`
-	JobsDone   int     `json:"jobs_done"`
-	JobsFailed int     `json:"jobs_failed"`
-	ErrorRate  float64 `json:"error_rate"`
-	ShedRate   float64 `json:"shed_rate"`
+	Schema     string `json:"schema"`
+	Requests   int    `json:"requests"`
+	Accepted   int    `json:"accepted"`
+	Shed429    int    `json:"shed_429"`
+	Errors     int    `json:"errors"`
+	JobsDone   int    `json:"jobs_done"`
+	JobsFailed int    `json:"jobs_failed"`
+	// Cached counts submissions answered 200 from the idempotent result
+	// cache (terminal immediately); Coalesced counts 202s that attached
+	// to an already-in-flight duplicate instead of enqueueing. Both are
+	// included in Accepted.
+	Cached    int     `json:"cached"`
+	Coalesced int     `json:"coalesced"`
+	ErrorRate float64 `json:"error_rate"`
+	ShedRate  float64 `json:"shed_rate"`
 	// Latency is submit-to-terminal wall time over completed jobs.
 	Latency Percentiles `json:"latency_seconds"`
 	// Admission is the POST /jobs round-trip alone.
 	Admission Percentiles `json:"admission_seconds"`
 	Split     TraceSplit  `json:"trace_split"`
+	// Tenants breaks the run down per tenant when -tenants is set.
+	Tenants map[string]TenantReport `json:"tenants,omitempty"`
+}
+
+// tenantTally accumulates one tenant's counters during the run.
+type tenantTally struct {
+	accepted   int
+	shed       int
+	errors     int
+	jobsDone   int
+	jobsFailed int
+	cached     int
+	coalesced  int
+	latencies  []float64
+	queueWaits []float64
 }
 
 // loader drives one load run.
@@ -146,6 +205,7 @@ type loader struct {
 	base    string
 	client  *http.Client
 	mix     []weightedSpec
+	tenants []tenant.Weight // optional: weighted tenant draw per submission
 	workers int
 	total   int           // stop after this many submissions (0: unbounded)
 	dur     time.Duration // stop after this long (0: unbounded; one of total/dur must bound)
@@ -159,9 +219,26 @@ type loader struct {
 	errors     int
 	jobsDone   int
 	jobsFailed int
+	cached     int
+	coalesced  int
 	latencies  []float64
 	admissions []float64
 	traceIDs   []string
+	tallies    map[string]*tenantTally
+}
+
+// tally returns (creating if needed) the tenant's counter block.
+// Callers must hold l.mu.
+func (l *loader) tally(key string) *tenantTally {
+	if l.tallies == nil {
+		l.tallies = map[string]*tenantTally{}
+	}
+	t, ok := l.tallies[key]
+	if !ok {
+		t = &tenantTally{}
+		l.tallies[key] = t
+	}
+	return t
 }
 
 // take reserves one submission slot, false once the quota is gone.
@@ -191,31 +268,50 @@ func (l *loader) run(ctx context.Context) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(seed))
 			for ctx.Err() == nil && l.take() {
-				l.once(ctx, pick(l.mix, r))
+				spec := pick(l.mix, r)
+				if len(l.tenants) > 0 {
+					spec.Tenant = pickTenant(l.tenants, r)
+				}
+				l.once(ctx, spec)
 			}
 		}(l.seed + int64(w))
 	}
 	wg.Wait()
 }
 
-// once submits one job and follows it to a terminal state.
+// once submits one job and follows it to a terminal state. A 200 is a
+// cache serve: the body is already a terminal job, so there is nothing
+// to poll — its latency is the admission round-trip itself. A 202 with
+// coalesced:true attached to an in-flight duplicate; it is awaited
+// like any other accepted job (the shared job's terminal state is this
+// submission's terminal state too).
 func (l *loader) once(ctx context.Context, spec jobs.Spec) {
+	key := tenant.Key(spec.Tenant)
+	perTenant := len(l.tenants) > 0
+	fail := func() {
+		l.count(func() {
+			l.errors++
+			if perTenant {
+				l.tally(key).errors++
+			}
+		})
+	}
 	body, err := json.Marshal(spec)
 	if err != nil {
-		l.count(func() { l.errors++ })
+		fail()
 		return
 	}
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, "POST", l.base+"/jobs", bytes.NewReader(body))
 	if err != nil {
-		l.count(func() { l.errors++ })
+		fail()
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := l.client.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
-			l.count(func() { l.errors++ })
+			fail()
 		}
 		return
 	}
@@ -226,34 +322,85 @@ func (l *loader) once(ctx context.Context, spec jobs.Spec) {
 	resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
-		l.count(func() { l.shed++ })
+		l.count(func() {
+			l.shed++
+			if perTenant {
+				l.tally(key).shed++
+			}
+		})
+		return
+	case resp.StatusCode == http.StatusOK && decErr == nil && job.Cached:
+		elapsed := time.Since(start)
+		l.count(func() {
+			l.accepted++
+			l.cached++
+			l.admissions = append(l.admissions, admitted.Seconds())
+			l.latencies = append(l.latencies, elapsed.Seconds())
+			done := job.State == jobs.StateDone
+			if done {
+				l.jobsDone++
+			} else {
+				l.jobsFailed++
+			}
+			if perTenant {
+				t := l.tally(key)
+				t.accepted++
+				t.cached++
+				t.latencies = append(t.latencies, elapsed.Seconds())
+				if done {
+					t.jobsDone++
+				} else {
+					t.jobsFailed++
+				}
+			}
+		})
 		return
 	case resp.StatusCode != http.StatusAccepted || decErr != nil:
-		l.count(func() { l.errors++ })
+		fail()
 		return
 	}
 	l.count(func() {
 		l.accepted++
 		l.admissions = append(l.admissions, admitted.Seconds())
+		if perTenant {
+			l.tally(key).accepted++
+		}
+		if job.Coalesced {
+			l.coalesced++
+			if perTenant {
+				l.tally(key).coalesced++
+			}
+		}
 	})
 
 	final, err := l.await(ctx, job.ID)
 	if err != nil {
 		if ctx.Err() == nil {
-			l.count(func() { l.errors++ })
+			fail()
 		}
 		return
 	}
 	elapsed := time.Since(start)
 	l.count(func() {
 		l.latencies = append(l.latencies, elapsed.Seconds())
-		if final.State == jobs.StateDone {
+		done := final.State == jobs.StateDone
+		if done {
 			l.jobsDone++
 		} else {
 			l.jobsFailed++
 		}
 		if final.TraceID != "" {
 			l.traceIDs = append(l.traceIDs, final.TraceID)
+		}
+		if perTenant {
+			t := l.tally(key)
+			t.latencies = append(t.latencies, elapsed.Seconds())
+			t.queueWaits = append(t.queueWaits, final.QueueWaitSeconds)
+			if done {
+				t.jobsDone++
+			} else {
+				t.jobsFailed++
+			}
 		}
 	})
 }
@@ -358,6 +505,8 @@ func (l *loader) report(split TraceSplit) Report {
 		Errors:     l.errors,
 		JobsDone:   l.jobsDone,
 		JobsFailed: l.jobsFailed,
+		Cached:     l.cached,
+		Coalesced:  l.coalesced,
 		Latency:    percentiles(l.latencies),
 		Admission:  percentiles(l.admissions),
 		Split:      split,
@@ -365,6 +514,28 @@ func (l *loader) report(split TraceSplit) Report {
 	if total > 0 {
 		rep.ErrorRate = float64(l.errors) / float64(total)
 		rep.ShedRate = float64(l.shed) / float64(total)
+	}
+	if len(l.tallies) > 0 {
+		rep.Tenants = make(map[string]TenantReport, len(l.tallies))
+		for name, t := range l.tallies {
+			tr := TenantReport{
+				Requests:   t.accepted + t.shed + t.errors,
+				Accepted:   t.accepted,
+				Shed429:    t.shed,
+				Errors:     t.errors,
+				JobsDone:   t.jobsDone,
+				JobsFailed: t.jobsFailed,
+				Cached:     t.cached,
+				Coalesced:  t.coalesced,
+				Latency:    percentiles(t.latencies),
+				QueueWait:  percentiles(t.queueWaits),
+			}
+			if tr.Requests > 0 {
+				tr.ShedRate = float64(t.shed) / float64(tr.Requests)
+				tr.ErrorRate = float64(t.errors) / float64(tr.Requests)
+			}
+			rep.Tenants[name] = tr
+		}
 	}
 	return rep
 }
@@ -375,7 +546,8 @@ func (l *loader) report(split TraceSplit) Report {
 func (r Report) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "requests %d: %d accepted, %d shed (429), %d errors (error rate %.2f%%, shed rate %.2f%%)\n",
 		r.Requests, r.Accepted, r.Shed429, r.Errors, 100*r.ErrorRate, 100*r.ShedRate)
-	fmt.Fprintf(w, "jobs: %d done, %d failed\n", r.JobsDone, r.JobsFailed)
+	fmt.Fprintf(w, "jobs: %d done, %d failed (%d cached, %d coalesced)\n",
+		r.JobsDone, r.JobsFailed, r.Cached, r.Coalesced)
 	fmt.Fprintf(w, "latency  (submit->terminal): p50 %.4fs  p95 %.4fs  p99 %.4fs  mean %.4fs  max %.4fs\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Mean, r.Latency.Max)
 	fmt.Fprintf(w, "admission (POST round-trip): p50 %.4fs  p95 %.4fs  p99 %.4fs\n",
@@ -386,6 +558,20 @@ func (r Report) WriteText(w io.Writer) error {
 			r.Split.BackoffSeconds, r.Split.JournalSeconds)
 	} else {
 		fmt.Fprintln(w, "trace split: no traces sampled (tracing off or ring evicted)")
+	}
+	if len(r.Tenants) > 0 {
+		names := make([]string, 0, len(r.Tenants))
+		for name := range r.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t := r.Tenants[name]
+			fmt.Fprintf(w, "tenant %-10s %4d requests: %d accepted, %d shed (%.2f%%), %d errors, %d cached, %d coalesced; latency p50 %.4fs p99 %.4fs; queue-wait p50 %.4fs p99 %.4fs\n",
+				name, t.Requests, t.Accepted, t.Shed429, 100*t.ShedRate, t.Errors,
+				t.Cached, t.Coalesced, t.Latency.P50, t.Latency.P99,
+				t.QueueWait.P50, t.QueueWait.P99)
+		}
 	}
 	_, err := fmt.Fprintln(w)
 	return err

@@ -15,6 +15,7 @@ import (
 
 	"fibersim/internal/jobs"
 	"fibersim/internal/obs"
+	"fibersim/internal/tenant"
 )
 
 func TestParseMix(t *testing.T) {
@@ -79,16 +80,22 @@ func (c *manualClock) advance(d time.Duration) {
 // terminates done after `lag` status polls; shedEvery>0 makes every
 // N-th submission a 429. Each accepted job gets a real finalized trace
 // with queue-wait exactly 2ms and run exactly 3ms under the manual
-// clock.
+// clock, and reports QueueWaitSeconds of exactly 4ms once terminal.
+// cachedEvery>0 answers every N-th submission 200 from a pretend
+// result cache; coalesceEvery>0 attaches every N-th submission to the
+// most recently accepted job with coalesced:true.
 type stubFiberd struct {
-	mu        sync.Mutex
-	clock     *manualClock
-	tracer    *obs.Tracer
-	jobs      map[string]int    // id -> polls remaining until terminal
-	traces    map[string]string // id -> trace id
-	submits   int
-	lag       int
-	shedEvery int
+	mu            sync.Mutex
+	clock         *manualClock
+	tracer        *obs.Tracer
+	jobs          map[string]int    // id -> polls remaining until terminal
+	traces        map[string]string // id -> trace id
+	submits       int
+	lag           int
+	shedEvery     int
+	cachedEvery   int
+	coalesceEvery int
+	lastID        string
 }
 
 func newStubFiberd(t *testing.T, lag, shedEvery int) *stubFiberd {
@@ -118,6 +125,21 @@ func (f *stubFiberd) handler() http.Handler {
 			http.Error(w, "bad spec", http.StatusBadRequest)
 			return
 		}
+		if f.cachedEvery > 0 && f.submits%f.cachedEvery == 0 {
+			job := jobs.Job{ID: fmt.Sprintf("cached-%06d", f.submits), Spec: spec,
+				State: jobs.StateDone, Cached: true,
+				Result: &jobs.Result{TimeSeconds: 1.25, GFlops: 5, Verified: true}}
+			w.WriteHeader(http.StatusOK)
+			json.NewEncoder(w).Encode(job)
+			return
+		}
+		if f.coalesceEvery > 0 && f.submits%f.coalesceEvery == 0 && f.lastID != "" {
+			job := jobs.Job{ID: f.lastID, Spec: spec,
+				State: jobs.StateRunning, Coalesced: true}
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(job)
+			return
+		}
 		id := fmt.Sprintf("job-%06d", f.submits)
 		root := f.tracer.StartTrace("job", obs.SpanContext{})
 		qw := root.StartChild("queue-wait")
@@ -129,6 +151,7 @@ func (f *stubFiberd) handler() http.Handler {
 		root.End()
 		f.jobs[id] = f.lag
 		f.traces[id] = root.Context().TraceID.String()
+		f.lastID = id
 		job := jobs.Job{ID: id, Spec: spec, State: jobs.StateAccepted,
 			TraceID: f.traces[id]}
 		w.WriteHeader(http.StatusAccepted)
@@ -146,6 +169,7 @@ func (f *stubFiberd) handler() http.Handler {
 		job := jobs.Job{ID: id, State: jobs.StateRunning, TraceID: f.traces[id]}
 		if left <= 0 {
 			job.State = jobs.StateDone
+			job.QueueWaitSeconds = 0.004
 		} else {
 			f.jobs[id] = left - 1
 		}
@@ -238,6 +262,115 @@ func TestLoaderCountsShed(t *testing.T) {
 	}
 	if math.Abs(rep.ShedRate-1.0/3.0) > 1e-9 {
 		t.Errorf("shed rate = %g", rep.ShedRate)
+	}
+}
+
+func TestLoaderTenantBreakdown(t *testing.T) {
+	stub := newStubFiberd(t, 1, 0)
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	l := &loader{
+		base:   ts.URL,
+		client: ts.Client(),
+		mix:    []weightedSpec{{spec: jobs.Spec{App: "stream", Size: "test"}, weight: 1}},
+		tenants: []tenant.Weight{
+			{Name: "greedy", Weight: 3},
+			{Name: "paced", Weight: 1},
+		},
+		workers: 4,
+		total:   40,
+		poll:    time.Millisecond,
+		seed:    1,
+	}
+	l.run(context.Background())
+	rep := l.report(TraceSplit{})
+
+	if rep.Accepted != 40 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("tenant breakdown = %+v, want greedy and paced", rep.Tenants)
+	}
+	greedy, paced := rep.Tenants["greedy"], rep.Tenants["paced"]
+	if greedy.Requests+paced.Requests != rep.Requests {
+		t.Errorf("tenant requests %d+%d != total %d",
+			greedy.Requests, paced.Requests, rep.Requests)
+	}
+	if greedy.JobsDone+paced.JobsDone != rep.JobsDone {
+		t.Errorf("tenant done %d+%d != total %d",
+			greedy.JobsDone, paced.JobsDone, rep.JobsDone)
+	}
+	// A 3:1 weighted draw over 40 submissions must favor greedy.
+	if greedy.Requests <= paced.Requests {
+		t.Errorf("greedy %d <= paced %d despite 3:1 weights",
+			greedy.Requests, paced.Requests)
+	}
+	// Queue wait comes from the terminal job's own accounting, which
+	// the stub pins at exactly 4ms.
+	for name, tr := range rep.Tenants {
+		if math.Abs(tr.QueueWait.P50-0.004) > 1e-9 {
+			t.Errorf("tenant %s queue-wait p50 = %g, want 0.004", name, tr.QueueWait.P50)
+		}
+	}
+
+	var b strings.Builder
+	if err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"tenant greedy", "tenant paced", "queue-wait p50 0.0040s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoaderCountsCachedAndCoalesced(t *testing.T) {
+	stub := newStubFiberd(t, 0, 0)
+	stub.cachedEvery = 2 // submissions 2, 4, 6 served 200 from cache
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	l := &loader{
+		base:    ts.URL,
+		client:  ts.Client(),
+		mix:     []weightedSpec{{spec: jobs.Spec{App: "stream"}, weight: 1}},
+		tenants: []tenant.Weight{{Name: "alice", Weight: 1}},
+		workers: 1,
+		total:   6,
+		poll:    time.Millisecond,
+		seed:    1,
+	}
+	l.run(context.Background())
+	rep := l.report(TraceSplit{})
+	if rep.Accepted != 6 || rep.Cached != 3 || rep.JobsDone != 6 {
+		t.Errorf("cached run: accepted/cached/done = %d/%d/%d, want 6/3/6",
+			rep.Accepted, rep.Cached, rep.JobsDone)
+	}
+	if got := rep.Tenants["alice"]; got.Cached != 3 || got.JobsDone != 6 {
+		t.Errorf("alice tally = %+v, want 3 cached of 6 done", got)
+	}
+
+	stub2 := newStubFiberd(t, 0, 0)
+	stub2.coalesceEvery = 3 // submissions 3 and 6 attach to the last job
+	ts2 := httptest.NewServer(stub2.handler())
+	defer ts2.Close()
+
+	l2 := &loader{
+		base:    ts2.URL,
+		client:  ts2.Client(),
+		mix:     []weightedSpec{{spec: jobs.Spec{App: "stream"}, weight: 1}},
+		workers: 1,
+		total:   6,
+		poll:    time.Millisecond,
+		seed:    1,
+	}
+	l2.run(context.Background())
+	rep2 := l2.report(TraceSplit{})
+	if rep2.Accepted != 6 || rep2.Coalesced != 2 || rep2.JobsDone != 6 {
+		t.Errorf("coalesced run: accepted/coalesced/done = %d/%d/%d, want 6/2/6",
+			rep2.Accepted, rep2.Coalesced, rep2.JobsDone)
 	}
 }
 

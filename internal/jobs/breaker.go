@@ -66,24 +66,45 @@ func (b *Breaker) now() time.Time {
 // half-open state exactly one caller is admitted as the probe; the
 // rest are refused until Record settles the probe's outcome.
 func (b *Breaker) Allow() bool {
+	ok, _ := b.Admit()
+	return ok
+}
+
+// Admit is Allow with the probe made explicit: probe is true when this
+// admission seized the single half-open probe slot. A caller whose
+// probe admission does not end in an execution (the submission was
+// shed, coalesced, or served from cache) must ReleaseProbe, or the
+// slot stays taken and the breaker can never close.
+func (b *Breaker) Admit() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.Cooldown {
-			return false
+			return false, false
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
-		return true
+		return true, true
 	default: // half-open
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
+	}
+}
+
+// ReleaseProbe returns an unused half-open probe slot (admission
+// granted by Admit but never settled by Record), re-arming the breaker
+// for the next knock.
+func (b *Breaker) ReleaseProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
 	}
 }
 

@@ -81,3 +81,40 @@ func TestBreakerZeroThresholdTreatedAsOne(t *testing.T) {
 		t.Fatalf("threshold<1 breaker did not trip on first failure: %v", b.State())
 	}
 }
+
+func TestBreakerAdmitAndReleaseProbe(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := &Breaker{Threshold: 1, Cooldown: 30 * time.Second, Now: func() time.Time { return clock }}
+
+	if ok, probe := b.Admit(); !ok || probe {
+		t.Fatalf("closed Admit = (%v, %v), want (true, false)", ok, probe)
+	}
+	b.Record(false) // trip
+	if ok, _ := b.Admit(); ok {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	clock = clock.Add(30 * time.Second)
+	if ok, probe := b.Admit(); !ok || !probe {
+		t.Fatalf("cooled-down Admit = (%v, %v), want the probe (true, true)", ok, probe)
+	}
+	// The probe slot is taken: everyone else is refused.
+	if ok, _ := b.Admit(); ok {
+		t.Fatal("second admission while probe in flight")
+	}
+	// The probe admission ended in a cache serve / shed instead of an
+	// execution: releasing the slot re-arms the breaker for the next
+	// knock rather than jamming it half-open forever.
+	b.ReleaseProbe()
+	if ok, probe := b.Admit(); !ok || !probe {
+		t.Fatalf("post-release Admit = (%v, %v), want a fresh probe", ok, probe)
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after settled probe = %v, want closed", b.State())
+	}
+	// ReleaseProbe on a closed breaker is a no-op.
+	b.ReleaseProbe()
+	if ok, probe := b.Admit(); !ok || probe {
+		t.Fatalf("closed Admit after no-op release = (%v, %v)", ok, probe)
+	}
+}

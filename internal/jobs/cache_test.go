@@ -1,0 +1,299 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fibersim/internal/obs"
+	"fibersim/internal/perfdb"
+)
+
+func TestContentHashCanonicalisation(t *testing.T) {
+	// Defaults and explicit values hash identically: a bare spec and
+	// its fully-spelled form are the same run.
+	bare := Spec{App: "stream"}
+	full := Spec{App: "stream", Machine: "a64fx", Procs: 1, Threads: 1, Compiler: "as-is", Size: "test"}
+	if bare.ContentHash() != full.ContentHash() {
+		t.Fatal("defaulted and explicit specs hash differently")
+	}
+	// Tenant and retry budget are admission knobs, not experiment axes.
+	tenanted := Spec{App: "stream", Tenant: "alice", MaxRetries: 3}
+	if tenanted.ContentHash() != bare.ContentHash() {
+		t.Fatal("tenant/max_retries leaked into the content hash")
+	}
+	// Every experiment axis must move the hash.
+	for _, other := range []Spec{
+		{App: "mvmc"},
+		{App: "stream", Size: "large"},
+		{App: "stream", Procs: 2},
+		{App: "stream", Threads: 4},
+		{App: "stream", Compiler: "fcc"},
+		{App: "stream", Fault: "crash@1.0"},
+	} {
+		if other.ContentHash() == bare.ContentHash() {
+			t.Fatalf("spec %+v hash-collides with the base spec", other)
+		}
+	}
+}
+
+func TestResultCacheDurableRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{App: "stream", Size: "large"}
+	res := Result{TimeSeconds: 3.5, GFlops: 120, Verified: true}
+	if err := c.Put(spec, spec.ContentHash(), res, time.Unix(1700000000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// A result perfdb's schema refuses (zero runtime) is not cached.
+	bad := Spec{App: "stream", Size: "broken"}
+	if err := c.Put(bad, bad.ContentHash(), Result{}, time.Unix(1700000000, 0)); err == nil {
+		t.Fatal("zero-runtime result cached, want refusal")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache len %d, want 1", c.Len())
+	}
+
+	// Reopen: the entry survives, hash-addressable, with its timestamp.
+	c2, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := c2.Get(spec.ContentHash())
+	if !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	if cr.Result != res || cr.UnixTime != 1700000000 {
+		t.Fatalf("reloaded entry %+v, want %+v at 1700000000", cr, res)
+	}
+
+	// The cache file is a plain perfdb trajectory: records without a
+	// spec_hash (hand-recorded benchmarks) coexist, just unservable.
+	traj, err := perfdb.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traj.Append(perfdb.Record{
+		Schema: perfdb.RecordSchema, App: "mvmc", Machine: "a64fx",
+		Procs: 1, Threads: 1, Compiler: "as-is", Size: "test", TimeSeconds: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := OpenResultCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Len() != 1 {
+		t.Fatalf("hashless record entered the cache: len %d, want 1", c3.Len())
+	}
+
+	// warm never overwrites a durable entry and never touches the file.
+	c3.warm(spec.ContentHash(), Result{TimeSeconds: 99})
+	if cr, _ := c3.Get(spec.ContentHash()); cr.Result != res {
+		t.Fatal("warm overwrote a durable entry")
+	}
+}
+
+// TestBreakerCacheInteraction pins the degradation contract around an
+// open breaker: warm cache → degraded serve; cold cache → fail fast;
+// cooldown elapsed → the next duplicate runs fresh as the half-open
+// probe and its success un-degrades subsequent serves.
+func TestBreakerCacheInteraction(t *testing.T) {
+	clk := newStepClock()
+	cache, err := OpenResultCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := testConfig(func(ctx context.Context, spec Spec) (Result, error) {
+		if spec.Size == "bad" {
+			return Result{}, errors.New("boom")
+		}
+		return Result{TimeSeconds: 1.5, GFlops: 10, Verified: true}, nil
+	})
+	cfg.Cache = cache
+	cfg.Registry = reg
+	cfg.Now = clk.now
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = 30 * time.Second
+	m := startManager(t, cfg)
+
+	// Warm the cache with a good run, then trip the shared
+	// (app, machine) breaker with two distinct failing specs.
+	good := Spec{App: "stream", Size: "fine"}
+	j, err := m.Submit(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, j.ID)
+	for i := 0; i < 2; i++ {
+		j, err := m.Submit(Spec{App: "stream", Size: "bad", Fault: fmt.Sprintf("f%d", i)})
+		if err != nil {
+			t.Fatalf("failing submit %d: %v", i, err)
+		}
+		waitTerminal(t, m, j.ID)
+	}
+	states := m.BreakerStates()
+	if len(states) != 1 || states[0].State != BreakerOpen {
+		t.Fatalf("breaker states %+v, want stream|a64fx open", states)
+	}
+
+	// Open breaker + warm cache: degraded serve, with staleness age.
+	clk.advance(10 * time.Second)
+	served, err := m.Submit(good)
+	if err != nil {
+		t.Fatalf("warm-cache submit under open breaker: %v", err)
+	}
+	if !served.Cached || !served.Degraded {
+		t.Fatalf("serve = %+v, want cached degraded", served)
+	}
+	if served.CachedAgeSeconds <= 0 {
+		t.Fatalf("degraded serve has no staleness age: %+v", served)
+	}
+	if got := reg.Counter("fiberd_degraded_serves_total", "", obs.Labels{"reason": "breaker_open"}).Value(); got != 1 {
+		t.Fatalf("degraded counter %v, want 1", got)
+	}
+
+	// Open breaker + cold cache: fail fast, no degraded serve.
+	if _, err := m.Submit(Spec{App: "stream", Size: "cold"}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("cold-cache submit error %v, want ErrBreakerOpen", err)
+	}
+
+	// Cooldown elapsed: the duplicate becomes the half-open probe and
+	// executes fresh — a cache hit must not short-circuit the probe,
+	// or a purely duplicate workload could never close the breaker.
+	clk.advance(30 * time.Second)
+	probe, err := m.Submit(good)
+	if err != nil {
+		t.Fatalf("probe submit: %v", err)
+	}
+	if probe.Cached || probe.Coalesced {
+		t.Fatalf("probe was served from cache: %+v", probe)
+	}
+	waitTerminal(t, m, probe.ID)
+	if states := m.BreakerStates(); states[0].State != BreakerClosed {
+		t.Fatalf("breaker %v after successful probe, want closed", states[0].State)
+	}
+
+	// Closed again: cached serves are back to non-degraded.
+	after, err := m.Submit(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Cached || after.Degraded {
+		t.Fatalf("post-probe serve = %+v, want cached non-degraded", after)
+	}
+}
+
+// TestQueueSaturationDegradedServe pins degradation under load: a full
+// queue sheds cold specs with 429-grade errors but answers warm specs
+// from the cache, marked degraded.
+func TestQueueSaturationDegradedServe(t *testing.T) {
+	clk := newStepClock()
+	cache, err := OpenResultCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	release := make(chan struct{})
+	cfg := testConfig(func(ctx context.Context, spec Spec) (Result, error) {
+		if spec.Size == "block" {
+			<-release
+		}
+		return Result{TimeSeconds: 1, GFlops: 1, Verified: true}, nil
+	})
+	cfg.Workers = 1
+	cfg.QueueCap = 1
+	cfg.TenantQueueCap = 1
+	cfg.Cache = cache
+	cfg.Registry = reg
+	cfg.Now = clk.now
+	m := startManager(t, cfg)
+	defer close(release)
+
+	warm := Spec{App: "stream", Size: "warm"}
+	j, err := m.Submit(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, j.ID)
+
+	// Occupy the worker, then fill the one queue slot.
+	if _, err := m.Submit(Spec{App: "stream", Size: "block", Tenant: "greedy"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "blocker running", func() bool { return m.QueueDepth() == 0 })
+	if _, err := m.Submit(Spec{App: "stream", Size: "q1", Tenant: "greedy"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The queue is saturated (the global bound trips first in the
+	// admission verdict): a cold spec is shed with an error.
+	if _, err := m.Submit(Spec{App: "stream", Size: "q2", Tenant: "greedy"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("cold spec on saturated queue: %v, want ErrQueueFull", err)
+	}
+	if got := reg.Counter("fiberd_tenant_shed_total", "", obs.Labels{"tenant": "greedy", "reason": "queue_full"}).Value(); got != 1 {
+		t.Fatalf("greedy shed counter %v, want 1", got)
+	}
+
+	// Warm spec on the saturated queue: degraded cached serve instead.
+	served, err := m.Submit(warm)
+	if err != nil {
+		t.Fatalf("warm spec on saturated queue: %v", err)
+	}
+	if !served.Cached || !served.Degraded {
+		t.Fatalf("serve = %+v, want cached degraded", served)
+	}
+	if got := reg.Counter("fiberd_degraded_serves_total", "", obs.Labels{"reason": "queue_full"}).Value(); got != 1 {
+		t.Fatalf("degraded counter %v, want 1", got)
+	}
+}
+
+// TestTenantQueueCap pins per-tenant backpressure: one tenant's full
+// lane sheds that tenant only, while the global queue still has room
+// for everyone else.
+func TestTenantQueueCap(t *testing.T) {
+	release := make(chan struct{})
+	cfg := testConfig(func(ctx context.Context, spec Spec) (Result, error) {
+		<-release
+		return Result{TimeSeconds: 1, GFlops: 1, Verified: true}, nil
+	})
+	cfg.Workers = 1
+	cfg.QueueCap = 16
+	cfg.TenantQueueCap = 2
+	reg := obs.NewRegistry()
+	cfg.Registry = reg
+	m := startManager(t, cfg)
+	defer close(release)
+
+	// Occupy the worker so submissions stay queued.
+	if _, err := m.Submit(Spec{App: "stream", Size: "s0", Tenant: "greedy"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "blocker running", func() bool { return m.QueueDepth() == 0 })
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(Spec{App: "stream", Size: fmt.Sprintf("s%d", i+1), Tenant: "greedy"}); err != nil {
+			t.Fatalf("greedy fill %d: %v", i, err)
+		}
+	}
+	_, err := m.Submit(Spec{App: "stream", Size: "s3", Tenant: "greedy"})
+	if !errors.Is(err, ErrTenantQueueFull) {
+		t.Fatalf("greedy over-cap error %v, want ErrTenantQueueFull", err)
+	}
+	if got := reg.Counter("fiberd_tenant_shed_total", "", obs.Labels{"tenant": "greedy", "reason": "tenant_queue_full"}).Value(); got != 1 {
+		t.Fatalf("shed counter %v, want 1", got)
+	}
+	// Another tenant is untouched by greedy's lane bound.
+	if _, err := m.Submit(Spec{App: "stream", Size: "p0", Tenant: "paced"}); err != nil {
+		t.Fatalf("paced submit shed by greedy's bound: %v", err)
+	}
+	if d := m.TenantQueueDepth("greedy"); d != 2 {
+		t.Fatalf("greedy depth %d, want 2", d)
+	}
+}

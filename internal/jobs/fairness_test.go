@@ -1,0 +1,249 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fibersim/internal/obs"
+)
+
+// stepClock is a hand-advanced clock shared by the fairness tests: the
+// test advances it exactly one second per completed job, so queue
+// waits are exact integers and the WDRR bound is assertable as an
+// equality-grade fact, not a timing heuristic.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newStepClock() *stepClock {
+	return &stepClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *stepClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *stepClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestFairQueueWDRR(t *testing.T) {
+	q := newFairQueue(map[string]int{"heavy": 2})
+	mk := func(tenant, id string) *Job {
+		return &Job{ID: id, Spec: Spec{App: "stream", Tenant: tenant}}
+	}
+	// heavy activates first, then light; heavy's weight is 2.
+	for i := 0; i < 4; i++ {
+		q.push(mk("heavy", fmt.Sprintf("h%d", i)))
+	}
+	for i := 0; i < 2; i++ {
+		q.push(mk("light", fmt.Sprintf("l%d", i)))
+	}
+	if q.len() != 6 || q.depth("heavy") != 4 || q.depth("light") != 2 {
+		t.Fatalf("depths: len=%d heavy=%d light=%d", q.len(), q.depth("heavy"), q.depth("light"))
+	}
+	var got []string
+	for j := q.pop(); j != nil; j = q.pop() {
+		got = append(got, j.ID)
+	}
+	// Two heavy per visit, one light: h0 h1 l0 h2 h3 l1.
+	want := []string{"h0", "h1", "l0", "h2", "h3", "l1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("pop order %v, want %v", got, want)
+	}
+	if q.pop() != nil || q.len() != 0 {
+		t.Fatal("drained queue still pops")
+	}
+
+	// A lane's visit spans its whole credit before the round moves on,
+	// drained lanes deactivate (forfeiting unspent credit), and a
+	// re-activating lane rejoins the round rather than being starved.
+	q = newFairQueue(map[string]int{"a": 2, "b": 3})
+	q.push(mk("a", "a0"))
+	q.push(mk("a", "a1"))
+	q.push(mk("b", "b0"))
+	if j := q.pop(); j.ID != "a0" {
+		t.Fatalf("first pop %s, want a0", j.ID)
+	}
+	if j := q.pop(); j.ID != "a1" {
+		t.Fatalf("second pop %s, want a1 (a's credit-2 visit continues)", j.ID)
+	}
+	// b drains mid-visit with 2 of its 3 credits unspent and forfeits
+	// them on deactivation.
+	if j := q.pop(); j.ID != "b0" {
+		t.Fatal("b0 lost")
+	}
+	q.push(mk("b", "b1"))
+	q.push(mk("a", "a2"))
+	if j := q.pop(); j.ID != "b1" {
+		t.Fatal("re-activated lane did not rejoin the round")
+	}
+}
+
+// TestNoisyNeighborFairness is the acceptance bound of the fair queue:
+// a greedy tenant flooding 100 jobs ahead of a paced tenant's 10 must
+// not push the paced tenant's queue waits beyond the interleave bound.
+// One worker, one virtual second per job, everything submitted before
+// the worker starts, so the j-th job popped waits exactly j seconds:
+// under 1:1 WDRR the paced job i pops at position 2i+1 (wait 2i+1s,
+// max 19s), while FIFO would make every paced job wait 100s+.
+func TestNoisyNeighborFairness(t *testing.T) {
+	clk := newStepClock()
+	started := make(chan string)
+	step := make(chan struct{})
+	cfg := testConfig(func(ctx context.Context, spec Spec) (Result, error) {
+		started <- spec.TenantKey()
+		<-step
+		return Result{TimeSeconds: 1, GFlops: 1, Verified: true}, nil
+	})
+	cfg.Workers = 1
+	cfg.QueueCap = 256
+	cfg.Now = clk.now
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const greedyN, pacedN = 100, 10
+	var greedyIDs, pacedIDs []string
+	for i := 0; i < greedyN; i++ {
+		j, err := m.Submit(Spec{App: "stream", Size: fmt.Sprintf("g%d", i), Tenant: "greedy"})
+		if err != nil {
+			t.Fatalf("greedy submit %d: %v", i, err)
+		}
+		greedyIDs = append(greedyIDs, j.ID)
+	}
+	for i := 0; i < pacedN; i++ {
+		j, err := m.Submit(Spec{App: "stream", Size: fmt.Sprintf("p%d", i), Tenant: "paced"})
+		if err != nil {
+			t.Fatalf("paced submit %d: %v", i, err)
+		}
+		pacedIDs = append(pacedIDs, j.ID)
+	}
+	if d := m.TenantQueueDepth("greedy"); d != greedyN {
+		t.Fatalf("greedy lane depth %d, want %d", d, greedyN)
+	}
+
+	m.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = m.Drain(ctx)
+	}()
+	var popOrder []string
+	for i := 0; i < greedyN+pacedN; i++ {
+		popOrder = append(popOrder, <-started)
+		clk.advance(time.Second)
+		step <- struct{}{}
+	}
+
+	// The first 20 pickups alternate greedy/paced exactly (equal
+	// weights, greedy's lane activated first).
+	for i := 0; i < 2*pacedN; i++ {
+		want := "greedy"
+		if i%2 == 1 {
+			want = "paced"
+		}
+		if popOrder[i] != want {
+			t.Fatalf("pickup %d went to %s, want %s (order %v)", i, popOrder[i], want, popOrder[:2*pacedN])
+		}
+	}
+
+	var pacedWaits []float64
+	for i, id := range pacedIDs {
+		j := waitTerminal(t, m, id)
+		if want := float64(2*i + 1); j.QueueWaitSeconds != want {
+			t.Fatalf("paced job %d queue wait %.0fs, want %.0fs", i, j.QueueWaitSeconds, want)
+		}
+		pacedWaits = append(pacedWaits, j.QueueWaitSeconds)
+	}
+	// The bound the noisy-neighbor smoke asserts end to end: paced p99
+	// (max of 10 samples) stays under 2*pacedN seconds despite a 10x
+	// greedy flood. FIFO would put it at 100s+.
+	for _, w := range pacedWaits {
+		if w >= float64(2*pacedN) {
+			t.Fatalf("paced queue wait %.0fs breaches the %ds fairness bound", w, 2*pacedN)
+		}
+	}
+	last := waitTerminal(t, m, greedyIDs[greedyN-1])
+	if last.QueueWaitSeconds != float64(greedyN+pacedN-1) {
+		t.Fatalf("last greedy wait %.0fs, want %ds", last.QueueWaitSeconds, greedyN+pacedN-1)
+	}
+}
+
+// TestDuplicateSpecsCoalesce pins the singleflight half of the cache:
+// duplicates of an in-flight spec attach to the running job (one
+// execution), and duplicates of a completed spec are served from the
+// cache without a worker ever seeing them.
+func TestDuplicateSpecsCoalesce(t *testing.T) {
+	cache, err := OpenResultCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var runs atomic.Int64
+	release := make(chan struct{})
+	cfg := testConfig(func(ctx context.Context, spec Spec) (Result, error) {
+		runs.Add(1)
+		<-release
+		return Result{TimeSeconds: 2.5, GFlops: 40, Verified: true}, nil
+	})
+	cfg.Workers = 1
+	cfg.Cache = cache
+	cfg.Registry = reg
+	m := startManager(t, cfg)
+
+	spec := Spec{App: "stream", Tenant: "alice"}
+	first, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first job running", func() bool { return runs.Load() == 1 })
+
+	// Same content, different tenant: tenant is an admission axis, not
+	// an experiment axis, so it still coalesces.
+	for i := 0; i < 4; i++ {
+		dup, err := m.Submit(Spec{App: "stream", Tenant: "bob"})
+		if err != nil {
+			t.Fatalf("duplicate %d: %v", i, err)
+		}
+		if !dup.Coalesced || dup.ID != first.ID {
+			t.Fatalf("duplicate %d = %+v, want coalesced onto %s", i, dup, first.ID)
+		}
+	}
+	if got := reg.Counter("fiberd_cache_coalesced_total", "", nil).Value(); got != 4 {
+		t.Fatalf("coalesce counter %v, want 4", got)
+	}
+
+	close(release)
+	done := waitTerminal(t, m, first.ID)
+	if done.State != StateDone {
+		t.Fatalf("first job %s, want done", done.State)
+	}
+
+	cached, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached || cached.Degraded || cached.State != StateDone {
+		t.Fatalf("post-completion duplicate = %+v, want cached non-degraded done", cached)
+	}
+	if cached.Result == nil || cached.Result.TimeSeconds != 2.5 {
+		t.Fatalf("cached result = %+v, want the original", cached.Result)
+	}
+	if got := reg.Counter("fiberd_cache_hits_total", "", nil).Value(); got != 1 {
+		t.Fatalf("cache hit counter %v, want 1", got)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("runner executed %d times, want exactly 1", got)
+	}
+}

@@ -1,0 +1,122 @@
+package jobs
+
+// fairQueue is the admission queue behind the manager: weighted
+// deficit-round-robin (WDRR) over per-tenant sub-queues. Every tenant
+// gets its own FIFO lane; workers drain lanes in round-robin order,
+// taking up to `weight` jobs from a lane per visit, so a tenant
+// flooding its lane cannot push another tenant's jobs to the back of a
+// shared line — the noisy-neighbor bound the fairness test asserts.
+//
+// Jobs all cost one "unit" (the per-attempt deadline bounds the real
+// cost), so classic DRR's byte-deficit degenerates to a per-visit
+// credit of `weight` dequeues. A lane that drains mid-visit forfeits
+// its remaining credit (standard DRR: no hoarding while idle), and a
+// lane re-activating joins the back of the round — it cannot cut the
+// line it just left.
+//
+// fairQueue is not safe for concurrent use: the manager guards it with
+// its own lock, exactly as it guarded the FIFO slice this replaces.
+type fairQueue struct {
+	weights map[string]int
+	lanes   map[string]*tenantLane
+	// active holds the lanes with queued jobs in round-robin order:
+	// first-seen order for new lanes, back-of-round for re-activating
+	// ones. Deterministic given the submission order, which is what
+	// lets the noisy-neighbor test pin exact dequeue positions.
+	active []*tenantLane
+	cursor int
+	total  int
+}
+
+// tenantLane is one tenant's FIFO sub-queue plus its WDRR credit.
+type tenantLane struct {
+	name   string
+	weight int
+	jobs   []*Job
+	credit int
+}
+
+func newFairQueue(weights map[string]int) *fairQueue {
+	return &fairQueue{
+		weights: weights,
+		lanes:   map[string]*tenantLane{},
+	}
+}
+
+// weightFor resolves a tenant's configured share; unlisted tenants
+// (and every tenant when no weights were configured) get weight 1.
+func (q *fairQueue) weightFor(tenant string) int {
+	if w, ok := q.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// push appends a job to its tenant's lane, activating the lane if it
+// was empty.
+func (q *fairQueue) push(job *Job) {
+	t := job.Spec.TenantKey()
+	lane := q.lanes[t]
+	if lane == nil {
+		lane = &tenantLane{name: t, weight: q.weightFor(t)}
+		q.lanes[t] = lane
+	}
+	if len(lane.jobs) == 0 {
+		lane.credit = 0
+		q.active = append(q.active, lane)
+	}
+	lane.jobs = append(lane.jobs, job)
+	q.total++
+}
+
+// pop dequeues the next job under WDRR, or nil when the queue is
+// empty. The cursor lane is served until its credit is spent or its
+// lane drains, then the round moves on.
+func (q *fairQueue) pop() *Job {
+	if q.total == 0 {
+		return nil
+	}
+	if q.cursor >= len(q.active) {
+		q.cursor = 0
+	}
+	lane := q.active[q.cursor]
+	if lane.credit == 0 {
+		// New visit: grant this round's credit.
+		lane.credit = lane.weight
+	}
+	job := lane.jobs[0]
+	lane.jobs[0] = nil // release the reference; the slice is reused
+	lane.jobs = lane.jobs[1:]
+	lane.credit--
+	q.total--
+	if len(lane.jobs) == 0 {
+		// Drained: deactivate and forfeit any remaining credit. The
+		// cursor now already points at the next lane.
+		lane.credit = 0
+		q.active = append(q.active[:q.cursor], q.active[q.cursor+1:]...)
+	} else if lane.credit == 0 {
+		q.cursor++
+	}
+	return job
+}
+
+// len is the total number of queued jobs across all lanes.
+func (q *fairQueue) len() int { return q.total }
+
+// depth is the number of jobs queued in one tenant's lane.
+func (q *fairQueue) depth(tenant string) int {
+	if lane := q.lanes[tenant]; lane != nil {
+		return len(lane.jobs)
+	}
+	return 0
+}
+
+// tenants returns the tenants that have (or had) a lane, for gauge
+// refreshes after recovery; sorted by the caller when order matters.
+func (q *fairQueue) tenants() []string {
+	out := make([]string, 0, len(q.lanes))
+	for t := range q.lanes {
+		out = append(out, t)
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -12,8 +13,14 @@ import (
 )
 
 // JournalSchema identifies the job-journal record layout; bump on any
-// incompatible change.
-const JournalSchema = "fibersim/job-journal/v1"
+// incompatible change. v2 added the optional tenant field to records —
+// a compatible extension, so v1 journals (written before multi-
+// tenancy) still replay: their jobs simply land in the default
+// tenant's lane. New records are always written as v2.
+const (
+	JournalSchema   = "fibersim/job-journal/v2"
+	JournalSchemaV1 = "fibersim/job-journal/v1"
+)
 
 // Record is one journal line: a job state transition. The accepted
 // record carries the full Spec so replay needs nothing but the
@@ -35,11 +42,15 @@ type Record struct {
 	// pair journal lines with trace exports. Informational: the trace
 	// itself is in-memory and does not survive the daemon.
 	TraceID string `json:"trace_id,omitempty"`
+	// Tenant, on the accepted record, duplicates Spec.Tenant at the top
+	// level so journal tooling (jq, the chaos smoke) can group lines by
+	// tenant without digging into the spec. v2 only; absent on v1 lines.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Validate checks the invariants replay relies on.
 func (r Record) Validate() error {
-	if r.Schema != JournalSchema {
+	if r.Schema != JournalSchema && r.Schema != JournalSchemaV1 {
 		return fmt.Errorf("jobs: journal record schema %q, want %q", r.Schema, JournalSchema)
 	}
 	if r.ID == "" {
@@ -106,29 +117,10 @@ func OpenJournal(path string, syncEvery time.Duration) (*Journal, []Record, erro
 		_ = f.Close() // the original error is the one worth reporting
 		return nil, nil, err
 	}
-	var recs []Record
-	good, start, lineno := 0, 0, 0
-	for {
-		end := bytes.IndexByte(data[start:], '\n')
-		if end < 0 {
-			break // torn tail from a mid-write kill
-		}
-		lineno++
-		line := bytes.TrimSpace(data[start : start+end])
-		start += end + 1
-		if len(line) > 0 {
-			var r Record
-			if err := json.Unmarshal(line, &r); err != nil {
-				_ = f.Close() // the original error is the one worth reporting
-				return nil, nil, fmt.Errorf("jobs: %s:%d: not a job-journal line: %v", path, lineno, err)
-			}
-			if err := r.Validate(); err != nil {
-				_ = f.Close() // the original error is the one worth reporting
-				return nil, nil, fmt.Errorf("jobs: %s:%d: %w", path, lineno, err)
-			}
-			recs = append(recs, r)
-		}
-		good = start
+	recs, good, err := parseJournal(path, data)
+	if err != nil {
+		_ = f.Close() // the original error is the one worth reporting
+		return nil, nil, err
 	}
 	if good < len(data) {
 		if err := f.Truncate(int64(good)); err != nil {
@@ -141,6 +133,132 @@ func OpenJournal(path string, syncEvery time.Duration) (*Journal, []Record, erro
 		return nil, nil, err
 	}
 	return &Journal{f: f, path: path, syncEvery: syncEvery, now: time.Now}, recs, nil
+}
+
+// parseJournal parses every complete (newline-terminated) record in
+// data, returning the records and the offset of the last complete
+// line — everything past it is a torn tail from a mid-write kill. A
+// malformed record that IS terminated means the file is not a job
+// journal: error, not data loss.
+func parseJournal(path string, data []byte) (recs []Record, good int, err error) {
+	start, lineno := 0, 0
+	for {
+		end := bytes.IndexByte(data[start:], '\n')
+		if end < 0 {
+			break // torn tail from a mid-write kill
+		}
+		lineno++
+		line := bytes.TrimSpace(data[start : start+end])
+		start += end + 1
+		if len(line) > 0 {
+			var r Record
+			if err := json.Unmarshal(line, &r); err != nil {
+				return nil, 0, fmt.Errorf("jobs: %s:%d: not a job-journal line: %v", path, lineno, err)
+			}
+			if err := r.Validate(); err != nil {
+				return nil, 0, fmt.Errorf("jobs: %s:%d: %w", path, lineno, err)
+			}
+			recs = append(recs, r)
+		}
+		good = start
+	}
+	return recs, good, nil
+}
+
+// CompactJournal rewrites the journal at path, dropping every record
+// of jobs whose final state is terminal and older than retention —
+// the journal's job is crash recovery, and a done/failed job settled
+// long ago has nothing left to recover. Records of live (non-terminal)
+// jobs are always kept, whatever their age, as are terminal jobs whose
+// records carry no timestamp (age unknown — keep is the safe side).
+//
+// The rewrite is crash-safe: surviving records go to path+".compact",
+// fsynced, then renamed over the journal, then the directory is
+// fsynced so the rename itself survives. A crash before the rename
+// leaves the original journal untouched (a leftover .compact file is
+// simply overwritten next time); a crash after is the completed
+// compaction. When nothing would be dropped the file is left alone.
+//
+// Returns the number of jobs kept and dropped. A missing journal is
+// (0, 0, nil): nothing to compact on first boot.
+func CompactJournal(path string, retention time.Duration, now time.Time) (kept, dropped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	recs, _, err := parseJournal(path, data)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// A job is droppable when its last record is terminal, timestamped,
+	// and at or past the retention horizon.
+	type jobTail struct {
+		state State
+		nanos int64
+	}
+	tails := map[string]jobTail{}
+	var ids []string
+	for _, r := range recs {
+		if _, ok := tails[r.ID]; !ok {
+			ids = append(ids, r.ID)
+		}
+		tails[r.ID] = jobTail{state: r.State, nanos: r.UnixNanos}
+	}
+	cutoff := now.Add(-retention).UnixNano()
+	drop := map[string]bool{}
+	for _, id := range ids {
+		t := tails[id]
+		if t.state.Terminal() && t.nanos > 0 && t.nanos <= cutoff {
+			drop[id] = true
+			dropped++
+		} else {
+			kept++
+		}
+	}
+	if dropped == 0 {
+		return kept, 0, nil
+	}
+
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range recs {
+		if drop[r.ID] {
+			continue
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			_ = f.Close() // the marshal error is the one worth reporting
+			return 0, 0, err
+		}
+		if _, err := f.Write(append(b, '\n')); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			return 0, 0, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // the sync error is the one worth reporting
+		return 0, 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, 0, err
+	}
+	// fsync the directory so the rename — the commit point — survives a
+	// crash too.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync() // best effort: some filesystems refuse dir fsync
+		_ = dir.Close()
+	}
+	return kept, dropped, nil
 }
 
 // Append writes one record (line plus newline in a single write, so

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -262,5 +263,199 @@ func TestOpenJournalBadPath(t *testing.T) {
 	_, _, err := OpenJournal(t.TempDir(), 0) // a directory, not a file
 	if err == nil || !errors.As(err, &pe) {
 		t.Fatalf("open of a directory = %v", err)
+	}
+}
+
+// TestJournalV1BackwardCompat replays a journal written by the v1
+// (pre-multi-tenancy) daemon, byte-for-byte as it wrote it: the v2
+// reader must accept the old schema string and land the jobs in the
+// default tenant's lane.
+func TestJournalV1BackwardCompat(t *testing.T) {
+	path := tmpJournal(t)
+	v1 := strings.Join([]string{
+		`{"schema":"fibersim/job-journal/v1","id":"job-000001","state":"accepted","spec":{"app":"stream","machine":"a64fx","procs":4,"threads":12,"size":"test"},"unix_ns":1700000000000000000}`,
+		`{"schema":"fibersim/job-journal/v1","id":"job-000001","state":"running","attempt":1}`,
+		`{"schema":"fibersim/job-journal/v1","id":"job-000001","state":"done","attempt":1,"result":{"time_seconds":0.5,"gflops":80,"verified":true}}`,
+		`{"schema":"fibersim/job-journal/v1","id":"job-000002","state":"accepted","spec":{"app":"mvmc"}}`,
+		`{"schema":"fibersim/job-journal/v1","id":"job-000002","state":"running","attempt":1}`,
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatalf("v1 journal refused by the v2 reader: %v", err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d v1 records, want 5", len(recs))
+	}
+	jobs := Replay(recs)
+	if len(jobs) != 2 {
+		t.Fatalf("replay folded to %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].State != StateDone || jobs[0].Result == nil {
+		t.Fatalf("v1 done job replayed as %+v", jobs[0])
+	}
+	if !jobs[1].Recovered || jobs[1].State != StateAccepted {
+		t.Fatalf("v1 in-flight job replayed as %+v", jobs[1])
+	}
+	if got := jobs[1].Spec.TenantKey(); got != "default" {
+		t.Fatalf("v1 job tenant %q, want default", got)
+	}
+	// And the reopened journal appends v2 records after the v1 ones.
+	if err := j.Append(Record{Schema: JournalSchema, ID: "job-000003", State: StateAccepted,
+		Spec: &Spec{App: "stream", Tenant: "alice"}, Tenant: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, recs, err = OpenJournal(path, 0); err != nil || len(recs) != 6 {
+		t.Fatalf("mixed v1/v2 journal: %d records, err %v", len(recs), err)
+	}
+}
+
+func TestCompactJournalDropsSettledJobs(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Unix(1700000000, 0)
+	now := old.Add(48 * time.Hour)
+	spec := &Spec{App: "stream"}
+	// Three settled-long-ago jobs, one recent, one still in flight,
+	// one terminal but timestampless (age unknown — kept).
+	for i := 1; i <= 3; i++ {
+		id := fmt.Sprintf("job-%06d", i)
+		appendAll(t, j,
+			Record{Schema: JournalSchema, ID: id, State: StateAccepted, Spec: spec, UnixNanos: old.UnixNano()},
+			Record{Schema: JournalSchema, ID: id, State: StateDone, Attempt: 1,
+				Result: &Result{TimeSeconds: 1, GFlops: 1, Verified: true}, UnixNanos: old.UnixNano()})
+	}
+	appendAll(t, j,
+		Record{Schema: JournalSchema, ID: "job-000004", State: StateAccepted, Spec: spec, UnixNanos: now.UnixNano()},
+		Record{Schema: JournalSchema, ID: "job-000004", State: StateFailed, Attempt: 1, Err: "x", UnixNanos: now.UnixNano()},
+		Record{Schema: JournalSchema, ID: "job-000005", State: StateAccepted, Spec: spec, UnixNanos: old.UnixNano()},
+		Record{Schema: JournalSchema, ID: "job-000005", State: StateRunning, Attempt: 1, UnixNanos: old.UnixNano()},
+		Record{Schema: JournalSchema, ID: "job-000006", State: StateAccepted, Spec: spec},
+		Record{Schema: JournalSchema, ID: "job-000006", State: StateDone, Attempt: 1,
+			Result: &Result{TimeSeconds: 1, GFlops: 1, Verified: true}})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept, dropped, err := CompactJournal(path, 24*time.Hour, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 3 || dropped != 3 {
+		t.Fatalf("compaction kept %d dropped %d, want 3/3", kept, dropped)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// The compacted journal replays cleanly: the stale jobs are gone,
+	// the recent terminal, the in-flight, and the ageless one remain.
+	_, recs, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := Replay(recs)
+	ids := make([]string, 0, len(jobs))
+	for _, jb := range jobs {
+		ids = append(ids, jb.ID)
+	}
+	if want := "[job-000004 job-000005 job-000006]"; fmt.Sprint(ids) != want {
+		t.Fatalf("post-compaction jobs %v, want %s", ids, want)
+	}
+
+	// Nothing left to drop: a second compaction is a no-op that leaves
+	// the file untouched.
+	stat1, _ := os.Stat(path)
+	kept, dropped, err = CompactJournal(path, 24*time.Hour, now)
+	if err != nil || kept != 3 || dropped != 0 {
+		t.Fatalf("idempotent compaction: kept %d dropped %d err %v", kept, dropped, err)
+	}
+	stat2, _ := os.Stat(path)
+	if stat1.ModTime() != stat2.ModTime() || stat1.Size() != stat2.Size() {
+		t.Fatal("no-op compaction rewrote the file")
+	}
+
+	// A missing journal is nothing to compact, not an error.
+	if k, d, err := CompactJournal(filepath.Join(t.TempDir(), "absent"), time.Hour, now); k != 0 || d != 0 || err != nil {
+		t.Fatalf("missing journal: (%d, %d, %v)", k, d, err)
+	}
+}
+
+// TestCompactJournalTornCompactionCrash simulates dying mid-compaction:
+// a half-written .compact temp file must not corrupt anything — the
+// original journal is untouched, and the next compaction simply
+// overwrites the debris.
+func TestCompactJournalTornCompactionCrash(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Unix(1700000000, 0)
+	now := old.Add(48 * time.Hour)
+	appendAll(t, j,
+		Record{Schema: JournalSchema, ID: "job-000001", State: StateAccepted,
+			Spec: &Spec{App: "stream"}, UnixNanos: old.UnixNano()},
+		Record{Schema: JournalSchema, ID: "job-000001", State: StateDone, Attempt: 1,
+			Result: &Result{TimeSeconds: 1, GFlops: 1, Verified: true}, UnixNanos: old.UnixNano()},
+		Record{Schema: JournalSchema, ID: "job-000002", State: StateAccepted,
+			Spec: &Spec{App: "mvmc"}, UnixNanos: now.UnixNano()})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	original, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn temp file a mid-write crash leaves behind: garbage,
+	// unterminated.
+	if err := os.WriteFile(path+".compact", []byte(`{"schema":"fibersim/job-jo`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The journal itself still opens fine — compaction never touched it.
+	if _, recs, err := OpenJournal(path, 0); err != nil || len(recs) != 3 {
+		t.Fatalf("journal after torn compaction: %d records, err %v", len(recs), err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != string(original) {
+		t.Fatal("torn compaction altered the journal")
+	}
+
+	// Retrying the compaction overwrites the debris and completes.
+	kept, dropped, err := CompactJournal(path, 24*time.Hour, now)
+	if err != nil || kept != 1 || dropped != 1 {
+		t.Fatalf("retry compaction: kept %d dropped %d err %v", kept, dropped, err)
+	}
+	if _, err := os.Stat(path + ".compact"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp file left behind after successful compaction")
+	}
+	_, recs, err := OpenJournal(path, 0)
+	if err != nil || len(recs) != 1 || recs[0].ID != "job-000002" {
+		t.Fatalf("post-retry journal: %+v, err %v", recs, err)
+	}
+}
+
+func appendAll(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

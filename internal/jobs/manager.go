@@ -20,12 +20,17 @@ import (
 type Runner func(ctx context.Context, spec Spec) (Result, error)
 
 // Admission errors. The HTTP layer maps these to status codes:
-// ErrQueueFull → 429 + Retry-After, ErrBreakerOpen and ErrDraining →
-// 503 + Retry-After.
+// ErrQueueFull and ErrTenantQueueFull → 429 + Retry-After,
+// ErrBreakerOpen and ErrDraining → 503 + Retry-After.
 var (
-	ErrQueueFull   = errors.New("jobs: admission queue full")
-	ErrDraining    = errors.New("jobs: draining, not accepting work")
-	ErrBreakerOpen = errors.New("jobs: circuit breaker open")
+	ErrQueueFull = errors.New("jobs: admission queue full")
+	// ErrTenantQueueFull sheds one tenant's submission because that
+	// tenant's own lane is at its bound, even though the global queue
+	// may have room — the per-tenant backpressure that keeps one noisy
+	// tenant from consuming the whole global budget.
+	ErrTenantQueueFull = errors.New("jobs: tenant queue full")
+	ErrDraining        = errors.New("jobs: draining, not accepting work")
+	ErrBreakerOpen     = errors.New("jobs: circuit breaker open")
 	// ErrTimeout marks an attempt killed by its deadline; deadline
 	// failures are not retried (the simulator is deterministic — a
 	// rerun would time out again) and count against the breaker.
@@ -40,6 +45,21 @@ type Config struct {
 	// picked up); default 64. Recovered jobs bypass the bound — they
 	// were admitted by a previous life of the daemon.
 	QueueCap int
+	// TenantQueueCap bounds each tenant's lane of the fair queue; 0
+	// means only the global bound applies. Set it below QueueCap so one
+	// tenant's flood cannot consume the whole global budget.
+	TenantQueueCap int
+	// TenantWeights maps tenant name → WDRR weight (relative share of
+	// worker pickups). Unlisted tenants get weight 1; nil means every
+	// tenant is equal.
+	TenantWeights map[string]int
+	// Cache, when non-nil, turns on idempotent-result serving: duplicate
+	// submissions of an in-flight spec coalesce onto the running job,
+	// completed specs are answered from the cache, and when fresh
+	// execution is refused (breaker open, queue saturated) a cached
+	// answer is served with Degraded set instead of an error. Nil keeps
+	// the seed behaviour: every submission is a distinct job.
+	Cache *ResultCache
 	// Workers sizes the worker pool; default 2.
 	Workers int
 	// JobTimeout is the per-attempt deadline; default 5m.
@@ -76,11 +96,18 @@ type Config struct {
 type Manager struct {
 	cfg Config
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	jobs     map[string]*Job
-	order    []string
-	pending  []*Job
+	mu    sync.Mutex
+	cond  *sync.Cond
+	jobs  map[string]*Job
+	order []string
+	// queue is the WDRR fair queue over per-tenant lanes that replaced
+	// the single FIFO: workers drain tenants proportionally to their
+	// configured weights instead of strictly by arrival order.
+	queue *fairQueue
+	// inflight maps spec content hash → the accepted-or-running job for
+	// that spec, the singleflight index duplicate submissions coalesce
+	// through. Populated only when cfg.Cache is set.
+	inflight map[string]*Job
 	seq      int
 	breakers map[string]*Breaker
 	draining bool
@@ -118,6 +145,8 @@ func NewManager(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:      cfg,
 		jobs:     map[string]*Job{},
+		queue:    newFairQueue(cfg.TenantWeights),
+		inflight: map[string]*Job{},
 		breakers: map[string]*Breaker{},
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -154,11 +183,25 @@ func (m *Manager) Recover(recs []Record) {
 			// Queue wait for a recovered job is measured from recovery,
 			// not from its original (dead-process) admission.
 			job.enqueued = m.cfg.Now()
-			m.pending = append(m.pending, job)
+			if m.cfg.Cache != nil {
+				job.hash = job.Spec.ContentHash()
+				if m.inflight[job.hash] == nil {
+					m.inflight[job.hash] = job
+				}
+			}
+			m.queue.push(job)
 			requeued++
+		} else if job.State == StateDone && job.Result != nil && m.cfg.Cache != nil {
+			// A completed job in the journal warms the cache in memory
+			// (not durably: replaying the same journal every restart
+			// must not grow the cache file).
+			m.cfg.Cache.warm(job.Spec.ContentHash(), *job.Result)
 		}
 	}
 	m.gaugeQueueLocked()
+	for _, t := range m.queue.tenants() {
+		m.gaugeTenantLocked(t)
+	}
 	total := len(m.order)
 	m.mu.Unlock()
 	if requeued > 0 || total > 0 {
@@ -183,36 +226,127 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 }
 
 // SubmitTraced admits one job: validate, consult the (app, machine)
-// breaker, enforce the queue bound, journal the accepted record, then
-// enqueue. The accepted record is durable before SubmitTraced
-// returns, so an acknowledged job can never be lost to a crash.
+// breaker, coalesce onto an in-flight duplicate or serve a cached
+// result (when a cache is configured), enforce the global and
+// per-tenant queue bounds, journal the accepted record, then enqueue
+// into the tenant's fair-queue lane. The accepted record is durable
+// before SubmitTraced returns, so an acknowledged job can never be
+// lost to a crash.
+//
+// With a cache configured the degradation contract is: a duplicate of
+// an in-flight spec returns that job's snapshot with Coalesced set; a
+// duplicate of a completed spec returns a synthetic done snapshot with
+// Cached set (no new job ID is minted) — and when fresh execution
+// would have been refused (breaker open, draining, queue saturated)
+// that cached serve carries Degraded and the entry's age, instead of
+// the refusal error a cold spec gets. A half-open breaker's probe
+// never serves from cache: it must execute fresh so its outcome can
+// settle the breaker.
 //
 // span, when non-nil, is the job's root trace span (opened by the
-// transport at the request door). On success the manager takes
-// ownership — it annotates the span across the whole lifecycle
-// (queue wait with depth at enqueue, each attempt, backoff sleeps,
-// journal writes) and ends it at the terminal transition. On error
-// ownership stays with the caller, which should annotate the
-// rejection and end the span itself.
+// transport at the request door). On any nil-error return the manager
+// takes ownership — for enqueued jobs it annotates the span across the
+// whole lifecycle (queue wait with depth at enqueue, each attempt,
+// backoff sleeps, journal writes) and ends it at the terminal
+// transition; for coalesced and cached serves it annotates the outcome
+// and ends the span immediately. On error ownership stays with the
+// caller, which should annotate the rejection and end the span itself.
 func (m *Manager) SubmitTraced(spec Spec, span *obs.Span) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		m.countRejected("invalid")
 		return Job{}, err
 	}
-	if !m.breakerFor(spec.Key()).Allow() {
-		m.countRejected("breaker_open")
-		return Job{}, fmt.Errorf("%w for %s", ErrBreakerOpen, spec.Key())
+	tenantKey := spec.TenantKey()
+	span.SetAttr("tenant", tenantKey)
+	var hash string
+	if m.cfg.Cache != nil {
+		hash = spec.ContentHash()
 	}
+	// breakerFor takes m.mu, so the breaker consult happens before the
+	// admission lock. Admit (not Allow): if this admission seizes the
+	// half-open probe slot but ends in anything other than an
+	// execution, the slot must be released or the breaker jams.
+	b := m.breakerFor(spec.Key())
+	allow, probe := b.Admit()
+
 	m.mu.Lock()
-	if m.draining {
-		m.mu.Unlock()
-		m.countRejected("draining")
-		return Job{}, ErrDraining
+	// Coalesce before any shed/degrade decision: if the same spec is
+	// already accepted or running, the answer is on the way and this
+	// submission just attaches to it.
+	if hash != "" {
+		if cur := m.inflight[hash]; cur != nil {
+			snap := *cur
+			m.mu.Unlock()
+			if probe {
+				b.ReleaseProbe()
+			}
+			snap.Coalesced = true
+			snap.span, snap.queueSpan = nil, nil
+			m.count("fiberd_cache_coalesced_total",
+				"Duplicate submissions coalesced onto an in-flight job.", nil)
+			span.SetAttr("job_id", snap.ID)
+			span.SetAttr("outcome", "coalesced")
+			span.End()
+			return snap, nil
+		}
 	}
-	if len(m.pending) >= m.cfg.QueueCap {
+	// One admission verdict for both the error path and the degraded-
+	// serve decision, so they can never disagree.
+	refusal := ""
+	switch {
+	case !allow:
+		refusal = "breaker_open"
+	case m.draining:
+		refusal = "draining"
+	case m.queue.len() >= m.cfg.QueueCap:
+		refusal = "queue_full"
+	case m.cfg.TenantQueueCap > 0 && m.queue.depth(tenantKey) >= m.cfg.TenantQueueCap:
+		refusal = "tenant_queue_full"
+	}
+	if hash != "" && !probe {
+		if cr, hit := m.cfg.Cache.Get(hash); hit {
+			now := m.cfg.Now()
+			m.mu.Unlock()
+			res := cr.Result
+			job := Job{Spec: spec, State: StateDone, Result: &res, Cached: true}
+			if cr.UnixTime > 0 {
+				job.CachedAgeSeconds = now.Sub(time.Unix(cr.UnixTime, 0)).Seconds()
+			}
+			outcome := "cached"
+			m.count("fiberd_cache_hits_total", "Submissions answered from the idempotent result cache.", nil)
+			if refusal != "" {
+				// Graceful degradation: fresh execution is refused, but a
+				// cached answer beats an error — marked so the caller
+				// knows it is potentially stale.
+				job.Degraded = true
+				outcome = "degraded"
+				m.count("fiberd_degraded_serves_total",
+					"Cached results served because fresh execution was refused.",
+					obs.Labels{"reason": refusal})
+			}
+			span.SetAttr("outcome", outcome)
+			span.End()
+			return job, nil
+		}
+	}
+	if refusal != "" {
 		m.mu.Unlock()
-		m.countRejected("queue_full")
-		return Job{}, ErrQueueFull
+		if probe {
+			b.ReleaseProbe()
+		}
+		m.countRejected(refusal)
+		switch refusal {
+		case "breaker_open":
+			return Job{}, fmt.Errorf("%w for %s", ErrBreakerOpen, spec.Key())
+		case "draining":
+			return Job{}, ErrDraining
+		case "queue_full":
+			m.countShed(tenantKey, refusal)
+			return Job{}, ErrQueueFull
+		default: // tenant_queue_full
+			m.countShed(tenantKey, refusal)
+			return Job{}, fmt.Errorf("%w for tenant %s", ErrTenantQueueFull, tenantKey)
+		}
 	}
 	m.seq++
 	now := m.cfg.Now()
@@ -222,21 +356,27 @@ func (m *Manager) SubmitTraced(spec Spec, span *obs.Span) (Job, error) {
 		State:    StateAccepted,
 		span:     span,
 		enqueued: now,
+		hash:     hash,
 	}
 	if ctx := span.Context(); ctx.Valid() {
 		job.TraceID = ctx.TraceID.String()
 	}
 	span.SetAttr("job_id", job.ID)
-	depth := len(m.pending)
+	depth := m.queue.len()
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
-	m.pending = append(m.pending, job)
+	m.queue.push(job)
+	if hash != "" {
+		m.inflight[hash] = job
+	}
 	// The queue-wait span opens at enqueue and is ended by the worker
 	// that dequeues the job; the depth attribute is the backlog this
-	// job queued behind.
+	// job queued behind (across all lanes).
 	job.queueSpan = span.StartChild("queue-wait")
 	job.queueSpan.SetAttr("depth_at_enqueue", strconv.Itoa(depth))
+	job.queueSpan.SetAttr("tenant", tenantKey)
 	m.gaugeQueueLocked()
+	m.gaugeTenantLocked(tenantKey)
 	snapshot := *job
 	m.cond.Signal()
 	m.mu.Unlock()
@@ -244,6 +384,7 @@ func (m *Manager) SubmitTraced(spec Spec, span *obs.Span) (Job, error) {
 	m.append(span, Record{
 		Schema: JournalSchema, ID: snapshot.ID, State: StateAccepted,
 		Spec: &snapshot.Spec, UnixNanos: now.UnixNano(), TraceID: snapshot.TraceID,
+		Tenant: tenantKey,
 	})
 	m.countState(StateAccepted)
 	m.notify(snapshot)
@@ -263,20 +404,48 @@ func (m *Manager) Get(id string) (Job, bool) {
 
 // Jobs returns copies of every tracked job in submission order.
 func (m *Manager) Jobs() []Job {
+	return m.JobsFiltered("", 0)
+}
+
+// JobsFiltered returns copies of tracked jobs in submission order,
+// optionally restricted to one tenant (tenant != "") and to the most
+// recent limit jobs (limit > 0). It backs GET /jobs' ?tenant= and
+// ?limit= parameters, which exist because the unbounded listing grew
+// with every job the daemon ever saw.
+func (m *Manager) JobsFiltered(tenant string, limit int) []Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]Job, 0, len(m.order))
 	for _, id := range m.order {
-		out = append(out, *m.jobs[id])
+		job := m.jobs[id]
+		if tenant != "" && job.Spec.TenantKey() != tenant {
+			continue
+		}
+		out = append(out, *job)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
 	}
 	return out
 }
 
-// QueueDepth returns the number of jobs accepted but not yet running.
+// QueueDepth returns the number of jobs accepted but not yet running,
+// across all tenant lanes.
 func (m *Manager) QueueDepth() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.pending)
+	return m.queue.len()
+}
+
+// TenantQueueDepth returns the number of queued jobs in one tenant's
+// lane ("" means the default tenant).
+func (m *Manager) TenantQueueDepth(tenant string) int {
+	if tenant == "" {
+		tenant = "default"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queue.depth(tenant)
 }
 
 // Draining reports whether the manager has stopped accepting work.
@@ -291,7 +460,7 @@ func (m *Manager) Draining() bool {
 // to [1s, 60s]. It is the Retry-After header on 429 responses.
 func (m *Manager) RetryAfter() time.Duration {
 	m.mu.Lock()
-	depth, ewma := len(m.pending), m.ewmaSec
+	depth, ewma := m.queue.len(), m.ewmaSec
 	m.mu.Unlock()
 	if ewma <= 0 {
 		ewma = 1
@@ -368,24 +537,27 @@ func (m *Manager) Drain(ctx context.Context) error {
 func (m *Manager) workerLoop() {
 	for {
 		m.mu.Lock()
-		for !m.draining && len(m.pending) == 0 {
+		for !m.draining && m.queue.len() == 0 {
 			m.cond.Wait()
 		}
 		if m.draining {
 			m.mu.Unlock()
 			return
 		}
-		job := m.pending[0]
-		m.pending = m.pending[1:]
+		job := m.queue.pop()
 		m.gaugeQueueLocked()
+		m.gaugeTenantLocked(job.Spec.TenantKey())
 		queueSpan := job.queueSpan
 		job.queueSpan = nil
 		enqueued := job.enqueued
-		m.mu.Unlock()
 		// Close the queue-wait measurement before the first attempt:
 		// the span for the trace, the histogram for /metrics (so "is
-		// latency queueing or running" is answerable without a trace).
+		// latency queueing or running" is answerable without a trace),
+		// and the job's own QueueWaitSeconds field (what the fairness
+		// bound and fiberload's per-tenant queue-wait percentiles read).
 		wait := m.cfg.Now().Sub(enqueued)
+		job.QueueWaitSeconds = wait.Seconds()
+		m.mu.Unlock()
 		queueSpan.SetAttr("wait_seconds", fmt.Sprintf("%.6f", wait.Seconds()))
 		queueSpan.End()
 		if r := m.cfg.Registry; r != nil && !enqueued.IsZero() {
@@ -507,8 +679,22 @@ func (m *Manager) transition(job *Job, state State, errText string, res *Result)
 	if res != nil {
 		job.Result = res
 	}
+	if state.Terminal() && job.hash != "" && m.inflight[job.hash] == job {
+		// The job leaves the singleflight index: later duplicates hit
+		// the result cache (done) or start fresh (failed).
+		delete(m.inflight, job.hash)
+	}
 	snapshot := *job
 	m.mu.Unlock()
+	if state == StateDone && res != nil && m.cfg.Cache != nil && job.hash != "" {
+		// Outside m.mu: the cache write may hit disk. A result the
+		// cache refuses (e.g. zero runtime fails the perfdb schema) is
+		// logged and skipped — duplicates of this spec simply re-run.
+		if err := m.cfg.Cache.Put(job.Spec, job.hash, *res, m.cfg.Now()); err != nil {
+			m.logf("jobs: result cache put %s: %v", job.ID, err)
+			m.count("fiberd_cache_errors_total", "Result-cache writes refused or failed.", nil)
+		}
+	}
 	m.append(job.span, Record{
 		Schema: JournalSchema, ID: snapshot.ID, State: state, Attempt: snapshot.Attempt,
 		Err: errText, Result: res, UnixNanos: m.cfg.Now().UnixNano(),
@@ -591,8 +777,24 @@ func (m *Manager) observeAttempt(d time.Duration) {
 
 func (m *Manager) gaugeQueueLocked() {
 	if r := m.cfg.Registry; r != nil {
-		r.Gauge("fiberd_jobs_queue_depth", "", nil).Set(float64(len(m.pending)))
+		r.Gauge("fiberd_jobs_queue_depth", "", nil).Set(float64(m.queue.len()))
 	}
+}
+
+// gaugeTenantLocked refreshes one tenant's lane-depth gauge. The
+// metric is registered lazily on first touch, so a single-tenant
+// deployment's /metrics carries exactly one "default" series and the
+// metric never appears before the first submission.
+func (m *Manager) gaugeTenantLocked(tenant string) {
+	if r := m.cfg.Registry; r != nil {
+		r.Gauge("fiberd_tenant_queue_depth", "Jobs queued per tenant lane.",
+			obs.Labels{"tenant": tenant}).Set(float64(m.queue.depth(tenant)))
+	}
+}
+
+func (m *Manager) countShed(tenant, reason string) {
+	m.count("fiberd_tenant_shed_total", "Submissions shed at admission, per tenant and reason.",
+		obs.Labels{"tenant": tenant, "reason": reason})
 }
 
 func (m *Manager) setGaugeRunning(delta int) {

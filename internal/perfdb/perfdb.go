@@ -53,6 +53,12 @@ type Record struct {
 	// Rev is the git revision that produced the record (best effort;
 	// empty when the tree is not a git checkout).
 	Rev string `json:"rev,omitempty"`
+	// SpecHash is the canonical content hash of the job spec that
+	// produced the record (jobs.Spec.ContentHash), set when the record
+	// was appended by fiberd's result cache. Optional and ignored by
+	// detection; it lets a trajectory file double as the cache's durable
+	// index. Records written before this field exist load unchanged.
+	SpecHash string `json:"spec_hash,omitempty"`
 	// UnixTime stamps the wall-clock recording time (informational;
 	// detection never consults it).
 	UnixTime int64 `json:"unix_time,omitempty"`

@@ -1,0 +1,232 @@
+// Package tenant centralises per-tenant admission policy for the
+// fibersim service path: token-bucket rate limiting with an injectable
+// clock, and the weight grammar shared by fiberd's fair queue and
+// fiberload's traffic mix.
+//
+// The package is deliberately tiny and dependency-free: it knows
+// nothing about jobs, HTTP, or the model. fiberd wires a Limiter into
+// the job manager's admission path (429 + per-tenant Retry-After);
+// fiberload uses ParseWeights to split synthetic load across tenants.
+//
+// Like every model-scope package, tenant never reads the wall clock
+// itself — the clock is injected at construction (fiberd passes
+// time.Now, tests pass a fake), so limiter behaviour is exactly
+// reproducible.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultKey is the tenant every request without an explicit tenant
+// belongs to: untenanted clients share one bucket and one sub-queue
+// rather than bypassing admission policy.
+const DefaultKey = "default"
+
+// Key canonicalises a tenant name: empty means DefaultKey.
+func Key(name string) string {
+	if strings.TrimSpace(name) == "" {
+		return DefaultKey
+	}
+	return name
+}
+
+// Bucket parameterises one token bucket: Rate tokens refill per
+// second up to Burst. Rate <= 0 means unlimited (Allow always
+// admits); Burst < 1 is treated as 1, so a configured bucket always
+// admits at least one request from rest.
+type Bucket struct {
+	Rate  float64
+	Burst float64
+}
+
+func (b Bucket) burst() float64 {
+	if b.Burst < 1 {
+		return 1
+	}
+	return b.Burst
+}
+
+// bucketState is one tenant's live bucket.
+type bucketState struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter is a per-tenant token-bucket rate limiter. Every tenant
+// gets the default Bucket unless SetBucket gave it its own; buckets
+// materialise lazily on first Allow, full. All methods are safe for
+// concurrent use.
+type Limiter struct {
+	mu    sync.Mutex
+	def   Bucket
+	per   map[string]Bucket
+	state map[string]*bucketState
+	now   func() time.Time
+}
+
+// NewLimiter builds a limiter with the given default bucket. The
+// clock is required (model-scope code never reads time.Now itself):
+// fiberd passes time.Now, tests pass a fake.
+func NewLimiter(def Bucket, now func() time.Time) (*Limiter, error) {
+	if now == nil {
+		return nil, errors.New("tenant: NewLimiter needs a clock")
+	}
+	return &Limiter{
+		def:   def,
+		per:   map[string]Bucket{},
+		state: map[string]*bucketState{},
+		now:   now,
+	}, nil
+}
+
+// SetBucket overrides the bucket for one tenant (a premium tenant's
+// higher rate, an abusive tenant's clamp). It resets the tenant's
+// live bucket to full under the new parameters.
+func (l *Limiter) SetBucket(name string, b Bucket) {
+	name = Key(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.per[name] = b
+	delete(l.state, name)
+}
+
+// bucketFor returns the configured parameters for a tenant.
+func (l *Limiter) bucketFor(name string) Bucket {
+	if b, ok := l.per[name]; ok {
+		return b
+	}
+	return l.def
+}
+
+// refillLocked brings a tenant's bucket up to date with the clock and
+// returns it, creating it full on first sight.
+func (l *Limiter) refillLocked(name string, cfg Bucket) *bucketState {
+	st, ok := l.state[name]
+	t := l.now()
+	if !ok {
+		st = &bucketState{tokens: cfg.burst(), last: t}
+		l.state[name] = st
+		return st
+	}
+	if dt := t.Sub(st.last).Seconds(); dt > 0 {
+		st.tokens += cfg.Rate * dt
+		if max := cfg.burst(); st.tokens > max {
+			st.tokens = max
+		}
+	}
+	st.last = t
+	return st
+}
+
+// Allow spends one token from the tenant's bucket. When the bucket is
+// empty it refuses and reports how long until the next token refills —
+// the per-tenant Retry-After a 429 response should carry. A tenant
+// whose bucket has Rate <= 0 is unlimited.
+func (l *Limiter) Allow(name string) (bool, time.Duration) {
+	name = Key(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cfg := l.bucketFor(name)
+	if cfg.Rate <= 0 {
+		return true, 0
+	}
+	st := l.refillLocked(name, cfg)
+	if st.tokens >= 1 {
+		st.tokens--
+		return true, 0
+	}
+	wait := (1 - st.tokens) / cfg.Rate
+	return false, time.Duration(wait * float64(time.Second))
+}
+
+// Tokens reports a tenant's current token balance (after refill), for
+// the fiberd_tenant_tokens gauge. Unlimited tenants report their
+// burst ceiling.
+func (l *Limiter) Tokens(name string) float64 {
+	name = Key(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cfg := l.bucketFor(name)
+	if cfg.Rate <= 0 {
+		return cfg.burst()
+	}
+	return l.refillLocked(name, cfg).tokens
+}
+
+// Weight is one tenant's relative share: fiberd's WDRR queue drains
+// tenants proportionally to it; fiberload splits submissions by it.
+type Weight struct {
+	Name   string
+	Weight int
+}
+
+// ParseWeights parses the shared tenant-weight grammar:
+//
+//	"alice:3,bob"   named tenants with optional weights (default 1)
+//	"4"             integer shorthand: tenants t1..t4, weight 1 each
+//
+// Results come back sorted by name so callers that iterate (metric
+// registration, weighted draws) are deterministic; use Map for lookup.
+func ParseWeights(s string) ([]Weight, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, errors.New("tenant: empty weight spec")
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 1 {
+			return nil, fmt.Errorf("tenant: shorthand tenant count %d, want >= 1", n)
+		}
+		out := make([]Weight, 0, n)
+		for i := 1; i <= n; i++ {
+			out = append(out, Weight{Name: fmt.Sprintf("t%d", i), Weight: 1})
+		}
+		return out, nil
+	}
+	seen := map[string]bool{}
+	var out []Weight
+	for _, cell := range strings.Split(s, ",") {
+		cell = strings.TrimSpace(cell)
+		if cell == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(cell, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("tenant: weight cell %q has no tenant name", cell)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("tenant: tenant %q listed twice", name)
+		}
+		seen[name] = true
+		w := 1
+		if hasWeight {
+			n, err := strconv.Atoi(strings.TrimSpace(weightStr))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("tenant: weight cell %q: weight must be a positive integer", cell)
+			}
+			w = n
+		}
+		out = append(out, Weight{Name: name, Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("tenant: empty weight spec")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Map folds a weight list into the lookup shape jobs.Config wants.
+func Map(ws []Weight) map[string]int {
+	out := make(map[string]int, len(ws))
+	for _, w := range ws {
+		out[w.Name] = w.Weight
+	}
+	return out
+}

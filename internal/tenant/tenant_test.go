@@ -1,0 +1,168 @@
+package tenant
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock: limiter behaviour under it is
+// exactly reproducible, which is the point of the injected-clock
+// contract.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestNewLimiterRequiresClock(t *testing.T) {
+	if _, err := NewLimiter(Bucket{Rate: 1, Burst: 1}, nil); err == nil {
+		t.Fatal("NewLimiter(nil clock) succeeded, want error")
+	}
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewLimiter(Bucket{Rate: 2, Burst: 3}, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The bucket starts full: exactly Burst admissions back-to-back.
+	for i := 0; i < 3; i++ {
+		ok, _ := l.Allow("alice")
+		if !ok {
+			t.Fatalf("admission %d refused within burst", i)
+		}
+	}
+	ok, retry := l.Allow("alice")
+	if ok {
+		t.Fatal("admission 4 allowed, want refused (bucket empty)")
+	}
+	// Empty bucket at 2 tokens/s: the next token is 500ms away.
+	if want := 500 * time.Millisecond; retry != want {
+		t.Fatalf("retry-after = %v, want %v", retry, want)
+	}
+
+	// After 1s two tokens have refilled.
+	clk.advance(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("post-refill admission %d refused", i)
+		}
+	}
+	if ok, _ := l.Allow("alice"); ok {
+		t.Fatal("third post-refill admission allowed, want refused")
+	}
+}
+
+func TestLimiterTenantsAreIndependent(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewLimiter(Bucket{Rate: 1, Burst: 1}, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := l.Allow("greedy"); !ok {
+		t.Fatal("greedy's first admission refused")
+	}
+	if ok, _ := l.Allow("greedy"); ok {
+		t.Fatal("greedy's second admission allowed, want refused")
+	}
+	// greedy exhausting its bucket must not touch paced's.
+	if ok, _ := l.Allow("paced"); !ok {
+		t.Fatal("paced refused because greedy drained its own bucket")
+	}
+}
+
+func TestLimiterUnlimitedAndOverrides(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewLimiter(Bucket{Rate: 0}, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate <= 0 is unlimited.
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("anyone"); !ok {
+			t.Fatalf("unlimited tenant refused on admission %d", i)
+		}
+	}
+	// A per-tenant override clamps just that tenant.
+	l.SetBucket("abuser", Bucket{Rate: 1, Burst: 1})
+	if ok, _ := l.Allow("abuser"); !ok {
+		t.Fatal("abuser's burst admission refused")
+	}
+	if ok, _ := l.Allow("abuser"); ok {
+		t.Fatal("abuser's second admission allowed, want clamped")
+	}
+	if ok, _ := l.Allow("anyone"); !ok {
+		t.Fatal("override leaked onto another tenant")
+	}
+}
+
+func TestLimiterTokensGaugeAndDefaultKey(t *testing.T) {
+	clk := newFakeClock()
+	l, err := NewLimiter(Bucket{Rate: 1, Burst: 4}, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Tokens("fresh"); got != 4 {
+		t.Fatalf("fresh tenant tokens = %v, want 4", got)
+	}
+	// "" and DefaultKey are the same bucket.
+	if ok, _ := l.Allow(""); !ok {
+		t.Fatal("default-tenant admission refused")
+	}
+	if got := l.Tokens(DefaultKey); got != 3 {
+		t.Fatalf("default tokens after one spend = %v, want 3", got)
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Weight
+	}{
+		{"2", []Weight{{"t1", 1}, {"t2", 1}}},
+		{"alice:3,bob", []Weight{{"alice", 3}, {"bob", 1}}},
+		{" bob , alice:2 ", []Weight{{"alice", 2}, {"bob", 1}}},
+		{"solo:5", []Weight{{"solo", 5}}},
+	}
+	for _, c := range cases {
+		got, err := ParseWeights(c.in)
+		if err != nil {
+			t.Fatalf("ParseWeights(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("ParseWeights(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+
+	for _, bad := range []string{"", "0", "-3", "alice:0", "alice:x", ":2", "a,a", ","} {
+		if _, err := ParseWeights(bad); err == nil {
+			t.Fatalf("ParseWeights(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMap(t *testing.T) {
+	got := Map([]Weight{{"a", 2}, {"b", 1}})
+	if !reflect.DeepEqual(got, map[string]int{"a": 2, "b": 1}) {
+		t.Fatalf("Map = %v", got)
+	}
+}
