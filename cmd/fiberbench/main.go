@@ -13,6 +13,7 @@
 //	fiberbench -app stream -size test -manifest run.json -report
 //	fiberbench -app ccsqcd -procs 4 -threads 12 -trace run.trace.json
 //	fiberbench -app mvmc -metrics -        # Prometheus text to stdout
+//	fiberbench -app stream -selfprofile self.json -cpuprofile cpu.pprof
 //
 // Experiment ids map to the paper artefacts; run `fiberinfo
 // -experiments` for the index. Single-run mode exits non-zero when the
@@ -25,6 +26,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"fibersim/internal/arch"
 	"fibersim/internal/fault"
@@ -56,6 +58,9 @@ func main() {
 	metrics := flag.String("metrics", "", "single run: write Prometheus text exposition to this file (- for stdout)")
 	traceFile := flag.String("trace", "", "single run: write a chrome://tracing timeline to this file")
 	faultSpec := flag.String("fault", "", `single run: fault schedule, e.g. "seed=7,straggler=0:1.5,noise=200us:20us,crash=1:2ms" (see internal/fault)`)
+	selfProfile := flag.String("selfprofile", "", "single run: write a self-profile JSON (the simulator's own wall/alloc cost) to this file (- for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "single run: additionally capture a pprof CPU profile to this file")
+	heapProfile := flag.String("heapprofile", "", "single run: additionally capture a pprof heap profile to this file")
 	flag.Parse()
 
 	sz, err := common.ParseSize(*size)
@@ -69,12 +74,16 @@ func main() {
 			procs: *procs, threads: *threads, stride: *stride,
 			compiler: *compiler, manifest: *manifest, report: *report,
 			topK: *topK, metrics: *metrics, traceFile: *traceFile,
-			fault: *faultSpec,
+			fault: *faultSpec, selfProfile: *selfProfile,
+			cpuProfile: *cpuProfile, heapProfile: *heapProfile,
 		})
 		return
 	}
 	if *faultSpec != "" {
 		fatal(fmt.Errorf("-fault applies to single-run mode only (use with -app; sweeps take it via fibersweep)"))
+	}
+	if *selfProfile != "" || *cpuProfile != "" || *heapProfile != "" {
+		fatal(fmt.Errorf("-selfprofile/-cpuprofile/-heapprofile apply to single-run mode only (use with -app)"))
 	}
 
 	opt := harness.Options{Size: sz}
@@ -131,6 +140,9 @@ type singleOpts struct {
 	topK               int
 	metrics, traceFile string
 	fault              string
+	selfProfile        string
+	cpuProfile         string
+	heapProfile        string
 }
 
 // runSingle executes one fully instrumented configuration and emits
@@ -169,11 +181,51 @@ func runSingle(o singleOpts) {
 	}
 	rec.SetMeta(app.Name(), rc.Normalized().String())
 
+	var cost *obs.CostRecorder
+	if o.selfProfile != "" {
+		cost = obs.NewCostRecorder(time.Now)
+		rc.Cost = cost
+	}
+	stopCPU := func() {}
+	if o.cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(o.cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		stopCPU = stop
+	}
+	cost.Start()
 	res, err := app.Run(rc)
+	cost.SnapshotHeap()
+	cost.Finish()
+	stopCPU()
 	if err != nil {
 		fatal(err)
 	}
 	doc := common.BuildManifest(res, rec)
+
+	if o.selfProfile != "" {
+		prof := cost.Profile(app.Name())
+		if o.cpuProfile != "" {
+			prof.CPUProfile = o.cpuProfile
+		}
+		if o.heapProfile != "" {
+			prof.HeapProfile = o.heapProfile
+		}
+		if err := writeTo(o.selfProfile, prof.Encode); err != nil {
+			fatal(err)
+		}
+		if o.selfProfile != "-" {
+			if err := prof.WriteReport(os.Stderr, 0); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if o.heapProfile != "" {
+		if err := obs.WriteHeapProfile(o.heapProfile); err != nil {
+			fatal(err)
+		}
+	}
 
 	if o.manifest != "" {
 		if err := writeTo(o.manifest, doc.Encode); err != nil {

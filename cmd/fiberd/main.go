@@ -19,6 +19,9 @@
 //	GET  /runs        JSON listing of the manifest directory
 //	GET  /runs/{name} one manifest, parsed and validated
 //	GET  /runs/live   SSE stream of fibersweep -progress output
+//	GET  /debug/runtime  JSON snapshot of the process's own Go runtime
+//	                  telemetry (with -runtime-metrics, which also adds
+//	                  fibersim_runtime_* families to /metrics)
 //
 // Every job state transition is appended to the -journal JSONL file
 // (schema fibersim/job-journal/v2; v1 files replay cleanly). The
@@ -32,7 +35,9 @@
 //
 // Multi-tenant overload protection: specs may carry a tenant name;
 // -tenant-rate/-tenant-burst rate-limit each tenant's submissions
-// (429 + Retry-After), -tenant-queue bounds each tenant's share of the
+// (429 + Retry-After), -tenant-override gives named tenants their own
+// buckets ("vip=10:40", usable with or without a default -tenant-rate),
+// -tenant-queue bounds each tenant's share of the
 // admission queue, and -tenant-weights sets the weighted fair-queueing
 // shares workers drain tenants by. -result-cache enables idempotent
 // result serving: duplicate specs coalesce onto the in-flight job, and
@@ -51,6 +56,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -83,6 +89,10 @@ func main() {
 	traceCap := flag.Int("trace-ring", 256, "finished service traces kept in memory for GET /traces; oldest evicted first")
 	saveManifests := flag.Bool("save-manifests", false, "write each completed job's run manifest into the -manifests directory")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+	runtimeMetrics := flag.Bool("runtime-metrics", false, "sample Go runtime telemetry into /metrics (fibersim_runtime_* families) and mount GET /debug/runtime")
+	runtimeInterval := flag.Duration("runtime-interval", 10*time.Second, "background runtime-telemetry sampling cadence (with -runtime-metrics)")
+	var tenantOverrides overrideFlag
+	flag.Var(&tenantOverrides, "tenant-override", `per-tenant bucket override "name=rate:burst" (repeatable; comma lists allowed; rate 0 = unlimited)`)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -186,12 +196,27 @@ func main() {
 	s.events = hub
 	s.log = logger
 	s.pprofOn = *pprofOn
-	if *tenantRate > 0 {
+	if *tenantRate > 0 || len(tenantOverrides) > 0 {
+		// -tenant-override without -tenant-rate still needs a limiter:
+		// the default bucket stays unlimited (rate 0) and only the named
+		// tenants get buckets.
 		s.limiter, err = tenant.NewLimiter(tenant.Bucket{Rate: *tenantRate, Burst: *tenantBurst}, time.Now)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fiberd:", err)
 			os.Exit(1)
 		}
+		for _, o := range tenantOverrides {
+			s.limiter.SetBucket(o.Name, o.Bucket)
+		}
+	}
+	if *runtimeMetrics {
+		sampler, serr := obs.NewRuntimeSampler(obs.RuntimeSamplerConfig{Registry: reg, Now: time.Now})
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "fiberd:", serr)
+			os.Exit(1)
+		}
+		s.sampler = sampler
+		go sampler.Run(ctx.Done(), *runtimeInterval)
 	}
 	code := serve(ctx, *addr, s.handler(), *drain, os.Stderr, manager)
 	if journal != nil {
@@ -201,6 +226,34 @@ func main() {
 		}
 	}
 	os.Exit(code)
+}
+
+// overrideFlag accumulates repeated -tenant-override values; each
+// occurrence may itself be a comma list (tenant.ParseOverrides).
+type overrideFlag []tenant.Override
+
+func (f *overrideFlag) String() string {
+	var parts []string
+	for _, o := range *f {
+		parts = append(parts, fmt.Sprintf("%s=%g:%g", o.Name, o.Bucket.Rate, o.Bucket.Burst))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *overrideFlag) Set(s string) error {
+	ovs, err := tenant.ParseOverrides(s)
+	if err != nil {
+		return err
+	}
+	for _, o := range ovs {
+		for _, have := range *f {
+			if have.Name == o.Name {
+				return fmt.Errorf("tenant: tenant %q overridden twice", o.Name)
+			}
+		}
+	}
+	*f = append(*f, ovs...)
+	return nil
 }
 
 // toRunSpec maps the job engine's transport-level Spec onto the

@@ -8,6 +8,7 @@
 //	fiberinfo -experiments                # the table/figure index
 //	fiberinfo -validate-manifest run.json  # schema + invariant check
 //	fiberinfo -validate-trace trace.json   # service-trace schema check
+//	fiberinfo -validate-selfprofile p.json # self-profile schema check
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	size := flag.String("size", "small", "data set for kernel descriptors: test, small, medium")
 	validate := flag.String("validate-manifest", "", "parse and validate a run manifest, exiting non-zero on failure")
 	validateTrace := flag.String("validate-trace", "", "parse and validate a service trace export, exiting non-zero on failure")
+	validateSelf := flag.String("validate-selfprofile", "", "parse and validate a self-profile artifact, exiting non-zero on failure")
 	flag.Parse()
 
 	if *validate != "" {
@@ -37,6 +39,9 @@ func main() {
 	}
 	if *validateTrace != "" {
 		os.Exit(runValidateTrace(*validateTrace, os.Stdout, os.Stderr))
+	}
+	if *validateSelf != "" {
+		os.Exit(runValidateSelfProfile(*validateSelf, os.Stdout, os.Stderr))
 	}
 
 	if !*machines && !*apps && !*exps && !*pw {
@@ -130,6 +135,21 @@ func runValidateTrace(path string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fiberinfo: %s: trace finalized with %d spans still open\n", path, tr.OpenSpans)
 		return 1
 	}
+	return 0
+}
+
+// runValidateSelfProfile checks a fibersim/self-profile/v1 document:
+// schema identity, the canonical stage set, finite non-negative
+// numbers, and stage times that sum to the recorded wall total —
+// ReadSelfProfileFile enforces all of it, so a parse is a validation.
+func runValidateSelfProfile(path string, stdout, stderr io.Writer) int {
+	p, err := obs.ReadSelfProfileFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "fiberinfo:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: valid self-profile %q: %d stages, wall %.6fs, %d allocs\n",
+		path, p.Label, len(p.Stages), p.WallSeconds, p.Allocs)
 	return 0
 }
 

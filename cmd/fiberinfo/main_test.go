@@ -150,6 +150,59 @@ func TestValidateTraceFlagsOpenSpans(t *testing.T) {
 	}
 }
 
+// selfProfilePath writes one real recorder's profile under an injected
+// clock — the same artifact fiberbench -selfprofile emits.
+func selfProfilePath(t *testing.T) string {
+	t.Helper()
+	clock := time.Unix(1700000000, 0)
+	cost := obs.NewCostRecorder(func() time.Time { clock = clock.Add(time.Millisecond); return clock })
+	cost.Start()
+	cost.End(obs.StageCharge, cost.Begin())
+	cost.End(obs.StageRender, cost.Begin())
+	cost.Finish()
+	path := filepath.Join(t.TempDir(), "self.json")
+	if err := cost.Profile("stream").WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateSelfProfileAcceptsGoodProfile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runValidateSelfProfile(selfProfilePath(t), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `valid self-profile "stream"`) {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+// The committed fixture claims 0.25 s of wall time over stages summing
+// to 0.5 s — a broken-invariant document validation must reject.
+func TestValidateSelfProfileRejectsCorruptFixture(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runValidateSelfProfile(filepath.Join("testdata", "corrupt-selfprofile.json"), &out, &errb); code == 0 {
+		t.Fatal("corrupt self-profile passed validation")
+	}
+	if !strings.Contains(errb.String(), "stages sum to") {
+		t.Errorf("stderr should name the sum mismatch: %q", errb.String())
+	}
+}
+
+func TestValidateSelfProfileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := runValidateSelfProfile(path, &out, &errb); code != 1 {
+		t.Fatal("bad schema must fail")
+	}
+	if code := runValidateSelfProfile(filepath.Join(t.TempDir(), "none.json"), &out, &errb); code != 1 {
+		t.Fatal("missing file must fail")
+	}
+}
+
 func TestValidateTraceRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "junk.json")
 	if err := os.WriteFile(path, []byte(`{"schema":"nope"}`), 0o644); err != nil {

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"time"
 
 	"fibersim/internal/harness"
 	"fibersim/internal/miniapps/common"
@@ -127,9 +128,9 @@ func runRecord(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fiberperf record: %v\n", err)
 		return 1
 	}
-	recs, err := harness.RunBenchGrid(grid, size, g.rev, func(r perfdb.Record) {
-		fmt.Fprintf(stdout, "recorded %-40s %10s  %8.1f Gflop/s\n",
-			r.Key(), vtime.Format(r.TimeSeconds), r.GFlops)
+	recs, err := harness.RunBenchGrid(grid, size, g.rev, time.Now, func(r perfdb.Record) {
+		fmt.Fprintf(stdout, "recorded %-40s %10s  %8.1f Gflop/s  wall %8.3fs\n",
+			r.Key(), vtime.Format(r.TimeSeconds), r.GFlops, r.WallSeconds)
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "fiberperf record: %v\n", err)
@@ -154,6 +155,8 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 	fs.Float64Var(&th.Z, "z", th.Z, "robust z-score threshold")
 	fs.Float64Var(&th.MinRel, "min-rel", th.MinRel, "relative scale floor (guards MAD=0 baselines)")
 	failOn := fs.String("fail-on", "regress", "what fails the gate: regress (slower only) or change (any shift)")
+	wallMinRel := fs.Float64("wall-min-rel", 1.5, "relative floor for the wall-clock self-cost gate (0 disables)")
+	allocMinRel := fs.Float64("alloc-min-rel", 0.25, "relative floor for the allocation self-cost gate (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -171,7 +174,7 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fiberperf check: %v\n", err)
 		return 1
 	}
-	fresh, err := harness.RunBenchGrid(grid, size, g.rev, nil)
+	fresh, err := harness.RunBenchGrid(grid, size, g.rev, time.Now, nil)
 	if err != nil {
 		fmt.Fprintf(stderr, "fiberperf check: %v\n", err)
 		return 1
@@ -195,6 +198,32 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	bad := perfdb.Regressions(findings, *failOn == "change")
+	// Self-cost gates: wall clock and allocations measure the simulator
+	// process, not the model, so they run on real-machine noise. The
+	// floors are deliberately loose (a 1.5 relative floor tolerates a 6x
+	// wall shift at z=4) and the gates are regress-only even under
+	// -fail-on change — a faster simulator never fails the build.
+	selfGates := []struct {
+		name   string
+		metric func(perfdb.Record) float64
+		minRel float64
+	}{
+		{"wall", func(r perfdb.Record) float64 { return r.WallSeconds }, *wallMinRel},
+		{"allocs", func(r perfdb.Record) float64 { return r.AllocsPerRun }, *allocMinRel},
+	}
+	for _, gate := range selfGates {
+		if gate.minRel <= 0 {
+			continue
+		}
+		gth := th
+		gth.MinRel = gate.minRel
+		gf := traj.CheckMetric(fresh, gate.name, gate.metric, gth)
+		for _, f := range perfdb.Regressions(gf, false) {
+			fmt.Fprintf(stdout, "%-12s %-40s %12g vs median %12g  z=%+.2f  ratio %.3fx  (n=%d)\n",
+				f.Verdict, f.Key, f.Value, f.Median, f.Z, f.Ratio, f.Baseline)
+			bad = append(bad, f)
+		}
+	}
 	for _, u := range unverified {
 		fmt.Fprintf(stdout, "UNVERIFIED   %s\n", u)
 	}

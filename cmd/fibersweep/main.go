@@ -11,6 +11,7 @@
 //	fibersweep -app stream -manifest runs/        # one manifest per run
 //	fibersweep -app stream -fault "straggler=0:1.5,noise=200us:20us"
 //	fibersweep -app mvmc -resume sweep.state     # crash-safe, restartable
+//	fibersweep -app stream -decomps 1x48,4x12,48x1 -selfprofile profiles/
 package main
 
 import (
@@ -23,8 +24,10 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"fibersim/internal/arch"
 	"fibersim/internal/core"
@@ -43,6 +46,7 @@ func main() {
 	size := flag.String("size", "small", "data set: test, small, medium")
 	machines := flag.String("machines", "a64fx", "comma-separated machine list")
 	compilers := flag.String("compilers", "as-is", "comma-separated compiler configs: as-is, nosimd, simd, sched, tuned")
+	decomps := flag.String("decomps", "", `comma-separated decompositions like "1x48,4x12,48x1" (default: the powers-of-two grid of each machine)`)
 	stride := flag.Int("stride", 0, "node-level thread stride (0 = compact block placement)")
 	traceFile := flag.String("trace", "", "write a chrome://tracing timeline of ONE configuration to this file (see -trace-app/-trace-config)")
 	traceApp := flag.String("trace-app", "", "app to trace (default: the first swept)")
@@ -54,6 +58,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retry a failed run up to N times with doubling backoff before recording the error")
 	maxRuns := flag.Int("max-runs", 0, "stop after N fresh (non-resumed) runs; exits 3 if configurations remain")
 	progress := flag.Bool("progress", false, "emit one JSON progress line per completed configuration on stderr (machine-readable; fiberd streams it)")
+	selfProfileDir := flag.String("selfprofile", "", "write one self-profile JSON (the simulator's own wall/alloc cost) per fresh configuration into this directory")
 	flag.Parse()
 
 	// Ctrl-C or SIGTERM cancels the sweep at the next safe point — in
@@ -93,6 +98,15 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *selfProfileDir != "" {
+		if err := os.MkdirAll(*selfProfileDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	forcedDecomps, err := parseDecomps(*decomps)
+	if err != nil {
+		fatal(err)
+	}
 
 	t := &harness.Table{
 		ID:    "sweep",
@@ -124,9 +138,15 @@ func main() {
 		}
 		ccList = append(ccList, ccEntry{name: cn, cc: cc})
 	}
+	decompsOf := func(m *arch.Machine) [][2]int {
+		if len(forcedDecomps) > 0 {
+			return forcedDecomps
+		}
+		return decompsFor(m)
+	}
 	total := 0
 	for _, m := range machineList {
-		total += len(decompsFor(m)) * len(ccList)
+		total += len(decompsOf(m)) * len(ccList)
 	}
 	total *= len(apps)
 
@@ -135,7 +155,7 @@ func main() {
 sweep:
 	for _, app := range apps {
 		for _, m := range machineList {
-			for _, d := range decompsFor(m) {
+			for _, d := range decompsOf(m) {
 				for _, ce := range ccList {
 					cn, cc := ce.name, ce.cc
 					rc := common.RunConfig{
@@ -170,12 +190,19 @@ sweep:
 						rec.SetMeta(app.Name(), rc.String())
 						rc.Recorder = rec
 					}
+					var cost *obs.CostRecorder
+					if *selfProfileDir != "" {
+						cost = obs.NewCostRecorder(time.Now)
+						rc.Cost = cost
+						cost.Start()
+					}
 					res, err := runOne(ctx, app, rc, *retries)
 					if ctx.Err() != nil {
 						state.Close()
 						fmt.Fprintln(os.Stderr, "fibersweep: interrupted; completed rows are checkpointed")
 						os.Exit(130)
 					}
+					cost.SnapshotHeap()
 					freshRuns++
 					var cells []string
 					if err != nil {
@@ -185,9 +212,11 @@ sweep:
 						if rec != nil {
 							path := filepath.Join(*manifestDir, fmt.Sprintf("%s-%s-%dx%d-%s.json",
 								app.Name(), m.Name, d[0], d[1], sanitize(cc.String())))
+							renderStart := cost.Begin()
 							if err := common.BuildManifest(res, rec).WriteFile(path); err != nil {
 								fatal(err)
 							}
+							cost.End(obs.StageRender, renderStart)
 						}
 						cells = []string{app.Name(), m.Name,
 							fmt.Sprintf("%dx%d", d[0], d[1]),
@@ -201,13 +230,28 @@ sweep:
 						}
 					}
 					t.AddRow(cells...)
+					journalStart := cost.Begin()
 					if err := state.record(key, cells); err != nil {
 						fatal(err)
+					}
+					cost.End(obs.StageJournal, journalStart)
+					cost.Finish()
+					if cost != nil {
+						prof := cost.Profile(app.Name())
+						path := filepath.Join(*selfProfileDir, fmt.Sprintf("selfprofile-%s-%s-%dx%d-%s.json",
+							app.Name(), m.Name, d[0], d[1], sanitize(cc.String())))
+						if err := prof.WriteFile(path); err != nil {
+							fatal(err)
+						}
 					}
 					doneRuns++
 					if *progress {
 						p := progressRow(app.Name(), m.Name, d, cc.String(), sz,
 							doneRuns, total, res, err, false)
+						if cost != nil {
+							p.WallSeconds = cost.WallSeconds()
+							p.HeapPeakBytes = cost.HeapPeakBytes()
+						}
 						emitProgress(&p)
 					}
 				}
@@ -417,6 +461,34 @@ func sanitize(s string) string {
 		}
 		return r
 	}, s)
+}
+
+// parseDecomps parses the -decomps override: comma-separated PxT
+// entries like "1x48,4x12,48x1". Empty means "use the per-machine
+// default grid". Shapes a machine cannot actually run surface as
+// per-run error rows, not parse errors — the flag only checks form.
+func parseDecomps(s string) ([][2]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out [][2]int
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		px, tx, ok := strings.Cut(ent, "x")
+		p, err1 := strconv.Atoi(px)
+		th, err2 := strconv.Atoi(tx)
+		if !ok || err1 != nil || err2 != nil || p < 1 || th < 1 {
+			return nil, fmt.Errorf("fibersweep: -decomps entry %q: want the form 4x12", ent)
+		}
+		out = append(out, [2]int{p, th})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fibersweep: -decomps %q names no decompositions", s)
+	}
+	return out, nil
 }
 
 // decompsFor returns the decomposition grid for a machine: powers of

@@ -8,6 +8,13 @@ import (
 	"fibersim/internal/vtime"
 )
 
+// ModelVersion identifies the performance-model revision. Bump it
+// whenever the model's numbers change — calibration constants, kernel
+// cost formulas, the overlap model — so every content-addressed
+// consumer (fiberd's result cache keys on it) treats results produced
+// by the old model as stale instead of serving them for the new one.
+const ModelVersion = "fibersim-model/v1"
+
 // Exec describes the execution context of one rank running a kernel:
 // which cores its threads are bound to, where its memory lives, how
 // loaded each NUMA domain is, and how the code was compiled.

@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"fibersim/internal/arch"
 	"fibersim/internal/miniapps/common"
@@ -84,8 +86,12 @@ func FilterBenchGrid(grid []BenchConfig, apps string) ([]BenchConfig, error) {
 
 // RunBench executes one grid cell under a recorder and folds the
 // result into a trajectory record: virtual runtime, ECM attribution
-// split summed over kernels, and total communication volume.
-func RunBench(c BenchConfig, size common.Size, rev string) (perfdb.Record, error) {
+// split summed over kernels, and total communication volume. A
+// non-nil clock additionally measures the simulator's own cost — the
+// cell's wall-clock seconds and heap allocations — into the record's
+// self-observability fields; nil skips the measurement (old-style
+// records).
+func RunBench(c BenchConfig, size common.Size, rev string, clock func() time.Time) (perfdb.Record, error) {
 	app, err := common.Lookup(c.App)
 	if err != nil {
 		return perfdb.Record{}, err
@@ -104,7 +110,22 @@ func RunBench(c BenchConfig, size common.Size, rev string) (perfdb.Record, error
 		Compiler: cc, Size: size, Recorder: rec,
 	}
 	rec.SetMeta(app.Name(), rc.Normalized().String())
-	res, err := app.Run(rc)
+	var wallSeconds, allocsPerRun float64
+	run := func() (common.Result, error) { return app.Run(rc) }
+	if clock != nil {
+		inner := run
+		run = func() (common.Result, error) {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := clock()
+			res, err := inner()
+			wallSeconds = clock().Sub(t0).Seconds()
+			runtime.ReadMemStats(&after)
+			allocsPerRun = float64(after.Mallocs - before.Mallocs)
+			return res, err
+		}
+	}
+	res, err := run()
 	if err != nil {
 		return perfdb.Record{}, fmt.Errorf("harness: bench %s %s %dx%d %s: %w",
 			c.App, c.Machine, c.Procs, c.Threads, c.Compiler, err)
@@ -129,24 +150,27 @@ func RunBench(c BenchConfig, size common.Size, rev string) (perfdb.Record, error
 		App:     c.App,
 		Machine: c.Machine,
 		Procs:   c.Procs, Threads: c.Threads,
-		Compiler:    cc.String(),
-		Size:        size.String(),
-		Rev:         rev,
-		TimeSeconds: res.Time,
-		GFlops:      res.GFlops(),
-		Verified:    res.Verified,
-		Attribution: split,
-		CommBytes:   comm,
+		Compiler:     cc.String(),
+		Size:         size.String(),
+		Rev:          rev,
+		TimeSeconds:  res.Time,
+		GFlops:       res.GFlops(),
+		Verified:     res.Verified,
+		Attribution:  split,
+		CommBytes:    comm,
+		WallSeconds:  wallSeconds,
+		AllocsPerRun: allocsPerRun,
 	}, nil
 }
 
 // RunBenchGrid executes every cell of the grid, invoking progress (if
 // non-nil) after each record. The first failing cell aborts the grid:
 // a partially benchmarked revision is worse than a loudly failing one.
-func RunBenchGrid(grid []BenchConfig, size common.Size, rev string, progress func(perfdb.Record)) ([]perfdb.Record, error) {
+// clock propagates to RunBench (nil skips self-cost measurement).
+func RunBenchGrid(grid []BenchConfig, size common.Size, rev string, clock func() time.Time, progress func(perfdb.Record)) ([]perfdb.Record, error) {
 	out := make([]perfdb.Record, 0, len(grid))
 	for _, c := range grid {
-		r, err := RunBench(c, size, rev)
+		r, err := RunBench(c, size, rev, clock)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"testing"
+	"time"
 
 	"fibersim/internal/miniapps/common"
 	"fibersim/internal/perfdb"
@@ -55,7 +56,7 @@ func TestFilterBenchGrid(t *testing.T) {
 
 func TestRunBenchProducesValidRecord(t *testing.T) {
 	c := BenchConfig{App: "stream", Machine: "a64fx", Procs: 4, Threads: 12, Compiler: "as-is"}
-	r, err := RunBench(c, common.SizeTest, "abc1234")
+	r, err := RunBench(c, common.SizeTest, "abc1234", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,12 +75,41 @@ func TestRunBenchProducesValidRecord(t *testing.T) {
 	// The simulator is deterministic in virtual time: identical cells
 	// must produce identical records (the property the perf gate leans
 	// on for its zero-noise baseline).
-	r2, err := RunBench(c, common.SizeTest, "abc1234")
+	r2, err := RunBench(c, common.SizeTest, "abc1234", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.TimeSeconds != r2.TimeSeconds || r.GFlops != r2.GFlops || r.CommBytes != r2.CommBytes {
 		t.Errorf("rerun drifted: %+v vs %+v", r, r2)
+	}
+	// Without a clock the self-cost fields stay zero (old-style record).
+	if r.WallSeconds != 0 || r.AllocsPerRun != 0 {
+		t.Errorf("clockless record measured self-cost: wall=%g allocs=%g", r.WallSeconds, r.AllocsPerRun)
+	}
+}
+
+func TestRunBenchMeasuresSelfCost(t *testing.T) {
+	c := BenchConfig{App: "stream", Machine: "a64fx", Procs: 1, Threads: 48, Compiler: "as-is"}
+	// An injected stepping clock makes the wall measurement exact: each
+	// call advances 250ms, and RunBench reads it twice around the run.
+	base := time.Unix(1700000000, 0)
+	var ticks int
+	clock := func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * 250 * time.Millisecond)
+	}
+	r, err := RunBench(c, common.SizeTest, "abc1234", clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("self-cost record does not validate: %v", err)
+	}
+	if r.WallSeconds != 0.25 {
+		t.Errorf("WallSeconds = %g, want 0.25 from the stepping clock", r.WallSeconds)
+	}
+	if r.AllocsPerRun <= 0 {
+		t.Errorf("AllocsPerRun = %g, want > 0 (a run always allocates)", r.AllocsPerRun)
 	}
 }
 
@@ -89,7 +119,7 @@ func TestRunBenchGridProgressAndErrors(t *testing.T) {
 		{App: "stream", Machine: "a64fx", Procs: 48, Threads: 1, Compiler: "tuned"},
 	}
 	var calls int
-	recs, err := RunBenchGrid(grid, common.SizeTest, "", func(r perfdb.Record) { calls++ })
+	recs, err := RunBenchGrid(grid, common.SizeTest, "", nil, func(r perfdb.Record) { calls++ })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +131,7 @@ func TestRunBenchGridProgressAndErrors(t *testing.T) {
 	}
 
 	bad := []BenchConfig{{App: "nosuchapp", Machine: "a64fx", Procs: 1, Threads: 48, Compiler: "as-is"}}
-	if _, err := RunBenchGrid(bad, common.SizeTest, "", nil); err == nil {
+	if _, err := RunBenchGrid(bad, common.SizeTest, "", nil, nil); err == nil {
 		t.Error("unknown app must abort the grid")
 	}
 }

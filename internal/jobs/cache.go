@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"fibersim/internal/core"
 	"fibersim/internal/perfdb"
 )
 
@@ -39,14 +40,23 @@ func (s Spec) canonical() Spec {
 
 // ContentHash is the canonical content identity of the model run a
 // spec describes: the experiment axes (app, machine, decomposition,
-// compiler, size, fault schedule) and nothing else. The model is
-// deterministic — same spec, same result — so this hash is the result
-// cache key and the singleflight coalescing key. Tenant and MaxRetries
-// are deliberately excluded: they shape admission, not the run.
+// compiler, size, fault schedule) plus the model version, and nothing
+// else. The model is deterministic — same spec, same model, same
+// result — so this hash is the result cache key and the singleflight
+// coalescing key; folding core.ModelVersion in means a model bump
+// invalidates every cached result instead of serving stale numbers.
+// Tenant and MaxRetries are deliberately excluded: they shape
+// admission, not the run.
 func (s Spec) ContentHash() string {
+	return s.contentHash(core.ModelVersion)
+}
+
+// contentHash is ContentHash with the model version injectable, so the
+// bump-invalidates-the-cache property is testable without bumping.
+func (s Spec) contentHash(modelVersion string) string {
 	c := s.canonical()
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%dx%d|%s|%s|%s",
-		c.App, c.Machine, c.Procs, c.Threads, c.Compiler, c.Size, c.Fault)))
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%dx%d|%s|%s|%s",
+		modelVersion, c.App, c.Machine, c.Procs, c.Threads, c.Compiler, c.Size, c.Fault)))
 	return hex.EncodeToString(sum[:16])
 }
 

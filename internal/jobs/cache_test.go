@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"fibersim/internal/core"
 	"fibersim/internal/obs"
 	"fibersim/internal/perfdb"
 )
@@ -37,6 +38,19 @@ func TestContentHashCanonicalisation(t *testing.T) {
 		if other.ContentHash() == bare.ContentHash() {
 			t.Fatalf("spec %+v hash-collides with the base spec", other)
 		}
+	}
+}
+
+func TestContentHashFoldsModelVersion(t *testing.T) {
+	// The exported hash is the injectable form at the current version;
+	// bumping the version must move every hash, so a recalibrated model
+	// never serves results cached under the old numbers.
+	spec := Spec{App: "stream"}
+	if spec.ContentHash() != spec.contentHash(core.ModelVersion) {
+		t.Fatal("ContentHash does not fold core.ModelVersion")
+	}
+	if spec.contentHash("fibersim-model/v2") == spec.ContentHash() {
+		t.Fatal("model-version bump did not change the content hash")
 	}
 }
 

@@ -113,6 +113,11 @@ type RunConfig struct {
 	// and OS noise, link faults scale message costs, and scheduled rank
 	// crashes abort the world. Nil is a clean run at zero cost.
 	Fault *fault.Schedule
+	// Cost, when non-nil, accounts the simulator's own wall-clock spend
+	// per stage (setup, charge, collective, vtime-advance) — the
+	// self-observability counterpart of Recorder. Nil disables the
+	// accounting at zero cost.
+	Cost *obs.CostRecorder
 }
 
 // Normalized returns the config with defaults applied (machine, 1x1
@@ -284,6 +289,7 @@ type Env struct {
 	prof map[string]KernelStats // per-rank kernel profile
 	rec  *obs.Recorder          // run recorder, nil when profiling is off
 	inj  *fault.Injector        // fault injector, nil on clean runs
+	cost *obs.CostRecorder      // self-cost recorder, nil when disabled
 }
 
 // Rank returns the MPI rank.
@@ -306,6 +312,8 @@ func (e *Env) Charge(k core.Kernel, iters float64) error {
 // here rather than calling Model.Charge directly, or they dodge fault
 // injection and crash checkpoints.
 func (e *Env) ChargeWith(k core.Kernel, iters float64, ex core.Exec) error {
+	costStart := e.cost.Begin()
+	defer e.cost.End(obs.StageCharge, costStart)
 	start := e.Comm.Clock().Now()
 	est, err := e.Model.Charge(e.Comm.Clock(), k, iters, ex)
 	if err != nil {
@@ -366,6 +374,10 @@ type RunStats struct {
 func Launch(cfg RunConfig, body func(env *Env) error) (*RunStats, error) {
 	cfg = cfg.withDefaults()
 
+	// Everything before the ranks start — placement, model, fabric,
+	// injector construction — is setup cost.
+	setupStart := cfg.Cost.Begin()
+
 	var pl *affinity.Placement
 	var err error
 	if cfg.NodeStride > 0 {
@@ -405,12 +417,15 @@ func Launch(cfg RunConfig, body func(env *Env) error) (*RunStats, error) {
 		return nil, err
 	}
 
+	cfg.Cost.End(obs.StageSetup, setupStart)
+
 	profiles := make([]map[string]KernelStats, cfg.Procs)
 	res, err := mpi.Run(mpi.Config{
 		Ranks: cfg.Procs, Fabric: fabric, PairScale: pairScale,
 		TraceCapacity: cfg.TraceCapacity,
 		Recorder:      cfg.Recorder,
 		Fault:         inj,
+		Cost:          cfg.Cost,
 	}, func(c *mpi.Comm) error {
 		team, err := omp.NewTeam(cfg.Machine, pl.ThreadCore[c.Rank()], c.Clock(), omp.DefaultOverheads())
 		if err != nil {
@@ -434,6 +449,7 @@ func Launch(cfg RunConfig, body func(env *Env) error) (*RunStats, error) {
 			prof: map[string]KernelStats{},
 			rec:  cfg.Recorder,
 			inj:  inj,
+			cost: cfg.Cost,
 		}
 		profiles[c.Rank()] = env.prof
 		return body(env)

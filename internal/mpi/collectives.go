@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"fibersim/internal/obs"
 	"fibersim/internal/vtime"
 )
 
@@ -61,7 +62,13 @@ func (c *Comm) rendezvous(op string, bytes int64, value any,
 	}
 	c.world.stats.countCollective(op, bytes)
 	traceStart := c.Clock().Now()
+	// Self-observability: the whole rendezvous (entry, combine, wait)
+	// is collective cost, except the clock-sync loop measured below as
+	// vtime-advance — the stages stay disjoint.
+	costStart := c.world.cost.Begin()
+	var syncCost time.Duration
 	defer func() {
+		c.world.cost.EndExcluding(obs.StageCollective, costStart, syncCost)
 		end := c.Clock().Now()
 		c.Trace(op, "mpi", traceStart, end)
 		c.world.rec.MPIOp(c.global(c.rank), collectiveName(op), -1, bytes, end-traceStart)
@@ -101,9 +108,11 @@ func (c *Comm) rendezvous(op string, bytes int64, value any,
 		}
 		start := vtime.Max(vtime.Comm, clocks...)
 		syncT := start + cost()
+		syncStart := c.world.cost.Begin()
 		for _, cl := range clocks {
 			cl.AdvanceTo(syncT, vtime.Comm)
 		}
+		syncCost = c.world.cost.End(obs.StageVtimeAdvance, syncStart)
 		// Reset for the next generation before releasing waiters.
 		ph.entries = nil
 		ph.cur = &generation{done: make(chan struct{})}

@@ -131,6 +131,10 @@ type Config struct {
 	// faults scale point-to-point costs in post, and FaultCheck fires
 	// scheduled rank crashes as world-wide aborts.
 	Fault *fault.Injector
+	// Cost, when non-nil, receives the simulator's own wall-clock
+	// spend: collective rendezvous and virtual-clock advancement are
+	// charged to their self-observability stages.
+	Cost *obs.CostRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -216,6 +220,7 @@ type World struct {
 	stats  *statCounters
 	traces []*trace.Log // per rank, nil when tracing is off
 	rec    *obs.Recorder
+	cost   *obs.CostRecorder
 	msgID  atomic.Uint64 // flow ids; 0 is reserved for "no flow"
 
 	inj       *fault.Injector             // nil on clean runs
@@ -339,6 +344,7 @@ func Run(cfg Config, body func(*Comm) error) (*Result, error) {
 		phaser:  map[string]*phaser{},
 		stats:   newStatCounters(),
 		rec:     cfg.Recorder,
+		cost:    cfg.Cost,
 		inj:     cfg.Fault,
 		blocked: make([]atomic.Pointer[BlockedOp], cfg.Ranks),
 		abortCh: make(chan struct{}),
@@ -548,7 +554,9 @@ func (c *Comm) recvMessage(src, tag int) (*message, error) {
 		m, wait := box.take(src, tag)
 		if m != nil {
 			c.world.clearBlocked(g)
+			vs := c.world.cost.Begin()
 			c.Clock().AdvanceTo(m.avail, vtime.Comm)
+			c.world.cost.End(obs.StageVtimeAdvance, vs)
 			end := c.Clock().Now()
 			c.traceFlow("recv", "mpi", t0, end, m.flow, trace.FlowIn)
 			c.world.rec.MPIOp(g, "recv", c.global(m.src), m.bytes, end-t0)

@@ -34,6 +34,11 @@ type SweepProgress struct {
 	Verified    bool    `json:"verified,omitempty"`
 	Resumed     bool    `json:"resumed,omitempty"`
 	Err         string  `json:"error,omitempty"`
+	// WallSeconds/HeapPeakBytes carry self-observability readings when
+	// the sweep runs under -selfprofile: the real wall cost of the cell
+	// and the live-heap high-water mark after it.
+	WallSeconds   float64 `json:"wall_seconds,omitempty"`
+	HeapPeakBytes uint64  `json:"heap_peak_bytes,omitempty"`
 }
 
 // Validate checks the invariants consumers rely on.
@@ -49,6 +54,9 @@ func (p *SweepProgress) Validate() error {
 	}
 	if math.IsNaN(p.TimeSeconds) || math.IsInf(p.TimeSeconds, 0) || p.TimeSeconds < 0 {
 		return fmt.Errorf("obs: progress time %g invalid", p.TimeSeconds)
+	}
+	if math.IsNaN(p.WallSeconds) || math.IsInf(p.WallSeconds, 0) || p.WallSeconds < 0 {
+		return fmt.Errorf("obs: progress wall time %g invalid", p.WallSeconds)
 	}
 	return nil
 }

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Names of the runtime/metrics series the default reader consumes.
+const (
+	metricHeapLive   = "/memory/classes/heap/objects:bytes"
+	metricHeapGoal   = "/gc/heap/goal:bytes"
+	metricGoroutines = "/sched/goroutines:goroutines"
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricAllocBytes = "/gc/heap/allocs:bytes"
+	metricGCPauses   = "/gc/pauses:seconds"
+	metricSchedLat   = "/sched/latencies:seconds"
+)
+
+// HistReading is a dependency-free copy of one cumulative runtime
+// histogram: Counts[i] falls in [Buckets[i], Buckets[i+1]). The
+// injectable reader returns these because metrics.Value cannot be
+// fabricated outside the runtime — tests build HistReadings directly.
+type HistReading struct {
+	Buckets []float64
+	Counts  []uint64
+}
+
+// RuntimeReading is one raw pass over the process's runtime telemetry.
+type RuntimeReading struct {
+	HeapLiveBytes uint64
+	HeapGoalBytes uint64
+	Goroutines    uint64
+	GCCycles      uint64
+	AllocBytes    uint64
+	GCPauses      HistReading
+	SchedLatency  HistReading
+}
+
+// readRuntimeMetrics is the production reader over runtime/metrics.
+func readRuntimeMetrics() RuntimeReading {
+	buf := make([]metrics.Sample, 7)
+	for i, name := range []string{
+		metricHeapLive, metricHeapGoal, metricGoroutines,
+		metricGCCycles, metricAllocBytes, metricGCPauses, metricSchedLat,
+	} {
+		buf[i].Name = name
+	}
+	metrics.Read(buf)
+	var r RuntimeReading
+	for i := range buf {
+		switch buf[i].Value.Kind() {
+		case metrics.KindUint64:
+			v := buf[i].Value.Uint64()
+			switch buf[i].Name {
+			case metricHeapLive:
+				r.HeapLiveBytes = v
+			case metricHeapGoal:
+				r.HeapGoalBytes = v
+			case metricGoroutines:
+				r.Goroutines = v
+			case metricGCCycles:
+				r.GCCycles = v
+			case metricAllocBytes:
+				r.AllocBytes = v
+			}
+		case metrics.KindFloat64Histogram:
+			h := buf[i].Value.Float64Histogram()
+			cp := HistReading{
+				Buckets: append([]float64(nil), h.Buckets...),
+				Counts:  append([]uint64(nil), h.Counts...),
+			}
+			switch buf[i].Name {
+			case metricGCPauses:
+				r.GCPauses = cp
+			case metricSchedLat:
+				r.SchedLatency = cp
+			}
+		}
+	}
+	return r
+}
+
+// RuntimeSnapshot is the JSON form of one sampler pass: the process's
+// own memory, GC and scheduler state. Counters are cumulative, so two
+// snapshots diff into an interval.
+type RuntimeSnapshot struct {
+	// SampledAt is the injected-clock time of the pass (RFC 3339).
+	SampledAt string `json:"sampled_at"`
+	// HeapLiveBytes/HeapGoalBytes are the live heap and the GC's next
+	// target; Goroutines the live goroutine count.
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	HeapGoalBytes uint64 `json:"heap_goal_bytes"`
+	Goroutines    int64  `json:"goroutines"`
+	// GCCycles/AllocBytes accumulate completed GC cycles and allocated
+	// heap bytes over the process lifetime.
+	GCCycles   uint64 `json:"gc_cycles"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// GCPauseSeconds approximates total stop-the-world pause time
+	// (histogram bucket upper bounds weight the counts).
+	GCPauseSeconds float64 `json:"gc_pause_seconds"`
+	// SchedLatencyP99Seconds is the 99th-percentile goroutine
+	// scheduling latency over the process lifetime.
+	SchedLatencyP99Seconds float64 `json:"sched_latency_p99_seconds"`
+}
+
+// RuntimeSamplerConfig configures a RuntimeSampler. Registry and Now
+// are required; Read defaults to the runtime/metrics reader and exists
+// so tests can inject deterministic readings.
+type RuntimeSamplerConfig struct {
+	Registry *Registry
+	Now      func() time.Time
+	Read     func() RuntimeReading
+}
+
+// RuntimeSampler feeds Go runtime telemetry — heap, GC, scheduler —
+// into the metrics registry as fibersim_runtime_* families, so the
+// process serving modeled-hardware metrics also exposes its own cost.
+// Safe for concurrent use.
+type RuntimeSampler struct {
+	now  func() time.Time
+	read func() RuntimeReading
+
+	heapLive   *Gauge
+	heapGoal   *Gauge
+	goroutines *Gauge
+	gcCycles   *Counter
+	allocBytes *Counter
+	gcPauses   *Histogram
+	schedLat   *Histogram
+
+	mu         sync.Mutex
+	prevCycles uint64
+	prevAlloc  uint64
+	prevPause  []uint64
+	prevSched  []uint64
+	snap       RuntimeSnapshot
+	sampled    bool
+}
+
+// NewRuntimeSampler builds a sampler over the given registry and
+// clock. It errors (rather than panics) on a missing registry or
+// clock so callers surface misconfiguration at startup.
+func NewRuntimeSampler(cfg RuntimeSamplerConfig) (*RuntimeSampler, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("obs: runtime sampler needs a registry")
+	}
+	if cfg.Now == nil {
+		return nil, fmt.Errorf("obs: runtime sampler needs a clock")
+	}
+	read := cfg.Read
+	if read == nil {
+		read = readRuntimeMetrics
+	}
+	r := cfg.Registry
+	return &RuntimeSampler{
+		now:  cfg.Now,
+		read: read,
+		heapLive: r.Gauge("fibersim_runtime_heap_live_bytes",
+			"live heap bytes of the simulator process", nil),
+		heapGoal: r.Gauge("fibersim_runtime_heap_goal_bytes",
+			"GC heap goal of the simulator process", nil),
+		goroutines: r.Gauge("fibersim_runtime_goroutines",
+			"live goroutines in the simulator process", nil),
+		gcCycles: r.Counter("fibersim_runtime_gc_cycles_total",
+			"completed GC cycles of the simulator process", nil),
+		allocBytes: r.Counter("fibersim_runtime_alloc_bytes_total",
+			"heap bytes allocated by the simulator process", nil),
+		gcPauses: r.Histogram("fibersim_runtime_gc_pause_seconds",
+			"stop-the-world GC pause durations of the simulator process", nil, nil),
+		schedLat: r.Histogram("fibersim_runtime_sched_latency_seconds",
+			"goroutine scheduling latencies of the simulator process", nil, nil),
+	}, nil
+}
+
+// Sample runs one pass: reads the runtime telemetry and updates the
+// registry families and the cumulative snapshot.
+func (s *RuntimeSampler) Sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Read under the lock: delta accounting is only correct when
+	// readings are applied in the order they were taken — a reading
+	// landing after a newer one would look like a counter reset and
+	// re-add its full cumulative value.
+	r := s.read()
+
+	s.snap.SampledAt = s.now().UTC().Format(time.RFC3339Nano)
+	s.heapLive.Set(float64(r.HeapLiveBytes))
+	s.snap.HeapLiveBytes = r.HeapLiveBytes
+	s.heapGoal.Set(float64(r.HeapGoalBytes))
+	s.snap.HeapGoalBytes = r.HeapGoalBytes
+	s.goroutines.Set(float64(r.Goroutines))
+	s.snap.Goroutines = int64(r.Goroutines)
+	s.gcCycles.Add(float64(counterDelta(r.GCCycles, &s.prevCycles)))
+	s.snap.GCCycles = r.GCCycles
+	s.allocBytes.Add(float64(counterDelta(r.AllocBytes, &s.prevAlloc)))
+	s.snap.AllocBytes = r.AllocBytes
+	s.snap.GCPauseSeconds += feedHistogramDelta(s.gcPauses, r.GCPauses, &s.prevPause)
+	feedHistogramDelta(s.schedLat, r.SchedLatency, &s.prevSched)
+	s.snap.SchedLatencyP99Seconds = histPercentile(r.SchedLatency, 0.99)
+	s.sampled = true
+}
+
+// Snapshot returns the state of the last pass; ok is false before the
+// first Sample.
+func (s *RuntimeSampler) Snapshot() (snap RuntimeSnapshot, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap, s.sampled
+}
+
+// Run samples immediately and then on every tick until done closes.
+// The channel form keeps obs free of a context dependency.
+func (s *RuntimeSampler) Run(done <-chan struct{}, every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	s.Sample()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			s.Sample()
+		}
+	}
+}
+
+// counterDelta returns cur-prev for a monotone counter, updating prev;
+// a regression (counter reset) restarts the baseline at cur.
+func counterDelta(cur uint64, prev *uint64) uint64 {
+	d := cur - *prev
+	if cur < *prev {
+		d = cur
+	}
+	*prev = cur
+	return d
+}
+
+// bucketValue picks the representative observation value for runtime
+// histogram bucket i (counts[i] spans buckets[i]..buckets[i+1]): the
+// finite upper bound, falling back to the lower bound on the +Inf
+// tail.
+func bucketValue(h HistReading, i int) float64 {
+	up := h.Buckets[i+1]
+	if !math.IsInf(up, 0) {
+		return up
+	}
+	lo := h.Buckets[i]
+	if math.IsInf(lo, 0) {
+		return 0
+	}
+	return lo
+}
+
+// feedHistogramDelta replays the new observations of a cumulative
+// runtime histogram into a registry histogram and returns the
+// (upper-bound-weighted) seconds added this pass. prev keeps the
+// previous bucket counts.
+func feedHistogramDelta(dst *Histogram, h HistReading, prev *[]uint64) float64 {
+	if len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return 0
+	}
+	if len(*prev) != len(h.Counts) {
+		*prev = make([]uint64, len(h.Counts))
+	}
+	var added float64
+	for i, n := range h.Counts {
+		d := int64(n - (*prev)[i])
+		if n < (*prev)[i] {
+			d = int64(n)
+		}
+		(*prev)[i] = n
+		if d <= 0 {
+			continue
+		}
+		v := bucketValue(h, i)
+		dst.ObserveN(v, d)
+		added += v * float64(d)
+	}
+	return added
+}
+
+// histPercentile returns the bucket upper bound at quantile q of a
+// cumulative runtime histogram (0 when empty or malformed).
+func histPercentile(h HistReading, q float64) float64 {
+	if len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return 0
+	}
+	var total uint64
+	for _, n := range h.Counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	var run uint64
+	for i, n := range h.Counts {
+		run += n
+		if run >= target {
+			return bucketValue(h, i)
+		}
+	}
+	return bucketValue(h, len(h.Counts)-1)
+}

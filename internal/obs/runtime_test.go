@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeReading builds a reading whose counters and histogram counts
+// scale with pass so delta logic is exercised.
+func fakeReading(pass uint64) RuntimeReading {
+	return RuntimeReading{
+		HeapLiveBytes: 1000 * pass,
+		HeapGoalBytes: 2000 * pass,
+		Goroutines:    10 + pass,
+		GCCycles:      3 * pass,
+		AllocBytes:    1 << 20 * pass,
+		GCPauses: HistReading{
+			Buckets: []float64{0, 1e-6, 1e-4, math.Inf(1)},
+			Counts:  []uint64{2 * pass, pass, 0},
+		},
+		SchedLatency: HistReading{
+			Buckets: []float64{0, 1e-6, 1e-3, math.Inf(1)},
+			Counts:  []uint64{99 * pass, 0, pass},
+		},
+	}
+}
+
+func TestRuntimeSamplerRequiresConfig(t *testing.T) {
+	if _, err := NewRuntimeSampler(RuntimeSamplerConfig{Now: func() time.Time { return time.Time{} }}); err == nil {
+		t.Error("missing registry must error")
+	}
+	if _, err := NewRuntimeSampler(RuntimeSamplerConfig{Registry: NewRegistry()}); err == nil {
+		t.Error("missing clock must error")
+	}
+}
+
+func TestRuntimeSamplerDeltas(t *testing.T) {
+	reg := NewRegistry()
+	var pass uint64
+	clock := time.Unix(1700000000, 0)
+	s, err := NewRuntimeSampler(RuntimeSamplerConfig{
+		Registry: reg,
+		Now:      func() time.Time { clock = clock.Add(time.Second); return clock },
+		Read:     func() RuntimeReading { pass++; return fakeReading(pass) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sample()
+	s.Sample()
+
+	// Gauges carry the latest reading (pass 2).
+	if got := reg.Gauge("fibersim_runtime_heap_live_bytes", "", nil).Value(); got != 2000 {
+		t.Errorf("heap live = %g, want 2000", got)
+	}
+	if got := reg.Gauge("fibersim_runtime_goroutines", "", nil).Value(); got != 12 {
+		t.Errorf("goroutines = %g, want 12", got)
+	}
+	// Counters accumulate deltas: 3 + 3 cycles across two passes.
+	if got := reg.Counter("fibersim_runtime_gc_cycles_total", "", nil).Value(); got != 6 {
+		t.Errorf("gc cycles = %g, want 6", got)
+	}
+	if got := reg.Counter("fibersim_runtime_alloc_bytes_total", "", nil).Value(); got != 2<<20 {
+		t.Errorf("alloc bytes = %g, want %d", got, 2<<20)
+	}
+	// Histogram replays per-bucket deltas: pass 2's cumulative counts.
+	h := reg.Histogram("fibersim_runtime_gc_pause_seconds", "", nil, nil)
+	if got := h.Count(); got != 6 {
+		t.Errorf("pause observations = %d, want 6", got)
+	}
+	snap, ok := s.Snapshot()
+	if !ok {
+		t.Fatal("snapshot not available after Sample")
+	}
+	if snap.HeapLiveBytes != 2000 || snap.GCCycles != 6 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.SampledAt != "2023-11-14T22:13:22Z" {
+		t.Errorf("sampled_at = %q (injected clock must drive the stamp)", snap.SampledAt)
+	}
+	// 99 of 100 samples sit in the first bucket, so p99 is its upper
+	// bound; only p100 reaches the +Inf tail (lower bound 1e-3).
+	if relErr(snap.SchedLatencyP99Seconds, 1e-6) > 1e-12 {
+		t.Errorf("sched p99 = %g, want 1e-6", snap.SchedLatencyP99Seconds)
+	}
+	if snap.GCPauseSeconds <= 0 {
+		t.Errorf("gc pause total = %g, want > 0", snap.GCPauseSeconds)
+	}
+}
+
+func TestRuntimeSamplerCounterReset(t *testing.T) {
+	readings := []RuntimeReading{fakeReading(5), fakeReading(1)}
+	i := 0
+	reg := NewRegistry()
+	s, err := NewRuntimeSampler(RuntimeSamplerConfig{
+		Registry: reg,
+		Now:      func() time.Time { return time.Unix(0, 0) },
+		Read:     func() RuntimeReading { r := readings[i]; i++; return r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sample()
+	s.Sample()
+	// 15 cycles, then a reset to 3: the baseline restarts instead of
+	// feeding a negative delta into the counter (which would panic).
+	if got := reg.Counter("fibersim_runtime_gc_cycles_total", "", nil).Value(); got != 18 {
+		t.Errorf("gc cycles after reset = %g, want 18", got)
+	}
+}
+
+func TestRuntimeSamplerDefaultReader(t *testing.T) {
+	reg := NewRegistry()
+	s, err := NewRuntimeSampler(RuntimeSamplerConfig{
+		Registry: reg,
+		Now:      func() time.Time { return time.Unix(1700000000, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sample()
+	snap, ok := s.Snapshot()
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if snap.HeapLiveBytes == 0 || snap.Goroutines == 0 || snap.AllocBytes == 0 {
+		t.Errorf("real runtime reading looks empty: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"fibersim_runtime_heap_live_bytes",
+		"fibersim_runtime_heap_goal_bytes",
+		"fibersim_runtime_goroutines",
+		"fibersim_runtime_gc_cycles_total",
+		"fibersim_runtime_alloc_bytes_total",
+		"fibersim_runtime_gc_pause_seconds",
+		"fibersim_runtime_sched_latency_seconds",
+	} {
+		if !strings.Contains(buf.String(), fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+}
+
+// TestRuntimeSamplerRace stresses concurrent Sample/Snapshot/expose
+// passes; run under -race this pins the sampler's thread safety.
+func TestRuntimeSamplerRace(t *testing.T) {
+	reg := NewRegistry()
+	var mu sync.Mutex
+	pass := uint64(0)
+	clock := time.Unix(1700000000, 0)
+	s, err := NewRuntimeSampler(RuntimeSamplerConfig{
+		Registry: reg,
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			clock = clock.Add(time.Millisecond)
+			return clock
+		},
+		Read: func() RuntimeReading {
+			mu.Lock()
+			defer mu.Unlock()
+			pass++
+			return fakeReading(pass)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Sample()
+				if _, ok := s.Snapshot(); !ok {
+					t.Error("snapshot missing after sample")
+					return
+				}
+				if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every pass contributes 3 GC cycles exactly once.
+	if got := reg.Counter("fibersim_runtime_gc_cycles_total", "", nil).Value(); got != float64(3*pass) {
+		t.Errorf("gc cycles = %g, want %d", got, 3*pass)
+	}
+}
+
+func TestRuntimeSamplerRunStopsOnDone(t *testing.T) {
+	reg := NewRegistry()
+	s, err := NewRuntimeSampler(RuntimeSamplerConfig{
+		Registry: reg,
+		Now:      func() time.Time { return time.Unix(1700000000, 0) },
+		Read:     func() RuntimeReading { return fakeReading(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() { s.Run(done, time.Millisecond); close(finished) }()
+	close(done)
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on done")
+	}
+	if _, ok := s.Snapshot(); !ok {
+		t.Error("Run must sample at least once before stopping")
+	}
+}
+
+func TestHistPercentileEdges(t *testing.T) {
+	empty := HistReading{}
+	if got := histPercentile(empty, 0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %g, want 0", got)
+	}
+	h := HistReading{Buckets: []float64{0, 1, 2, math.Inf(1)}, Counts: []uint64{98, 1, 1}}
+	if got := histPercentile(h, 0.5); got != 1 {
+		t.Errorf("p50 = %g, want 1", got)
+	}
+	if got := histPercentile(h, 1.0); got != 2 {
+		t.Errorf("p100 = %g, want 2 (inf tail uses lower bound)", got)
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stepClock returns an injected clock advancing d per reading.
+func stepClock(d time.Duration) func() time.Time {
+	t := time.Unix(1700000000, 0)
+	return func() time.Time { t = t.Add(d); return t }
+}
+
+func TestCostRecorderNilIsSafe(t *testing.T) {
+	var c *CostRecorder = NewCostRecorder(nil)
+	if c != nil {
+		t.Fatal("nil clock must return a nil (disabled) recorder")
+	}
+	if c.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	c.Start()
+	c.End(StageCharge, c.Begin())
+	c.Add(StageSetup, time.Second)
+	c.SnapshotHeap()
+	c.Finish()
+	if c.WallSeconds() != 0 || c.HeapPeakBytes() != 0 {
+		t.Error("nil recorder accumulated state")
+	}
+	p := c.Profile("off")
+	if err := p.Validate(); err != nil {
+		t.Errorf("nil recorder's profile must validate: %v", err)
+	}
+	if p.WallSeconds != 0 || len(p.Stages) != len(StageNames()) {
+		t.Errorf("nil profile = %+v", p)
+	}
+}
+
+var allocSink []byte
+
+func TestCostRecorderStages(t *testing.T) {
+	c := NewCostRecorder(stepClock(10 * time.Millisecond))
+	c.Start()
+	allocSink = make([]byte, 1<<16) // a visible allocation inside the section
+	// Each Begin/End pair advances the stepping clock twice: the stage
+	// is charged exactly one 10 ms step.
+	c.End(StageCharge, c.Begin())
+	c.End(StageCharge, c.Begin())
+	c.End(StageCollective, c.Begin())
+	c.Add(StageVtimeAdvance, 5*time.Millisecond)
+	c.Finish()
+
+	if got := c.StageSeconds(StageCharge); relErr(got, 0.02) > 1e-12 {
+		t.Errorf("charge = %g, want 0.02", got)
+	}
+	if got := c.WallSeconds(); relErr(got, 0.035) > 1e-12 {
+		t.Errorf("wall = %g, want 0.035", got)
+	}
+
+	p := c.Profile("stream")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Label != "stream" {
+		t.Errorf("label = %q", p.Label)
+	}
+	if relErr(p.WallSeconds, 0.035) > 1e-12 {
+		t.Errorf("profile wall = %g", p.WallSeconds)
+	}
+	// Start..Finish spans 6 clock reads at 10 ms after Start's read.
+	if p.ElapsedSeconds <= 0 {
+		t.Errorf("elapsed = %g, want > 0", p.ElapsedSeconds)
+	}
+	if p.Stages[int(StageCharge)].Calls != 2 {
+		t.Errorf("charge calls = %d, want 2", p.Stages[int(StageCharge)].Calls)
+	}
+	if p.Allocs == 0 {
+		t.Error("allocation delta must be captured between Start and Finish")
+	}
+}
+
+func TestCostRecorderNegativeDurationClamps(t *testing.T) {
+	c := NewCostRecorder(stepClock(time.Millisecond))
+	c.Add(StageJournal, -time.Second)
+	if got := c.StageSeconds(StageJournal); got != 0 {
+		t.Errorf("negative add charged %g", got)
+	}
+	c.Add(Stage(99), time.Second) // out of range: ignored
+	if got := c.WallSeconds(); got != 0 {
+		t.Errorf("out-of-range stage charged %g", got)
+	}
+}
+
+// TestCostRecorderConcurrent pins the lock-free stage accounting under
+// -race: many rank goroutines charging stages at once.
+func TestCostRecorderConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	base := stepClock(time.Microsecond)
+	c := NewCostRecorder(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return base()
+	})
+	c.Start()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Add(StageCharge, time.Microsecond)
+				c.Add(StageVtimeAdvance, 2*time.Microsecond)
+				c.SnapshotHeap()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Finish()
+	p := c.Profile("race")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stages[int(StageCharge)].Calls; got != 1600 {
+		t.Errorf("charge calls = %d, want 1600", got)
+	}
+	if relErr(c.StageSeconds(StageVtimeAdvance), 3200e-6) > 1e-12 {
+		t.Errorf("vtime-advance = %g, want 3.2ms", c.StageSeconds(StageVtimeAdvance))
+	}
+	if c.HeapPeakBytes() == 0 {
+		t.Error("heap high-water mark not captured")
+	}
+}
+
+func TestSelfProfileRoundTrip(t *testing.T) {
+	c := NewCostRecorder(stepClock(time.Millisecond))
+	c.Start()
+	c.End(StageSetup, c.Begin())
+	c.Finish()
+	p := c.Profile("roundtrip")
+	path := filepath.Join(t.TempDir(), "self.json")
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSelfProfileFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "roundtrip" || relErr(back.WallSeconds, p.WallSeconds) > 1e-12 {
+		t.Errorf("roundtrip drifted: %+v vs %+v", back, p)
+	}
+}
+
+func TestSelfProfileValidateRejects(t *testing.T) {
+	good := func() *SelfProfile {
+		return NewCostRecorder(stepClock(time.Millisecond)).Profile("x")
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*SelfProfile)
+		want    string
+	}{
+		{"schema", func(p *SelfProfile) { p.Schema = "nope" }, "schema"},
+		{"missing stage", func(p *SelfProfile) { p.Stages = p.Stages[:3] }, "stages"},
+		{"stage order", func(p *SelfProfile) {
+			p.Stages[0], p.Stages[1] = p.Stages[1], p.Stages[0]
+		}, "canonical order"},
+		{"negative seconds", func(p *SelfProfile) { p.Stages[2].Seconds = -1 }, "invalid"},
+		{"negative calls", func(p *SelfProfile) { p.Stages[0].Calls = -1 }, "negative"},
+		{"sum mismatch", func(p *SelfProfile) { p.WallSeconds = 99 }, "sum"},
+		{"bad wall", func(p *SelfProfile) { p.WallSeconds = -1 }, "wall_seconds"},
+		{"bad gc cycles", func(p *SelfProfile) { p.GCCycles = -2 }, "gc_cycles"},
+	}
+	for _, tc := range cases {
+		p := good()
+		tc.corrupt(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: corrupt profile passed validation", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSelfProfileParseRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSelfProfile(strings.NewReader(`{"schema":"fibersim/self-profile/v1","bogus":1}`)); err == nil {
+		t.Error("unknown field must fail to parse")
+	}
+}
+
+func TestSelfProfileReport(t *testing.T) {
+	c := NewCostRecorder(stepClock(time.Millisecond))
+	c.Add(StageCharge, 3*time.Second)
+	c.Add(StageSetup, time.Second)
+	c.Add(StageRender, 2*time.Second)
+	var buf bytes.Buffer
+	if err := c.Profile("report").WriteReport(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ci, ri := strings.Index(out, "charge"), strings.Index(out, "render")
+	if ci < 0 || ri < 0 || ci > ri {
+		t.Errorf("top-2 stages missing or misordered:\n%s", out)
+	}
+	if strings.Contains(out, "setup") {
+		t.Errorf("top-2 report must omit the third stage:\n%s", out)
+	}
+}
+
+func TestPprofCapture(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile missing or empty: %v", err)
+	}
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile missing or empty: %v", err)
+	}
+}

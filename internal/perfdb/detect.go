@@ -183,6 +183,33 @@ func (t *Trajectory) Check(fresh []Record, th Thresholds) []Finding {
 	return out
 }
 
+// CheckMetric scores an arbitrary per-record metric the way Check
+// scores TimeSeconds. Keys carry a "#name" suffix so the findings of
+// different metrics never collide in reports. Records where metric
+// returns zero — e.g. wall_seconds on history written before
+// self-observability — contribute nothing: they are skipped both in
+// the baseline and as fresh samples, so mixing old and new records
+// degrades to "no baseline" instead of poisoning the window.
+func (t *Trajectory) CheckMetric(fresh []Record, name string, metric func(Record) float64, th Thresholds) []Finding {
+	series := map[string][]float64{}
+	for _, r := range t.Records {
+		if v := metric(r); v > 0 {
+			k := r.Key()
+			series[k] = append(series[k], v)
+		}
+	}
+	var out []Finding
+	for _, r := range fresh {
+		v := metric(r)
+		if v <= 0 {
+			continue
+		}
+		f := Detect(r.Key()+"#"+name, series[r.Key()], v, th)
+		out = append(out, f)
+	}
+	return out
+}
+
 // Regressions filters findings down to the failing verdicts. With
 // failOnChange, significant improvements also fail: a gate in that
 // mode demands the trajectory be re-recorded whenever a number moves,

@@ -71,6 +71,12 @@ type Record struct {
 	Attribution map[string]float64 `json:"attribution,omitempty"`
 	// CommBytes totals the MPI payload (sends + collectives).
 	CommBytes int64 `json:"comm_bytes"`
+	// WallSeconds/AllocsPerRun measure the simulator process itself:
+	// the real wall-clock cost of the cell and its heap allocation
+	// count. Zero on records written before self-observability existed
+	// (and on records taken without a clock); the gate skips them.
+	WallSeconds  float64 `json:"wall_seconds,omitempty"`
+	AllocsPerRun float64 `json:"allocs_per_run,omitempty"`
 }
 
 // Key renders the configuration identity the baseline windows group
@@ -98,7 +104,12 @@ func (r Record) Validate() error {
 	for _, c := range []struct {
 		name string
 		v    float64
-	}{{"time_seconds", r.TimeSeconds}, {"gflops", r.GFlops}} {
+	}{
+		{"time_seconds", r.TimeSeconds},
+		{"gflops", r.GFlops},
+		{"wall_seconds", r.WallSeconds},
+		{"allocs_per_run", r.AllocsPerRun},
+	} {
 		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
 			return fmt.Errorf("perfdb: record %q %s=%g: %w", r.Key(), c.name, c.v, ErrNonFinite)
 		}

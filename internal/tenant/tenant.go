@@ -17,6 +17,7 @@ package tenant
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -217,6 +218,65 @@ func ParseWeights(s string) ([]Weight, error) {
 	}
 	if len(out) == 0 {
 		return nil, errors.New("tenant: empty weight spec")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Override is one tenant's explicit bucket, parsed from fiberd's
+// -tenant-override flag and applied via Limiter.SetBucket.
+type Override struct {
+	Name   string
+	Bucket Bucket
+}
+
+// ParseOverrides parses the per-tenant bucket override grammar:
+//
+//	"alice=2:8,bob=0.5"   rate[:burst] per tenant, comma-separated
+//
+// Rate is requests/second; 0 makes the tenant unlimited. Burst
+// defaults to the rate when omitted (the Bucket floor of 1 still
+// applies, so "bob=0.5" admits single requests half a second apart).
+// Results come back sorted by name so applying them is deterministic;
+// a tenant listed twice is an error, not a silent overwrite.
+func ParseOverrides(s string) ([]Override, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, errors.New("tenant: empty override spec")
+	}
+	seen := map[string]bool{}
+	var out []Override
+	for _, cell := range strings.Split(s, ",") {
+		cell = strings.TrimSpace(cell)
+		if cell == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(cell, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant: override cell %q: want name=rate or name=rate:burst", cell)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("tenant: tenant %q overridden twice", name)
+		}
+		seen[name] = true
+		rateStr, burstStr, hasBurst := strings.Cut(spec, ":")
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil || rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+			return nil, fmt.Errorf("tenant: override cell %q: rate must be a finite number >= 0", cell)
+		}
+		b := Bucket{Rate: rate, Burst: rate}
+		if hasBurst {
+			burst, err := strconv.ParseFloat(strings.TrimSpace(burstStr), 64)
+			if err != nil || burst < 1 || math.IsNaN(burst) || math.IsInf(burst, 0) {
+				return nil, fmt.Errorf("tenant: override cell %q: burst must be a finite number >= 1", cell)
+			}
+			b.Burst = burst
+		}
+		out = append(out, Override{Name: name, Bucket: b})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("tenant: empty override spec")
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil

@@ -160,6 +160,71 @@ func TestParseWeights(t *testing.T) {
 	}
 }
 
+func TestParseOverrides(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Override
+	}{
+		{"alice=2:8,bob=0.5", []Override{
+			{"alice", Bucket{Rate: 2, Burst: 8}},
+			{"bob", Bucket{Rate: 0.5, Burst: 0.5}},
+		}},
+		{" bob=1 , alice=4:16 ", []Override{
+			{"alice", Bucket{Rate: 4, Burst: 16}},
+			{"bob", Bucket{Rate: 1, Burst: 1}},
+		}},
+		{"vip=0", []Override{{"vip", Bucket{Rate: 0, Burst: 0}}}},
+	}
+	for _, c := range cases {
+		got, err := ParseOverrides(c.in)
+		if err != nil {
+			t.Fatalf("ParseOverrides(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("ParseOverrides(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+
+	for _, bad := range []string{
+		"", ",", "alice", "alice=", "alice=x", "alice=-1", "alice=NaN",
+		"alice=1:0", "alice=1:x", "=2", "a=1,a=2",
+	} {
+		if _, err := ParseOverrides(bad); err == nil {
+			t.Fatalf("ParseOverrides(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestOverridesDriveLimiter(t *testing.T) {
+	clk := &fakeClock{}
+	l, err := NewLimiter(Bucket{Rate: 1, Burst: 1}, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovs, err := ParseOverrides("vip=0,clamped=1:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ovs {
+		l.SetBucket(o.Name, o.Bucket)
+	}
+	// vip is unlimited: rate 0 admits everything.
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("vip"); !ok {
+			t.Fatalf("unlimited override refused admission %d", i)
+		}
+	}
+	// clamped gets its own burst of 2, then refuses.
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("clamped"); !ok {
+			t.Fatalf("clamped override refused within burst (%d)", i)
+		}
+	}
+	if ok, wait := l.Allow("clamped"); ok || wait <= 0 {
+		t.Fatalf("clamped override admitted past burst (wait %v)", wait)
+	}
+}
+
 func TestMap(t *testing.T) {
 	got := Map([]Weight{{"a", 2}, {"b", 1}})
 	if !reflect.DeepEqual(got, map[string]int{"a": 2, "b": 1}) {
